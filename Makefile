@@ -1,0 +1,29 @@
+# Convenience targets for the FarGo reproduction.
+
+PYTHON ?= python3
+
+.PHONY: install test bench examples experiments clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Benchmark run with the experiment tables printed (EXPERIMENTS.md data).
+experiments:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script"; \
+		$(PYTHON) "$$script" || exit 1; \
+		echo; \
+	done
+
+clean:
+	rm -rf .pytest_cache .hypothesis src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

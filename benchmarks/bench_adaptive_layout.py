@@ -1,0 +1,122 @@
+"""Experiment C7 — dynamic layout beats every static layout.
+
+The paper's introduction argues that in wide-area environments "static
+component layout might lead to low resource utilization, high
+network-latency and low reliability", and §4.1 gives the concrete
+policy: colocate two complets when the link between them is slow *and*
+they talk a lot; spread them otherwise.
+
+The scenario swept here: a client whose server affinity flips halfway
+through a run (phase 1: server1 on site1; phase 2: server2 on site2),
+over a WAN link that degrades midway.  We compare total simulated
+network seconds for:
+
+- static layouts (client pinned at site1 / at site2);
+- the adaptive policy (script-driven colocation).
+
+The shape that must hold (and is asserted): the adaptive run beats both
+static layouts, and the gap widens as the inter-site link gets slower.
+"""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.workload import Client, Server
+from repro.script.interpreter import ScriptEngine
+from benchmarks.conftest import print_table
+
+PHASE_SECONDS = 10
+CALLS_PER_SECOND = 6
+
+
+def run_scenario(*, adaptive: bool, client_home: str, wan_bandwidth: float) -> float:
+    """Two-phase affinity workload; returns total simulated network time."""
+    cluster = Cluster(["site1", "site2"], bandwidth=wan_bandwidth, latency=0.02)
+    server1 = Server(reply_size=4_096, _core=cluster["site1"], _at="site1")
+    server2 = Server(reply_size=4_096, _core=cluster["site2"], _at="site2")
+    client = Client(server1, request_size=2_048, _core=cluster[client_home], _at=client_home)
+
+    if adaptive:
+        engine = ScriptEngine(cluster, home="site1")
+        engine._globals.update({"c": client, "s1": server1, "s2": server2})
+        engine.run(
+            "on methodInvokeRate(2) from $c to $s1 do move $c to coreOf $s1 end\n"
+            "on methodInvokeRate(2) from $c to $s2 do move $c to coreOf $s2 end"
+        )
+
+    cluster.reset_stats()
+    for _ in range(PHASE_SECONDS):
+        cluster.stub_at(cluster.locate(client), client).run(CALLS_PER_SECOND)
+        cluster.advance(1.0)
+    # Affinity flips: the client now needs server2.
+    host = cluster.core(cluster.locate(client))
+    host.repository.get(client._fargo_target_id).server = cluster.stub_at(
+        host.name, server2
+    )
+    for _ in range(PHASE_SECONDS):
+        cluster.stub_at(cluster.locate(client), client).run(CALLS_PER_SECOND)
+        cluster.advance(1.0)
+    return cluster.stats.seconds
+
+
+def test_adaptive_vs_static_series(benchmark):
+    """The C7 headline table across link speeds."""
+    rows = []
+    for bandwidth in (1_000_000.0, 250_000.0, 50_000.0):
+        static1 = run_scenario(adaptive=False, client_home="site1", wan_bandwidth=bandwidth)
+        static2 = run_scenario(adaptive=False, client_home="site2", wan_bandwidth=bandwidth)
+        dynamic = run_scenario(adaptive=True, client_home="site1", wan_bandwidth=bandwidth)
+        best_static = min(static1, static2)
+        rows.append(
+            (
+                int(bandwidth),
+                round(static1, 2),
+                round(static2, 2),
+                round(dynamic, 2),
+                round(best_static / dynamic, 2),
+            )
+        )
+        assert dynamic < best_static
+    print_table(
+        "C7: total network seconds — static vs dynamic layout",
+        ["link B/s", "static@s1", "static@s2", "dynamic", "speedup"],
+        rows,
+    )
+    # The advantage grows as the network gets worse.
+    speedups = [row[4] for row in rows]
+    assert speedups[-1] >= speedups[0]
+    benchmark(lambda: None)
+
+
+@pytest.mark.parametrize("adaptive", [False, True], ids=["static", "adaptive"])
+def test_scenario_wall_time(benchmark, adaptive):
+    """Wall-clock cost of running the whole scenario (policy overhead)."""
+    benchmark.pedantic(
+        run_scenario,
+        kwargs={
+            "adaptive": adaptive,
+            "client_home": "site1",
+            "wan_bandwidth": 250_000.0,
+        },
+        rounds=3,
+    )
+
+
+def test_policy_reacts_within_seconds(benchmark):
+    """Latency from threshold crossing to relocation, in virtual time."""
+    cluster = Cluster(["site1", "site2"], bandwidth=250_000.0)
+    server = Server(_core=cluster["site2"], _at="site2")
+    client = Client(server, _core=cluster["site1"])
+    engine = ScriptEngine(cluster, home="site1")
+    engine._globals.update({"c": client, "s": server})
+    engine.run("on methodInvokeRate(2) from $c to $s do move $c to coreOf $s end")
+    reaction = None
+    for second in range(1, 20):
+        cluster.stub_at(cluster.locate(client), client).run(6)
+        cluster.advance(1.0)
+        if cluster.locate(client) == "site2":
+            reaction = second
+            break
+    print_table("C7: policy reaction time", ["virtual s to colocate"], [(reaction,)])
+    assert reaction is not None and reaction <= 5
+    benchmark(lambda: None)

@@ -1,0 +1,111 @@
+"""Experiment C1/F1 — invocation overhead of the stub/tracker split.
+
+§3.1 claims the two-entity design costs only "a small price of an extra
+local method invocation" while buying one-tracker-per-target scalability.
+Measured here:
+
+- a direct Python method call on the raw anchor (the floor);
+- a colocated stub call (floor + stub->tracker indirection + the
+  mandatory by-value parameter marshaling);
+- a remote stub call (adds the simulated wire);
+- that tracker population stays at one per target per Core no matter how
+  many references exist (the scalability half of the claim).
+"""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.workload import Counter, Counter_, Echo
+from benchmarks.conftest import print_table
+
+
+@pytest.fixture
+def rig():
+    cluster = Cluster(["n1", "n2"])
+    local = Counter(0, _core=cluster["n1"])
+    remote = Counter(0, _core=cluster["n1"])
+    cluster.move(remote, "n2")
+    raw_anchor = Counter_(0)
+    return cluster, raw_anchor, local, remote
+
+
+def test_direct_anchor_call(benchmark, rig):
+    """Floor: a plain Python method call, no runtime involved."""
+    _cluster, raw_anchor, _local, _remote = rig
+    benchmark(raw_anchor.increment)
+
+
+def test_colocated_stub_call(benchmark, rig):
+    """The claimed 'small price': stub + tracker + by-value marshaling."""
+    _cluster, _raw, local, _remote = rig
+    benchmark(local.increment)
+
+
+def test_remote_stub_call(benchmark, rig):
+    """Crossing the simulated wire (one INVOKE round trip)."""
+    _cluster, _raw, _local, remote = rig
+    benchmark(remote.increment)
+
+
+def test_overhead_summary(benchmark, rig):
+    """Print the C1 series and assert its shape."""
+    import time
+
+    cluster, raw_anchor, local, remote = rig
+
+    def clock(fn, n=300):
+        start = time.perf_counter()
+        for _ in range(n):
+            fn()
+        return (time.perf_counter() - start) / n * 1e6  # µs
+
+    direct = clock(raw_anchor.increment)
+    colocated = clock(local.increment)
+    wire = clock(remote.increment)
+    print_table(
+        "C1: invocation cost (µs per call)",
+        ["direct", "colocated stub", "remote stub"],
+        [(round(direct, 2), round(colocated, 2), round(wire, 2))],
+    )
+    # Shape: the colocated stub costs more than a raw call (marshaling is
+    # mandatory) but far less than going over the wire.
+    assert direct < colocated < wire
+    benchmark(local.increment)
+
+
+def test_one_tracker_regardless_of_reference_count(benchmark, rig):
+    """Scalability claim: N references, one tracker per Core."""
+    cluster, _raw, _local, remote = rig
+    rows = []
+    for count in (1, 8, 64):
+        fresh = Cluster(["a", "b"])
+        target = Counter(0, _core=fresh["a"])
+        fresh.move(target, "b")
+        stubs = [fresh.stub_at("a", target) for _ in range(count)]
+        for stub in stubs:
+            stub.increment()
+        trackers = fresh["a"].repository.tracker_count()
+        rows.append((count, trackers))
+        assert trackers == 1
+    print_table("C1: references vs trackers at one Core", ["references", "trackers"], rows)
+    _cluster, _raw, local, _remote = rig
+    benchmark(local.read)
+
+
+def test_invocation_simulated_cost_scales_with_payload(benchmark, rig):
+    """The wire cost model: simulated time grows with argument size."""
+    cluster = Cluster(["a", "b"])
+    echo = Echo("e", _core=cluster["a"])
+    cluster.move(echo, "b")
+    rows = []
+    for size in (100, 10_000, 1_000_000):
+        before = cluster.now
+        echo.echo(bytes(size))
+        rows.append((size, round(cluster.now - before, 4)))
+    print_table(
+        "C1: simulated seconds per call vs payload (1 MB/s link)",
+        ["payload B", "sim s"],
+        rows,
+    )
+    assert rows[0][1] < rows[1][1] < rows[2][1]
+    benchmark(echo.echo, b"x" * 100)

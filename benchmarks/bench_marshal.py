@@ -1,0 +1,78 @@
+"""Supporting measurements — marshaling throughput and closure scanning.
+
+The movement protocol (C3) and the parameter-passing semantics (C9) both
+ride the reference-aware marshaler; its costs bound everything else.
+Measured here:
+
+- by-value parameter marshaling throughput vs payload size;
+- closure scanning (used by planning, completSize, coreMemory) vs
+  closure size;
+- movement marshal+unmarshal vs closure size.
+"""
+
+import pytest
+
+from repro.complet.closure import compute_closure
+from repro.cluster.cluster import Cluster
+from repro.cluster.workload import DataSource, Echo
+from benchmarks.conftest import print_table
+
+
+@pytest.mark.parametrize("size", [100, 10_000, 1_000_000])
+def test_parameter_marshal_roundtrip(benchmark, size):
+    """Colocated echo: pure marshal cost, no simulated wire."""
+    cluster = Cluster(["a"])
+    echo = Echo("e", _core=cluster["a"])
+    payload = bytes(size)
+    benchmark(echo.echo, payload)
+
+
+@pytest.mark.parametrize("size", [1_000, 100_000, 1_000_000])
+def test_closure_scan(benchmark, size):
+    cluster = Cluster(["a"])
+    source = DataSource(size, _core=cluster["a"])
+    anchor = cluster["a"].repository.get(source._fargo_target_id)
+    info = benchmark(compute_closure, anchor)
+    assert info.size_bytes > size
+
+
+@pytest.mark.parametrize("size", [1_000, 100_000])
+def test_move_roundtrip_vs_closure(benchmark, size):
+    cluster = Cluster(["a", "b"])
+    source = DataSource(size, _core=cluster["a"])
+    state = {"at_b": False}
+
+    def bounce():
+        cluster.move(source, "a" if state["at_b"] else "b")
+        state["at_b"] = not state["at_b"]
+
+    benchmark(bounce)
+
+
+def test_reference_heavy_graph_marshal(benchmark):
+    """Arguments packed with complet references (tokens, not copies)."""
+    cluster = Cluster(["a"])
+    echo = Echo("e", _core=cluster["a"])
+    refs = [Echo(f"r{i}", _core=cluster["a"]) for i in range(20)]
+    graph = {"refs": refs, "notes": list(range(100))}
+    benchmark(echo.echo, graph)
+
+
+def test_marshal_size_series(benchmark):
+    """Closure size vs wire bytes for a move (framing overhead is small)."""
+    rows = []
+    for size in (1_000, 10_000, 100_000):
+        cluster = Cluster(["a", "b"])
+        source = DataSource(size, _core=cluster["a"])
+        scan = compute_closure(cluster["a"].repository.get(source._fargo_target_id))
+        cluster.reset_stats()
+        cluster.move(source, "b")
+        rows.append((size, scan.size_bytes, cluster.stats.bytes))
+    print_table(
+        "closure size vs bytes on the wire for one move",
+        ["blob B", "closure B", "wire B"],
+        rows,
+    )
+    for _blob, closure, wire in rows:
+        assert wire < closure * 1.2 + 2_000  # modest framing overhead
+    benchmark(lambda: None)

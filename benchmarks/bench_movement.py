@@ -1,0 +1,130 @@
+"""Experiment C3 — group movement is a single stream.
+
+§3.3: "all complets that should move as a result of the same movement
+request are part of the same stream, thus only a single inter-Core
+message is involved."  Measured here, for pull-group sizes N = 1..16:
+
+- MOVE_COMPLET round trips for a group move (constant: 1 request) vs a
+  naive per-complet sequence (N requests);
+- payload bytes (scale with the group's closures, not with N overheads);
+- the marshal/unmarshal wall time of movement itself.
+"""
+
+import pytest
+
+from repro.complet.relocators import Duplicate, Pull
+from repro.core.core import Core
+from repro.cluster.cluster import Cluster
+from repro.cluster.workload import Counter, DataSource
+from repro.net.messages import MessageKind
+from tests.anchors import Holder
+from benchmarks.conftest import print_table
+
+
+def _pull_group(size: int, payload: int = 512):
+    """A head complet pulling ``size`` members, all at core a."""
+    cluster = Cluster(["a", "b"])
+    head = Holder(None, _core=cluster["a"])
+    anchor = cluster["a"].repository.get(head._fargo_target_id)
+    anchor.members = [DataSource(payload, _core=cluster["a"]) for _ in range(size)]
+    for stub in anchor.members:
+        Core.get_meta_ref(stub).set_relocator(Pull())
+    return cluster, head, anchor.members
+
+
+@pytest.mark.parametrize("size", [1, 4, 16])
+def test_group_move_wall_time(benchmark, size):
+    """Wall-clock cost of marshaling + moving a pull group of N complets."""
+
+    def setup():
+        cluster, head, _members = _pull_group(size)
+        return (cluster, head), {}
+
+    def move(cluster, head):
+        cluster.move(head, "b")
+
+    benchmark.pedantic(move, setup=setup, rounds=10)
+
+
+def test_group_vs_individual_messages(benchmark):
+    """The headline C3 series: messages and bytes, group vs one-by-one."""
+    rows = []
+    for size in (1, 2, 4, 8, 16):
+        # Group move: one MOVE_COMPLET request whatever the size.
+        cluster, head, members = _pull_group(size)
+        cluster.reset_stats()
+        cluster.move(head, "b")
+        group_requests = cluster.stats.by_kind[MessageKind.MOVE_COMPLET] // 2
+        group_bytes = cluster.stats.bytes
+
+        # Naive: move the same population complet by complet.
+        naive = Cluster(["a", "b"])
+        head2 = Holder(None, _core=naive["a"])
+        singles = [DataSource(512, _core=naive["a"]) for _ in range(size)]
+        naive.reset_stats()
+        naive.move(head2, "b")
+        for stub in singles:
+            naive.move(stub, "b")
+        naive_requests = naive.stats.by_kind[MessageKind.MOVE_COMPLET] // 2
+        naive_bytes = naive.stats.bytes
+
+        rows.append((size, group_requests, naive_requests, group_bytes, naive_bytes))
+        assert group_requests == 1
+        assert naive_requests == size + 1
+    print_table(
+        "C3: pull-group move vs per-complet moves",
+        ["group N", "grp reqs", "naive reqs", "grp bytes", "naive bytes"],
+        rows,
+    )
+    cluster, head, _ = _pull_group(4)
+    benchmark(lambda: None)
+
+
+def test_bytes_scale_with_closure_not_group_count(benchmark):
+    """Group framing overhead is small: bytes track payload sizes."""
+    rows = []
+    for payload in (256, 4_096, 65_536):
+        cluster, head, _members = _pull_group(4, payload=payload)
+        cluster.reset_stats()
+        cluster.move(head, "b")
+        rows.append((payload, cluster.stats.bytes))
+    print_table(
+        "C3: group-move bytes vs member closure size (N=4)",
+        ["member B", "total bytes"],
+        rows,
+    )
+    assert rows[-1][1] > rows[0][1] * 10
+    benchmark(lambda: None)
+
+
+@pytest.mark.parametrize("relocator_name", ["pull", "duplicate"])
+def test_group_semantics_move_cost(benchmark, relocator_name):
+    """Pull carries the original; duplicate carries a copy (same stream)."""
+    relocator_cls = {"pull": Pull, "duplicate": Duplicate}[relocator_name]
+
+    def setup():
+        cluster = Cluster(["a", "b"])
+        source = DataSource(8_192, _core=cluster["a"])
+        head = Holder(source, _core=cluster["a"])
+        anchor = cluster["a"].repository.get(head._fargo_target_id)
+        Core.get_meta_ref(anchor.ref).set_relocator(relocator_cls())
+        return (cluster, head), {}
+
+    def move(cluster, head):
+        cluster.move(head, "b")
+
+    benchmark.pedantic(move, setup=setup, rounds=10)
+
+
+def test_single_complet_move_cost(benchmark):
+    """Baseline: moving one small complet back and forth."""
+    cluster = Cluster(["a", "b"])
+    counter = Counter(0, _core=cluster["a"])
+    state = {"at_b": False}
+
+    def bounce():
+        destination = "a" if state["at_b"] else "b"
+        cluster.move(counter, destination)
+        state["at_b"] = not state["at_b"]
+
+    benchmark(bounce)

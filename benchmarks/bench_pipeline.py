@@ -1,0 +1,93 @@
+"""Layout effects on a processing pipeline.
+
+A three-stage pipeline (`repro.cluster.workload.Stage`) forwards each
+item through two complet references.  Where the stages sit determines
+how many times each item crosses the WAN — the textbook demonstration of
+why layout matters, and of ``pull`` as the tool for keeping a pipeline
+together when its head moves.
+
+Series: end-to-end item latency for the three canonical placements
+(all colocated / spread over three Cores / head remote from a colocated
+tail) and the cost of re-colocating a spread pipeline with pulls.
+"""
+
+import pytest
+
+from repro.complet.relocators import Pull
+from repro.core.core import Core
+from repro.cluster.cluster import Cluster
+from repro.cluster.workload import Stage
+from benchmarks.conftest import print_table
+
+
+def _pipeline(cluster, homes):
+    last = Stage(None, cost_bytes=256, _core=cluster[homes[2]], _at=homes[2])
+    middle = Stage(last, cost_bytes=256, _core=cluster[homes[1]], _at=homes[1])
+    first = Stage(middle, cost_bytes=256, _core=cluster[homes[0]], _at=homes[0])
+    return first, middle, last
+
+
+def _latency(cluster, first, item=b"x" * 512) -> float:
+    t0 = cluster.now
+    first.process(item)
+    return cluster.now - t0
+
+
+def test_placement_latency_series(benchmark):
+    rows = []
+    for label, homes in (
+        ("colocated", ["a", "a", "a"]),
+        ("spread", ["a", "b", "c"]),
+        ("head-remote", ["a", "c", "c"]),
+    ):
+        cluster = Cluster(["a", "b", "c"], bandwidth=250_000.0, latency=0.02)
+        first, _middle, _last = _pipeline(cluster, homes)
+        driver = cluster.stub_at(homes[0], first)
+        rows.append((label, round(_latency(cluster, driver), 4)))
+    print_table(
+        "pipeline: end-to-end item latency by placement (250 KB/s links)",
+        ["placement", "latency s"],
+        rows,
+    )
+    latencies = dict(rows)
+    assert latencies["colocated"] < latencies["head-remote"] < latencies["spread"]
+    benchmark(lambda: None)
+
+
+def test_pull_recolocates_whole_pipeline(benchmark):
+    """Retype the two internal references to pull, move the head once:
+    the entire pipeline lands on one Core and latency collapses."""
+    cluster = Cluster(["a", "b", "c"], bandwidth=250_000.0, latency=0.02)
+    first, middle, last = _pipeline(cluster, ["a", "b", "c"])
+    spread_latency = _latency(cluster, first)
+
+    for holder, attr in ((first, "successor"), (middle, "successor")):
+        host = cluster.core(cluster.locate(holder))
+        anchor = host.repository.get(holder._fargo_target_id)
+        Core.get_meta_ref(anchor.successor).set_relocator(Pull())
+    cluster.move(first, "c")
+    for stage in (first, middle, last):
+        assert cluster.locate(stage) == "c"
+    colocated = cluster.stub_at("c", first)
+    colocated_latency = _latency(cluster, colocated)
+
+    print_table(
+        "pipeline: pull-driven re-colocation",
+        ["spread latency s", "colocated latency s"],
+        [(round(spread_latency, 4), round(colocated_latency, 4))],
+    )
+    assert colocated_latency < spread_latency / 5
+    benchmark(colocated.process, b"y" * 512)
+
+
+@pytest.mark.parametrize("stages", [2, 4, 8])
+def test_latency_scales_with_remote_stages(benchmark, stages):
+    """Wall time of one item through an N-stage spread pipeline."""
+    names = [f"n{i}" for i in range(stages)]
+    cluster = Cluster(names)
+    tail = Stage(None, _core=cluster[names[-1]], _at=names[-1])
+    head = tail
+    for name in reversed(names[:-1]):
+        head = Stage(head, _core=cluster[name], _at=name)
+    driver = cluster.stub_at(names[0], head)
+    benchmark(driver.process, b"x" * 128)

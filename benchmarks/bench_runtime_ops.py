@@ -1,0 +1,115 @@
+"""Supporting measurements — the remaining Core API operations.
+
+Rounds out the harness with the runtime operations no experiment above
+isolates: instantiation (local and remote), naming, events with remote
+subscribers, reference materialization, and checkpoint/restore.
+"""
+
+import pytest
+
+from repro.core.persistence import restore, snapshot
+from repro.cluster.cluster import Cluster
+from repro.cluster.workload import Counter, Counter_, DataSource, Echo, Echo_
+from benchmarks.conftest import print_table
+
+
+@pytest.fixture
+def pair():
+    return Cluster(["a", "b"])
+
+
+class TestInstantiation:
+    def test_local_instantiation(self, benchmark, pair):
+        benchmark(pair["a"].instantiate, Echo_, "tag")
+
+    def test_remote_instantiation(self, benchmark, pair):
+        benchmark(pair["a"].instantiate, Echo_, "tag", at="b")
+
+
+class TestNaming:
+    def test_local_lookup(self, benchmark, pair):
+        echo = Echo("x", _core=pair["a"])
+        pair["a"].bind("svc", echo)
+        benchmark(pair["a"].lookup, "svc")
+
+    def test_remote_lookup(self, benchmark, pair):
+        echo = Echo("x", _core=pair["a"])
+        pair["a"].bind("svc", echo)
+        benchmark(pair["b"].naming.lookup_at, "a", "svc")
+
+    def test_cluster_wide_search(self, benchmark):
+        cluster = Cluster([f"n{i}" for i in range(8)])
+        echo = Echo("x", _core=cluster["n7"], _at="n7")
+        cluster["n7"].bind("needle", echo)
+        benchmark(cluster["n0"].naming.lookup_anywhere, "needle")
+
+
+class TestEvents:
+    def test_publish_no_listeners(self, benchmark, pair):
+        benchmark(pair["a"].events.publish, "quiet-event")
+
+    def test_publish_to_remote_subscriber(self, benchmark, pair):
+        seen = []
+        pair["b"].events.subscribe_remote("a", "busy-event", seen.append)
+        benchmark(pair["a"].events.publish, "busy-event")
+
+    def test_publish_fanout_series(self, benchmark, pair):
+        import time
+
+        rows = []
+        for listeners in (1, 10, 100):
+            cluster = Cluster(["a", "b"])
+            for _ in range(listeners):
+                cluster["a"].events.subscribe("fan", lambda e: None)
+            start = time.perf_counter()
+            for _ in range(200):
+                cluster["a"].events.publish("fan")
+            elapsed = (time.perf_counter() - start) / 200 * 1e6
+            rows.append((listeners, round(elapsed, 2)))
+        print_table(
+            "event publish µs vs local listener fan-out",
+            ["listeners", "µs/publish"],
+            rows,
+        )
+        benchmark(pair["a"].events.publish, "x")
+
+
+class TestReferences:
+    def test_materialize_reference(self, benchmark, pair):
+        echo = Echo("x", _core=pair["a"])
+        tracker = echo._fargo_tracker
+        from repro.complet.relocators import Link
+        from repro.complet.tokens import RefToken
+
+        token = RefToken(tracker.target_id, tracker.anchor_ref, tracker.address, Link())
+        benchmark(pair["b"].references.materialize, token)
+
+    def test_stub_compilation_cached(self, benchmark):
+        from repro.complet.stub import compile_complet
+
+        benchmark(compile_complet, Counter_)
+
+
+class TestPersistence:
+    def test_snapshot_cost(self, benchmark, pair):
+        source = DataSource(10_000, _core=pair["a"])
+        benchmark(snapshot, pair["a"], source)
+
+    def test_restore_cost(self, benchmark, pair):
+        source = DataSource(10_000, _core=pair["a"])
+        snap = snapshot(pair["a"], source)
+        benchmark(restore, pair["b"], snap)
+
+    def test_checkpoint_series(self, benchmark, pair):
+        rows = []
+        for size in (1_000, 10_000, 100_000):
+            source = DataSource(size, _core=pair["a"])
+            snap = snapshot(pair["a"], source)
+            rows.append((size, len(snap.stream)))
+        print_table(
+            "snapshot bytes vs complet blob size",
+            ["blob B", "snapshot B"],
+            rows,
+        )
+        assert rows[-1][1] > rows[0][1] * 50
+        benchmark(lambda: None)

@@ -1,0 +1,115 @@
+"""Experiment C8 (performance side) — the scripting surface's cost.
+
+§4.3 positions scripts as the administrator's interface; for that to be
+credible the engine must parse quickly and dispatch rule firings without
+measurable drag on the event path.  Measured here:
+
+- lexing/parsing throughput on the paper's script;
+- rule-firing dispatch cost (event -> matched rule -> action);
+- the overhead a registered-but-unmatched rule adds to event delivery.
+"""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.workload import Counter
+from repro.script.interpreter import ScriptEngine
+from repro.script.lexer import tokenize
+from repro.script.parser import parse
+from benchmarks.conftest import print_table
+
+PAPER_SCRIPT = """\
+$coreList = %1
+$targetCore = %2
+$comps = %3
+on shutdown firedby $core
+ listenAt $coreList do
+  move completsIn $core to $targetCore
+end
+on methodInvokeRate(3)
+  from $comps[0] to $comps[1] do
+ move $comps[0] to coreOf $comps[1]
+end
+"""
+
+
+def test_tokenize_paper_script(benchmark):
+    benchmark(tokenize, PAPER_SCRIPT)
+
+
+def test_parse_paper_script(benchmark):
+    benchmark(parse, PAPER_SCRIPT)
+
+
+def test_parse_large_script(benchmark):
+    """A 100-rule script (a large deployment's policy file)."""
+    source = "\n".join(
+        f'on completArrived listenAt [core{i}] do log "rule{i}" end'
+        for i in range(100)
+    )
+    script = benchmark(parse, source)
+    assert len(script.rules) == 100
+
+
+def test_rule_firing_dispatch(benchmark):
+    """Cost of one event firing one rule with one log action."""
+    cluster = Cluster(["a", "b"])
+    engine = ScriptEngine(cluster, home="a")
+    engine.run('on completArrived listenAt [a] do log "seen" end')
+    counter = Counter(0, _core=cluster["a"])
+    cluster.move(counter, "b")
+
+    rule = engine.active_rules[0]
+    from repro.core.events import Event
+
+    event = Event("completArrived", "a", 0.0, {"complet": "x"})
+    benchmark(engine._fire, rule.rule, rule, event)
+
+
+def test_event_path_overhead_per_rule(benchmark):
+    """Publishing cost as inactive rules accumulate (should be ~flat:
+    subscriptions are name-filtered before any script machinery runs)."""
+    rows = []
+    for rules in (0, 10, 50):
+        cluster = Cluster(["a", "b"])
+        engine = ScriptEngine(cluster, home="a")
+        for index in range(rules):
+            engine.run(
+                f'on referenceRetyped listenAt [a] do log "r{index}" end'
+            )
+        import time
+
+        start = time.perf_counter()
+        for _ in range(200):
+            cluster["a"].events.publish("unrelatedEvent")
+        elapsed = (time.perf_counter() - start) / 200 * 1e6
+        rows.append((rules, round(elapsed, 2)))
+    print_table(
+        "C8: µs to publish an unmatched event vs registered rules",
+        ["rules", "µs/publish"],
+        rows,
+    )
+    cluster = Cluster(["a", "b"])
+    benchmark(cluster["a"].events.publish, "unrelatedEvent")
+
+
+def test_end_to_end_script_reaction(benchmark):
+    """Full path: profiled threshold -> event -> rule -> move (one round)."""
+
+    def setup():
+        cluster = Cluster(["a", "b"])
+        from repro.cluster.workload import Client, Server
+
+        server = Server(_core=cluster["b"], _at="b")
+        client = Client(server, _core=cluster["a"])
+        engine = ScriptEngine(cluster, home="a")
+        engine._globals.update({"c": client, "s": server})
+        engine.run("on methodInvokeRate(2) from $c to $s do move $c to coreOf $s end")
+        return (cluster, client), {}
+
+    def drive(cluster, client):
+        for _ in range(3):
+            cluster.stub_at(cluster.locate(client), client).run(8)
+            cluster.advance(1.0)
+
+    benchmark.pedantic(drive, setup=setup, rounds=5)

@@ -1,0 +1,81 @@
+"""Application-level benchmark — the adaptive task farm.
+
+End-to-end cost of the whole stack under an application a downstream
+user would actually write (``repro.apps.taskfarm``): queue + workers +
+monitoring-driven placement.  Sweeps link speed and reports makespan and
+network time, static vs adaptive — the application-level incarnation of
+experiment C7.
+"""
+
+import pytest
+
+from repro.apps.taskfarm import Farm
+from repro.cluster.cluster import Cluster
+from benchmarks.conftest import print_table
+
+TASKS = 40
+PAYLOAD = 8_192
+
+
+def _run(*, adaptive: bool, bandwidth: float) -> tuple[float, float]:
+    cluster = Cluster(["hub", "edge1", "edge2"], bandwidth=bandwidth, latency=0.01)
+    farm = Farm(cluster, "hub", ["edge1", "edge2"], batch=4)
+    if adaptive:
+        farm.enable_adaptive_placement(
+            byte_rate_threshold=5_000.0, bandwidth_threshold=500_000.0
+        )
+    farm.submit(payload_size=PAYLOAD, count=TASKS)
+    cluster.reset_stats()
+    makespan = farm.run_until_drained()
+    return makespan, cluster.stats.seconds
+
+
+def test_farm_series(benchmark):
+    rows = []
+    for bandwidth in (1_000_000.0, 100_000.0, 30_000.0):
+        static_span, static_net = _run(adaptive=False, bandwidth=bandwidth)
+        adaptive_span, adaptive_net = _run(adaptive=True, bandwidth=bandwidth)
+        rows.append(
+            (
+                int(bandwidth),
+                round(static_net, 2),
+                round(adaptive_net, 2),
+                round(static_span, 1),
+                round(adaptive_span, 1),
+            )
+        )
+    print_table(
+        "task farm: static vs adaptive placement",
+        ["link B/s", "static net s", "adaptive net s", "static span", "adaptive span"],
+        rows,
+    )
+    # On slow links the adaptive farm must do strictly better on network
+    # time (workers sit next to the queue after relocating).
+    slow = rows[-1]
+    assert slow[2] < slow[1]
+    benchmark(lambda: None)
+
+
+@pytest.mark.parametrize("adaptive", [False, True], ids=["static", "adaptive"])
+def test_farm_wall_time(benchmark, adaptive):
+    """Wall-clock cost of a full farm run (the simulator's own overhead)."""
+    benchmark.pedantic(
+        _run, kwargs={"adaptive": adaptive, "bandwidth": 100_000.0}, rounds=3
+    )
+
+
+def test_farm_throughput_scales_with_workers(benchmark):
+    rows = []
+    for workers in (1, 2, 4):
+        cluster = Cluster(["hub"] + [f"e{i}" for i in range(workers)])
+        farm = Farm(cluster, "hub", [f"e{i}" for i in range(workers)], batch=4)
+        farm.submit(payload_size=1_024, count=40)
+        makespan = farm.run_until_drained()
+        rows.append((workers, round(makespan, 1)))
+    print_table(
+        "task farm: makespan vs worker count (fast links)",
+        ["workers", "makespan s"],
+        rows,
+    )
+    assert rows[-1][1] < rows[0][1]
+    benchmark(lambda: None)

@@ -1,0 +1,127 @@
+"""Experiment C2/F2 — tracker chains and their shortening.
+
+Figure 2 draws a complet that hopped Core1 -> Core2 -> Core3 -> Core4,
+leaving a chain of forwarding trackers; §3.1 states that "while
+returning from each invocation, all the trackers in the chain are set
+to point directly to the target's location, and all trackers that are
+not pointed at all after shortening become available for garbage
+collection."
+
+Measured here, for chain lengths k = 1..8:
+
+- simulated network time of the *first* invocation (walks k hops) vs the
+  *second* (direct after shortening);
+- INVOKE messages for each;
+- trackers collected by GC after shortening.
+"""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.workload import Counter
+from repro.net.messages import MessageKind
+from benchmarks.conftest import print_table
+
+CORE_NAMES = [f"c{i}" for i in range(10)]
+
+
+def _chained(hops: int):
+    """A counter that hopped ``hops`` times; the caller stub sits at c0."""
+    cluster = Cluster(CORE_NAMES[: hops + 1])
+    counter = Counter(0, _core=cluster["c0"])
+    for i in range(1, hops + 1):
+        cluster.move_via_host(counter, f"c{i}")
+    return cluster, counter
+
+
+@pytest.mark.parametrize("hops", [1, 4, 8])
+def test_first_invocation_walks_chain(benchmark, hops):
+    """Wall-clock cost of chain-walking invocations (fresh chain each round)."""
+
+    def setup():
+        cluster, counter = _chained(hops)
+        return (counter,), {}
+
+    def first_call(counter):
+        counter.increment()
+
+    benchmark.pedantic(first_call, setup=setup, rounds=20)
+
+
+@pytest.mark.parametrize("hops", [1, 4, 8])
+def test_shortened_invocation_is_flat(benchmark, hops):
+    """After one call, cost no longer depends on the itinerary length."""
+    cluster, counter = _chained(hops)
+    counter.increment()  # shorten
+    benchmark(counter.increment)
+
+
+def test_chain_series_summary(benchmark):
+    """The C2 series: hops vs simulated time and messages, before/after."""
+    rows = []
+    for hops in range(1, 9):
+        cluster, counter = _chained(hops)
+        invokes_0 = cluster.stats.by_kind[MessageKind.INVOKE]
+        t0 = cluster.now
+        counter.increment()  # walks the chain, shortens on return
+        first_time = cluster.now - t0
+        first_msgs = cluster.stats.by_kind[MessageKind.INVOKE] - invokes_0
+
+        invokes_1 = cluster.stats.by_kind[MessageKind.INVOKE]
+        t1 = cluster.now
+        counter.increment()  # direct
+        second_time = cluster.now - t1
+        second_msgs = cluster.stats.by_kind[MessageKind.INVOKE] - invokes_1
+
+        collected = cluster.collect_all_trackers()
+        rows.append(
+            (
+                hops,
+                round(first_time, 4),
+                first_msgs,
+                round(second_time, 4),
+                second_msgs,
+                collected,
+            )
+        )
+    print_table(
+        "C2: tracker chains — first call walks, second call is direct",
+        ["hops", "1st sim s", "1st msgs", "2nd sim s", "2nd msgs", "GC'd trackers"],
+        rows,
+    )
+    # Shape assertions: first-call cost grows with the chain; second-call
+    # cost is flat (single hop); shortening frees ~(hops-1) trackers.
+    first_times = [row[1] for row in rows]
+    second_msgs = {row[4] for row in rows}
+    assert first_times == sorted(first_times)
+    assert first_times[-1] > 3 * first_times[0]
+    assert second_msgs == {2}  # one request + one reply, any history
+    assert all(row[5] >= row[0] - 1 for row in rows)
+    cluster, counter = _chained(4)
+    counter.increment()
+    benchmark(counter.increment)
+
+
+def test_shortening_affects_every_tracker_on_path(benchmark):
+    """All chain members point directly at the target after one call."""
+    cluster, counter = _chained(6)
+    counter.increment()
+    host = cluster.locate(counter)
+    on_path = 0
+    for core in cluster:
+        tracker = core.repository.existing_tracker(counter._fargo_target_id)
+        if tracker is not None and tracker.is_forwarding:
+            assert tracker.next_hop.core == host
+            on_path += 1
+    assert on_path >= 1
+    benchmark(counter.increment)
+
+
+def test_locate_also_shortens(benchmark):
+    """Reflection (getTargetLocation) rides the same shortening machinery."""
+    cluster, counter = _chained(5)
+    from repro.core.core import Core
+
+    meta = Core.get_meta_ref(counter)
+    assert meta.get_target_location() == "c5"
+    benchmark(meta.get_target_location)

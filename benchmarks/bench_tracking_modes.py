@@ -1,0 +1,154 @@
+"""Ablation — tracker chains vs the location registry (§7 future work).
+
+The paper keeps chains and names the location-independent naming scheme
+as future work.  Both are implemented here, so the trade-off the authors
+anticipated can be measured:
+
+- resolution cost after k hops: chain walk (O(k) messages, then
+  shortened) vs home query (O(1) messages, always);
+- maintenance cost: the registry pays one extra LOCATION_UPDATE per
+  move;
+- resilience: with the registry, references survive the death of
+  intermediate Cores on the migration path.
+"""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.workload import Counter
+from repro.net.messages import MessageKind
+from benchmarks.conftest import print_table
+
+CORE_NAMES = [f"c{i}" for i in range(10)]
+
+
+def _wandered(hops: int, *, registry: bool):
+    cluster = Cluster(CORE_NAMES[: hops + 2], use_location_registry=registry)
+    counter = Counter(0, _core=cluster["c0"])
+    for i in range(1, hops + 1):
+        cluster.move_via_host(counter, f"c{i}")
+    # The observer holds a reference wired to the last Core (not the
+    # home, not on the path), pointing at the *first* hop — stale.
+    observer = cluster.core(CORE_NAMES[hops + 1])
+    from repro.complet.relocators import Link
+    from repro.complet.tokens import RefToken
+
+    token = RefToken(
+        counter._fargo_target_id,
+        counter._fargo_tracker.anchor_ref,
+        counter._fargo_tracker.address,  # points at c0's tracker: stale
+        Link(),
+    )
+    stale_ref = observer.references.materialize(token)
+    return cluster, counter, stale_ref
+
+
+@pytest.mark.parametrize("registry", [False, True], ids=["chains", "registry"])
+def test_stale_resolution_wall_time(benchmark, registry):
+    """Wall-clock cost of the first invocation through a stale reference."""
+
+    def setup():
+        cluster, _counter, stale_ref = _wandered(6, registry=registry)
+        return (stale_ref,), {}
+
+    benchmark.pedantic(lambda ref: ref.increment(), setup=setup, rounds=10)
+
+
+def test_resolution_message_series(benchmark):
+    """Messages to resolve a stale reference after k hops, both modes."""
+    rows = []
+    for hops in (2, 4, 8):
+        chain_cluster, _c, chain_ref = _wandered(hops, registry=False)
+        chain_cluster.reset_stats()
+        chain_ref.increment()
+        chain_msgs = chain_cluster.stats.by_kind[MessageKind.INVOKE]
+
+        reg_cluster, _c, reg_ref = _wandered(hops, registry=True)
+        reg_cluster.reset_stats()
+        # Resolve via the registry first (locate), then invoke directly.
+        reg_cluster.core(reg_ref._fargo_core.name)  # observer core
+        reg_ref._fargo_core.references.locate(reg_ref._fargo_tracker)
+        reg_ref.increment()
+        reg_queries = reg_cluster.stats.by_kind[MessageKind.LOCATION_QUERY]
+        reg_invokes = reg_cluster.stats.by_kind[MessageKind.INVOKE]
+        rows.append((hops, chain_msgs, reg_queries + reg_invokes))
+        assert reg_queries + reg_invokes <= 4  # query + direct invoke
+        assert chain_msgs >= 2 * hops  # walks the whole stale chain
+    print_table(
+        "tracking ablation: messages to use a stale reference",
+        ["hops", "chain msgs", "registry msgs"],
+        rows,
+    )
+    benchmark(lambda: None)
+
+
+def test_maintenance_cost_per_move(benchmark):
+    """The registry's price: one extra one-way message per arrival."""
+    rows = []
+    for registry in (False, True):
+        cluster = Cluster(["a", "b", "c"], use_location_registry=registry)
+        counter = Counter(0, _core=cluster["a"])
+        cluster.move(counter, "b")
+        cluster.reset_stats()
+        cluster.move_via_host(counter, "c")
+        updates = cluster.stats.by_kind[MessageKind.LOCATION_UPDATE]
+        total = cluster.stats.messages
+        rows.append(("registry" if registry else "chains", total, updates))
+    print_table(
+        "tracking ablation: messages per move",
+        ["mode", "total msgs", "location updates"],
+        rows,
+    )
+    assert rows[1][2] == rows[0][2] + 1
+    benchmark(lambda: None)
+
+
+def test_resilience_to_path_death(benchmark):
+    """References survive a dead intermediate Core only with the registry."""
+    from repro.errors import CoreDownError
+
+    outcomes = []
+    for registry in (False, True):
+        cluster = Cluster(["a", "b", "c"], use_location_registry=registry)
+        counter = Counter(0, _core=cluster["a"])
+        cluster.move_via_host(counter, "b")
+        cluster.move_via_host(counter, "c")
+        cluster.network.set_node_down("b")
+        try:
+            counter.increment()
+            outcomes.append(("registry" if registry else "chains", "survives"))
+        except CoreDownError:
+            outcomes.append(("registry" if registry else "chains", "breaks"))
+    print_table(
+        "tracking ablation: dead Core on the migration path",
+        ["mode", "reference"],
+        outcomes,
+    )
+    assert outcomes == [("chains", "breaks"), ("registry", "survives")]
+    benchmark(lambda: None)
+
+
+def test_pointer_update_ablation(benchmark):
+    """Eager pointer bookkeeping: GC accuracy vs message overhead."""
+    rows = []
+    for eager in (True, False):
+        cluster = Cluster(["a", "b", "c", "d"], eager_pointer_updates=eager)
+        counter = Counter(0, _core=cluster["a"])
+        for destination in ("b", "c", "d"):
+            cluster.move_via_host(counter, destination)
+        cluster.reset_stats()
+        counter.increment()
+        housekeeping = cluster.stats.by_kind[MessageKind.TRACKER_UPDATE]
+        collected = cluster.collect_all_trackers()
+        rows.append(
+            ("eager" if eager else "lazy", housekeeping, collected)
+        )
+    print_table(
+        "pointer-update ablation: shorten housekeeping vs GC yield",
+        ["mode", "update msgs", "trackers GC'd"],
+        rows,
+    )
+    eager_row, lazy_row = rows
+    assert eager_row[1] > lazy_row[1]      # eager pays messages ...
+    assert eager_row[2] >= lazy_row[2]     # ... and collects at least as much
+    benchmark(lambda: None)

@@ -1,0 +1,38 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one experiment from DESIGN.md's index (the
+paper has no numeric tables — it is a design paper — so the experiments
+verify the *performance claims* its prose makes and the behaviours its
+figures draw).  Each module prints a small table of the series it
+measured; run with ``pytest benchmarks/ --benchmark-only -s`` to see
+them alongside the pytest-benchmark timings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+
+
+@pytest.fixture
+def bench_cluster():
+    """A fresh 4-Core cluster with uniform 1 MB/s / 10 ms links."""
+    return Cluster(["n1", "n2", "n3", "n4"])
+
+
+def print_table(title: str, headers: list[str], rows: list[tuple]) -> None:
+    """Render one experiment's series, paper-style."""
+    widths = [
+        max(len(str(headers[i])), max((len(f"{row[i]:g}" if isinstance(row[i], float) else str(row[i])) for row in rows), default=0))
+        for i in range(len(headers))
+    ]
+
+    def fmt(value, width):
+        text = f"{value:g}" if isinstance(value, float) else str(value)
+        return text.rjust(width)
+
+    print(f"\n== {title}")
+    print("  " + "  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  " + "  ".join(fmt(v, w) for v, w in zip(row, widths)))

@@ -1,0 +1,64 @@
+"""The layout monitor and admin shell: Figure 4's surface, in text.
+
+The paper's graphical monitor "can connect to multiple cores, and show
+in real-time which complets reside in which cores", tracks movements by
+listening for events, shows reference properties with profiling
+information, and lets the administrator move complets and change
+reference types.  This example drives the textual equivalent — plus the
+FarGo shell — through a small scenario.
+
+Run:  python examples/live_monitor.py
+"""
+
+from repro import Cluster
+from repro.cluster.workload import Client, DataSource, Server, Worker
+from repro.shell import FarGoShell
+
+
+def main() -> None:
+    cluster = Cluster(["hq", "branch", "backup"])
+
+    # Deploy a small application.
+    server = Server(_core=cluster["hq"])
+    client = Client(server, _core=cluster["branch"], _at="branch")
+    source = DataSource(20_000, _core=cluster["hq"])
+    worker = Worker(source, _core=cluster["branch"], _at="branch")
+    cluster["hq"].bind("server", server)
+
+    shell = FarGoShell(cluster, home="hq")
+    monitor = shell.monitor
+
+    print(shell.execute("cores"))
+    print()
+    print(shell.execute("layout"))
+
+    # Generate some traffic so the reference table has numbers to show.
+    client.run(5)
+    worker.work(3)
+
+    worker_id = str(worker._fargo_target_id)
+    print()
+    print(shell.execute(f"refs branch {worker_id}"))
+
+    # Retype the worker's data reference to pull, then drag the worker
+    # to the backup Core — the data source follows.
+    source_id = str(source._fargo_target_id)
+    print()
+    print(shell.execute(f"retype branch {worker_id} {source_id} pull"))
+    print(shell.execute(f"move {worker_id} backup"))
+    print()
+    print(shell.execute("layout"))
+
+    # Profiling through the monitor (instant interface, remote Core).
+    print()
+    print(shell.execute("profile backup completLoad"))
+    print(shell.execute("profile hq bandwidth peer=backup"))
+
+    # The live feed the GUI would have drawn movement arrows from:
+    print()
+    print("event feed:")
+    print(monitor.render_feed(limit=6))
+
+
+if __name__ == "__main__":
+    main()

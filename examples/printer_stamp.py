@@ -1,0 +1,58 @@
+"""The paper's stamp example: a mobile desktop reconnecting to local printers.
+
+§2 motivates the ``stamp`` reference type with a hardware device: "if the
+target complet encapsulates a hardware device such as a printer, a source
+complet (e.g., a mobile desktop complet) could use a stamp reference in
+order to reconnect to a local printer (complet) after it arrives at a new
+location."  This example builds three sites, each with its own printer
+complet, and moves a desktop between them; every report prints on the
+printer of whatever site the desktop is currently at.
+
+It also demonstrates the ``Stamp(fallback="link")`` extension: moving to
+a site *without* a printer keeps a link back to the last one instead of
+failing.
+
+Run:  python examples/printer_stamp.py
+"""
+
+from repro import Cluster, Core, Stamp
+from repro.errors import StampResolutionError
+from repro.cluster.workload import Desktop, Printer
+
+
+def main() -> None:
+    cluster = Cluster(["office", "lab", "home", "cafe"])
+
+    # Site-bound device complets: one printer per equipped site.
+    office_printer = Printer("office-laser", _core=cluster["office"])
+    Printer("lab-plotter", _core=cluster["lab"], _at="lab")
+    Printer("home-inkjet", _core=cluster["home"], _at="home")
+    # (the cafe has no printer)
+
+    desktop = Desktop(office_printer, _core=cluster["office"])
+
+    # Make the desktop's printer reference a stamp reference (§3.2 idiom).
+    anchor = cluster["office"].repository.get(desktop._fargo_target_id)
+    Core.get_meta_ref(anchor.printer).set_relocator(Stamp())
+
+    for site in ("office", "lab", "home"):
+        cluster.move(desktop, site)
+        print(desktop.print_report(f"expense report, filed from {site}"))
+
+    # Moving somewhere printerless with a strict stamp aborts the move:
+    try:
+        cluster.move(desktop, "cafe")
+    except StampResolutionError as exc:
+        print(f"strict stamp refused the cafe: {exc}")
+    print(f"desktop stayed at: {cluster.locate(desktop)}")
+
+    # The fallback="link" extension keeps the previous printer instead:
+    anchor = cluster[cluster.locate(desktop)].repository.get(desktop._fargo_target_id)
+    Core.get_meta_ref(anchor.printer).set_relocator(Stamp(fallback="link"))
+    cluster.move(desktop, "cafe")
+    print(f"with fallback, desktop moved to: {cluster.locate(desktop)}")
+    print(desktop.print_report("printed remotely, back at home"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Weak mobility with continuations: a self-moving survey agent.
+
+FarGo supports weak mobility — object state moves, the stack does not —
+so a computation that spans Cores is written in continuation style
+(§3.3): the agent moves itself with ``Carrier.move(self, dest, "step",
+args)`` and the receiving Core invokes ``step`` after unmarshaling.
+
+The agent here tours every Core in the cluster, sampling each Core's
+complet load locally (no remote profiling traffic), and returns home
+with the collected survey — a classic mobile-agent itinerary implemented
+purely with the paper's continuation primitive plus the four movement
+callbacks.
+
+Run:  python examples/self_moving_agent.py
+"""
+
+from repro import Anchor, Carrier, Cluster, compile_complet
+from repro.cluster.workload import Echo
+
+
+class SurveyAgent_(Anchor):
+    """Visits a list of Cores and samples each one's complet load."""
+
+    def __init__(self, itinerary: list[str], home: str) -> None:
+        self.itinerary = list(itinerary)
+        self.home = home
+        self.survey: dict[str, float] = {}
+        self.hops = 0
+
+    # -- movement callbacks (§3.3): observe the journey ---------------------
+
+    def pre_departure(self, destination: str) -> None:
+        self.hops += 1
+
+    def post_arrival(self) -> None:
+        # Sample locally, wherever we are: an instant profiling call on
+        # the *current* Core costs no network traffic.
+        core = self.core
+        self.survey[core.name] = core.profile_instant("completLoad", use_cache=False)
+
+    # -- the continuation-style tour -----------------------------------------
+
+    def tour(self) -> None:
+        """Start (or continue) the tour; runs once per Core visited."""
+        if self.itinerary:
+            next_stop = self.itinerary.pop(0)
+            Carrier.move(self, next_stop, "tour")
+        elif self.core.name != self.home:
+            Carrier.move(self, self.home, "tour")
+
+    def report(self) -> dict:
+        return {"survey": self.survey, "hops": self.hops}
+
+
+SurveyAgent = compile_complet(SurveyAgent_)
+
+
+def main() -> None:
+    cluster = Cluster(["hq", "edge1", "edge2", "edge3"])
+    # Populate the edges with some application complets.
+    for name, load in (("edge1", 3), ("edge2", 1), ("edge3", 5)):
+        for i in range(load):
+            Echo(f"{name}-app{i}", _core=cluster[name], _at=name)
+
+    agent = SurveyAgent(["edge1", "edge2", "edge3"], home="hq", _core=cluster["hq"])
+    print("dispatching survey agent from hq ...")
+    agent.tour()
+    # Each hop's continuation is deferred (the paper runs them in fresh
+    # threads); drain the cascade so the whole itinerary completes.
+    cluster.drain()
+
+    print(f"agent is back at: {cluster.locate(agent)}")
+    report = agent.report()
+    print(f"hops taken: {report['hops']}")
+    for core_name, load in sorted(report["survey"].items()):
+        print(f"  {core_name:<8} hosts {load:.0f} complets")
+
+    stats = cluster.stats
+    print(
+        f"network: {stats.messages} messages, {stats.bytes} bytes "
+        f"({stats.seconds:.3f} simulated seconds)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""A wide-area deployment: the paper's opening scenario, end to end.
+
+§1 motivates dynamic layout with wide-area environments: "many nodes
+with different computing power and dynamically changing resources, and
+many links with widely different and dynamically changing transfer
+rates, reliability, and qualities of service."
+
+This example deploys a small analytics application over two sites
+(fast LANs inside, a slow WAN between), attaches a layout script, and
+replays a day of trouble on the virtual timeline:
+
+- the worker's read rate exceeds 3/s -> it colocates with its data
+  source (the paper's rate-based performance rule), taking its traffic
+  off the WAN before the t=20 degradation makes that expensive;
+- t=40  a site-b Core announces maintenance shutdown -> any complets it
+  still hosts evacuate to the site's other Core (reliability rule).
+
+Run:  python examples/wan_deployment.py
+"""
+
+from repro import Cluster, FailureInjector, configure_wan
+from repro.cluster.workload import DataSource, Worker
+from repro.script import ScriptEngine
+from repro.viewer import LayoutMonitor, MovementTimeline
+
+SCRIPT = """\
+# performance: follow the data when the worker gets chatty
+on methodInvokeRate(3)
+  from %1 to %2 do
+    move %1 to coreOf %2
+end
+# reliability: evacuate any site-b Core that announces shutdown
+on shutdown firedby $core listenAt [b1, b2] do
+  $survivor = b2
+  move completsIn $core to $survivor
+end
+"""
+
+
+def main() -> None:
+    cluster = Cluster(["a1", "a2", "b1", "b2"])
+    configure_wan(
+        cluster,
+        {"site-a": ["a1", "a2"], "site-b": ["b1", "b2"]},
+        wan_bandwidth=400_000.0,
+        wan_latency=0.06,
+    )
+    monitor = LayoutMonitor(cluster, home="a1")
+    monitor.watch_all()
+    timeline = MovementTimeline(cluster, home="a1")
+    timeline.watch_all()
+
+    # The application: a data source at site-a, a worker at site-b.
+    source = DataSource(40_000, _core=cluster["a1"])
+    worker = Worker(source, chunk=2_048, _core=cluster["b1"], _at="b1")
+    timeline.track(str(source._fargo_target_id), "DataSource", "a1")
+    timeline.track(str(worker._fargo_target_id), "Worker", "b1")
+
+    engine = ScriptEngine(cluster, home="a1")
+    engine.run(SCRIPT, args=(worker, source))
+
+    inject = FailureInjector(cluster)
+    inject.degrade_link_at(20.0, "a1", "b1", bandwidth=40_000.0)
+    inject.degrade_link_at(20.0, "a1", "b2", bandwidth=40_000.0)
+    inject.shutdown_core_at(40.0, "b1")
+
+    print("initial layout:")
+    print(monitor.render())
+
+    for second in range(50):
+        handle = cluster.stub_at(cluster.locate(worker), worker)
+        handle.work(5)
+        cluster.advance(1.0)
+        if second in (25, 45):
+            print(f"\nlayout at t={cluster.now:.0f}:")
+            print(monitor.render())
+
+    print("\ninjected failures:")
+    for when, what in inject.log:
+        print(f"  t={when:5.1f}  {what}")
+    print("\nevent feed (tail):")
+    print(monitor.render_feed(limit=6))
+    print()
+    print(timeline.render(width=50))
+    print(f"\ntotal network time: {cluster.stats.seconds:.2f} simulated seconds")
+
+
+if __name__ == "__main__":
+    main()

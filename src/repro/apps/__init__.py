@@ -1,0 +1,20 @@
+"""Sample applications built on the public FarGo API.
+
+These are written the way a downstream user would write them — no
+reaching into runtime internals — and double as living documentation:
+the task farm shows monitoring-driven placement of a bag-of-tasks
+workload, and the catalog shows ``duplicate``-reference replication of a
+read-mostly data source.
+"""
+
+from repro.apps.catalog import Catalog, CatalogClient, CatalogFleet
+from repro.apps.taskfarm import Farm, FarmWorker, TaskQueue
+
+__all__ = [
+    "Catalog",
+    "CatalogClient",
+    "CatalogFleet",
+    "Farm",
+    "FarmWorker",
+    "TaskQueue",
+]

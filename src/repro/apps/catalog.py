@@ -1,0 +1,150 @@
+"""A replicated read-mostly catalog, built on ``duplicate`` references.
+
+§2 motivates the ``duplicate`` type with replication: "useful when
+replication can be used (e.g., for read-only data sources), without
+violating the logical semantics of the application."  This app is that
+use case in full: a master :class:`Catalog` complet lives at the hub; a
+:class:`CatalogClient` holds *two* references to it —
+
+- ``master``: a plain ``link``, always pointing at the authoritative
+  catalog;
+- ``snapshot``: typed ``duplicate``, so the moment the client relocates
+  to an edge Core it automatically carries a private copy of the whole
+  catalog with it.
+
+Reads served from the snapshot are local (zero network); the client
+detects staleness by comparing versions over the master link and pulls
+a delta when asked.  :class:`CatalogFleet` deploys a master plus edge
+clients and reports how much traffic replication saved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.complet.anchor import Anchor
+from repro.complet.relocators import Duplicate
+from repro.complet.stub import Stub, compile_complet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.cluster import Cluster
+
+
+class Catalog_(Anchor):
+    """The authoritative key-value catalog (versioned)."""
+
+    def __init__(self) -> None:
+        self.entries: dict[str, object] = {}
+        self.version = 0
+
+    def put(self, key: str, value) -> int:
+        """Write one entry; returns the new catalog version."""
+        self.entries[key] = value
+        self.version += 1
+        return self.version
+
+    def get(self, key: str):
+        return self.entries.get(key)
+
+    def get_version(self) -> int:
+        return self.version
+
+    def changes_since(self, version: int) -> tuple[int, dict]:
+        """Delta protocol: everything needed to catch a replica up.
+
+        A real system would keep a log; shipping the full map keeps the
+        sample honest about *when* data moves, which is what the
+        experiments measure.
+        """
+        if version >= self.version:
+            return (self.version, {})
+        return (self.version, dict(self.entries))
+
+
+class CatalogClient_(Anchor):
+    """An edge client reading from its private catalog snapshot."""
+
+    def __init__(self, catalog) -> None:
+        #: Authoritative reference — stays a link forever.
+        self.master = catalog
+        #: Read path — an *independent* reference to the same catalog
+        #: (set up by prepare_replication), duplicate-typed so it becomes
+        #: a private copy when the client moves.
+        self.snapshot = catalog
+        self.reads = 0
+
+    def prepare_replication(self) -> None:
+        """Split the read path off the master link and type it duplicate.
+
+        ``Core.new_reference`` mints an independent reference (its own
+        meta reference) to the same complet; retyping it leaves the
+        master link untouched.
+        """
+        from repro.core.core import Core
+
+        self.snapshot = Core.new_reference(self.master)
+        Core.get_meta_ref(self.snapshot).set_relocator(Duplicate())
+
+    def lookup(self, key: str):
+        """Read from the (possibly local) snapshot."""
+        self.reads += 1
+        return self.snapshot.get(key)
+
+    def staleness(self) -> int:
+        """Versions the snapshot lags behind the master (network read)."""
+        return self.master.get_version() - self.snapshot.get_version()
+
+    def refresh(self) -> int:
+        """Catch the snapshot up from the master; returns versions gained."""
+        local_version = self.snapshot.get_version()
+        new_version, entries = self.master.changes_since(local_version)
+        if entries:
+            for key, value in entries.items():
+                self.snapshot.put(key, value)
+        return new_version - local_version
+
+
+Catalog = compile_complet(Catalog_)
+CatalogClient = compile_complet(CatalogClient_)
+
+
+@dataclass
+class CatalogFleet:
+    """Driver: one master at the hub, replicated clients at the edges."""
+
+    cluster: "Cluster"
+    hub: str
+    edges: list[str]
+    master: Stub = field(init=False)
+    clients: list[Stub] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.master = Catalog(_core=self.cluster.core(self.hub))
+        self.clients = []
+        for edge in self.edges:
+            # Born next to the master so the duplicate snapshot is cut
+            # from a local closure, then shipped to its edge in one move.
+            client = CatalogClient(self.master, _core=self.cluster.core(self.hub))
+            client.prepare_replication()
+            self.cluster.move(client, edge)
+            self.clients.append(client)
+
+    def publish(self, key: str, value) -> int:
+        return self.master.put(key, value)
+
+    def read_everywhere(self, key: str) -> list[object]:
+        """Each client answers from its own snapshot."""
+        results = []
+        for client in self.clients:
+            handle = self.cluster.stub_at(self.cluster.locate(client), client)
+            results.append(handle.lookup(key))
+        return results
+
+    def refresh_all(self) -> int:
+        """Propagate master changes to every edge; returns total deltas."""
+        total = 0
+        for client in self.clients:
+            handle = self.cluster.stub_at(self.cluster.locate(client), client)
+            total += handle.refresh()
+        return total

@@ -1,0 +1,184 @@
+"""An adaptive bag-of-tasks farm.
+
+A :class:`TaskQueue` complet holds work items; :class:`FarmWorker`
+complets pull batches through a complet reference, process them, and
+report results back.  The :class:`Farm` driver deploys the pieces across
+a cluster and — when adaptive placement is enabled — watches each
+worker's byte rate toward the queue: a worker that is hauling lots of
+task bytes over a slow link gets moved next to the queue, exactly the
+colocate-or-spread policy of §4.1, expressed with nothing but the public
+monitoring API.
+
+Everything here uses only public surface (anchors, stubs, ``Core``
+methods, monitor watches), so the module doubles as an end-to-end usage
+example of the library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.complet.anchor import Anchor
+from repro.complet.stub import Stub, compile_complet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.cluster import Cluster
+
+
+class TaskQueue_(Anchor):
+    """Work-item store: tasks in, results tallied."""
+
+    def __init__(self) -> None:
+        self.pending: list[tuple[int, bytes]] = []
+        self.completed: dict[int, int] = {}
+        self._next_task_id = 0
+
+    def put(self, payload: bytes, copies: int = 1) -> int:
+        """Enqueue ``copies`` tasks with the given payload; returns count."""
+        for _ in range(copies):
+            self.pending.append((self._next_task_id, payload))
+            self._next_task_id += 1
+        return len(self.pending)
+
+    def take(self, count: int = 1) -> list[tuple[int, bytes]]:
+        """Hand out up to ``count`` tasks (removed from the queue)."""
+        batch, self.pending = self.pending[:count], self.pending[count:]
+        return batch
+
+    def report(self, task_id: int, digest: int) -> None:
+        self.completed[task_id] = digest
+
+    def remaining(self) -> int:
+        return len(self.pending)
+
+    def completed_count(self) -> int:
+        return len(self.completed)
+
+    def results(self) -> dict[int, int]:
+        return self.completed
+
+
+class FarmWorker_(Anchor):
+    """Pulls task batches through its queue reference and processes them."""
+
+    def __init__(self, queue, batch: int = 4) -> None:
+        self.queue = queue
+        self.batch = batch
+        self.processed = 0
+
+    def step(self) -> int:
+        """One scheduling round: take, process, report.  Returns #done."""
+        tasks = self.queue.take(self.batch)
+        for task_id, payload in tasks:
+            digest = sum(payload) % 65_521  # the "computation"
+            self.queue.report(task_id, digest)
+            self.processed += 1
+        return len(tasks)
+
+    def done_so_far(self) -> int:
+        return self.processed
+
+
+TaskQueue = compile_complet(TaskQueue_)
+FarmWorker = compile_complet(FarmWorker_)
+
+
+@dataclass
+class Farm:
+    """Driver: deploy a queue and workers, optionally self-placing.
+
+    ``worker_homes`` names the Core for each worker.  With
+    :meth:`enable_adaptive_placement`, each worker is watched and moved
+    next to the queue once it crosses the byte-rate threshold while its
+    link to the queue is slower than ``bandwidth_threshold``.
+    """
+
+    cluster: "Cluster"
+    queue_home: str
+    worker_homes: list[str]
+    batch: int = 4
+    queue: Stub = field(init=False)
+    workers: list[Stub] = field(init=False)
+    relocations: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.queue = TaskQueue(_core=self.cluster.core(self.queue_home))
+        self.workers = [
+            FarmWorker(self.queue, self.batch, _core=self.cluster.core(home), _at=home)
+            for home in self.worker_homes
+        ]
+
+    # -- workload -----------------------------------------------------------------
+
+    def submit(self, payload_size: int, count: int) -> None:
+        self.queue.put(bytes(range(256)) * (payload_size // 256 + 1), copies=count)
+
+    def round(self) -> int:
+        """Every worker takes one step; returns tasks completed."""
+        done = 0
+        for worker in self.workers:
+            handle = self.cluster.stub_at(self.cluster.locate(worker), worker)
+            done += handle.step()
+        return done
+
+    def run_until_drained(self, *, seconds_per_round: float = 1.0, max_rounds: int = 1_000) -> float:
+        """Drive rounds until the queue is empty; returns virtual makespan."""
+        start = self.cluster.now
+        for _ in range(max_rounds):
+            if self.queue.remaining() == 0:
+                break
+            self.round()
+            self.cluster.advance(seconds_per_round)
+        return self.cluster.now - start
+
+    # -- adaptive placement (§4.1, via the public monitoring API) ---------------------
+
+    def enable_adaptive_placement(
+        self,
+        *,
+        byte_rate_threshold: float = 10_000.0,
+        bandwidth_threshold: float = 500_000.0,
+        interval: float = 1.0,
+    ) -> None:
+        queue_id = str(self.queue._fargo_target_id)
+        for worker in self.workers:
+            home = self.cluster.core(self.cluster.locate(worker))
+            worker_id = str(worker._fargo_target_id)
+            event_name = f"farm:{worker_id}"
+
+            def relocate(event, worker=worker) -> None:
+                queue_site = self.cluster.locate(self.queue)
+                worker_site = self.cluster.locate(worker)
+                if worker_site == queue_site:
+                    return
+                bandwidth = self.cluster.core(worker_site).profile_instant(
+                    "bandwidth", peer=queue_site
+                )
+                if bandwidth < bandwidth_threshold:
+                    self.cluster.move(
+                        self.cluster.stub_at(worker_site, worker), queue_site
+                    )
+                    self.relocations.append(f"{worker_site}->{queue_site}")
+
+            home.events.subscribe(event_name, relocate)
+            home.monitor.watch(
+                "byteRate",
+                ">",
+                byte_rate_threshold,
+                interval=interval,
+                event_name=event_name,
+                repeat=True,
+                src=worker_id,
+                dst=queue_id,
+            )
+
+    # -- reporting ---------------------------------------------------------------------------
+
+    def progress(self) -> dict:
+        return {
+            "remaining": self.queue.remaining(),
+            "completed": self.queue.completed_count(),
+            "worker_locations": [self.cluster.locate(w) for w in self.workers],
+            "relocations": list(self.relocations),
+        }

@@ -1,0 +1,20 @@
+"""Cluster harness: build and drive multi-Core FarGo deployments.
+
+The :class:`~repro.cluster.cluster.Cluster` owns the shared virtual
+clock, the simulated network, and a set of Cores.  Topology helpers
+shape the link matrix (LAN/WAN profiles), the failure injector schedules
+crashes and link degradation on the virtual timeline, and the workload
+module provides reusable complets for examples, tests and benchmarks.
+"""
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.topology import configure_star, configure_uniform, configure_wan
+from repro.cluster.failures import FailureInjector
+
+__all__ = [
+    "Cluster",
+    "configure_star",
+    "configure_uniform",
+    "configure_wan",
+    "FailureInjector",
+]

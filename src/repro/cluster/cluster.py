@@ -1,0 +1,214 @@
+"""The Cluster: a set of Cores over one simulated network and clock."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.complet.anchor import Anchor
+from repro.complet.stub import Stub
+from repro.core.core import Core
+from repro.errors import CoreNotFoundError
+from repro.net.simnet import NetworkStats, SimNetwork
+from repro.sim.clock import Clock, VirtualClock
+from repro.sim.scheduler import Scheduler
+
+
+class Cluster:
+    """A deployment of Cores sharing a clock and a network.
+
+    The cluster is the experimenter's handle: it creates Cores, shapes
+    links, advances virtual time, injects failures, and reads network
+    accounting.  Application code only ever sees Cores and stubs.
+    """
+
+    def __init__(
+        self,
+        names: Iterable[str] = (),
+        *,
+        bandwidth: float = 1_000_000.0,
+        latency: float = 0.01,
+        clock: Clock | None = None,
+        eager_pointer_updates: bool = True,
+        use_location_registry: bool = False,
+        profile_cache_ttl: float = 1.0,
+    ) -> None:
+        self.scheduler = Scheduler(clock if clock is not None else VirtualClock())
+        self.network = SimNetwork(
+            self.scheduler,
+            default_bandwidth=bandwidth,
+            default_latency=latency,
+        )
+        self._eager_pointer_updates = eager_pointer_updates
+        self._use_location_registry = use_location_registry
+        self._profile_cache_ttl = profile_cache_ttl
+        self.cores: dict[str, Core] = {}
+        for name in names:
+            self.add_core(name)
+
+    # -- construction ---------------------------------------------------------------
+
+    def add_core(self, name: str, **core_kwargs) -> Core:
+        """Create and register a new Core."""
+        core_kwargs.setdefault("eager_pointer_updates", self._eager_pointer_updates)
+        core_kwargs.setdefault("use_location_registry", self._use_location_registry)
+        core_kwargs.setdefault("profile_cache_ttl", self._profile_cache_ttl)
+        core = Core(name, self.network, self.scheduler, **core_kwargs)
+        self.cores[name] = core
+        return core
+
+    def core(self, name: str) -> Core:
+        try:
+            return self.cores[name]
+        except KeyError:
+            raise CoreNotFoundError(f"cluster has no Core named {name!r}") from None
+
+    def __getitem__(self, name: str) -> Core:
+        return self.core(name)
+
+    def __iter__(self) -> Iterator[Core]:
+        return iter(self.cores.values())
+
+    def core_names(self) -> list[str]:
+        return sorted(self.cores)
+
+    def running_cores(self) -> list[Core]:
+        return [core for core in self.cores.values() if core.is_running]
+
+    # -- time ---------------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.scheduler.clock.now()
+
+    def advance(self, seconds: float) -> None:
+        """Sweep virtual time forward, firing samplers, watches, timers."""
+        self.scheduler.advance(seconds)
+
+    def drain(self) -> None:
+        """Run everything already due — deferred continuations and any
+        work they cascade into — without moving time forward.
+
+        A continuation that moves its complet again schedules the next
+        continuation at the (network-advanced) current instant; the
+        reentrant sweep keeps extending until the cascade is dry.
+        """
+        self.scheduler.advance(0.0)
+
+    # -- topology and failures -------------------------------------------------------------
+
+    def set_link(self, a: str, b: str, **kwargs) -> None:
+        self.network.set_link(a, b, **kwargs)
+
+    def partition(self, *groups: set[str]) -> None:
+        self.network.partition(*groups)
+
+    def heal_partition(self) -> None:
+        self.network.heal_partition()
+
+    def shutdown_core(self, name: str) -> None:
+        self.core(name).shutdown()
+
+    # -- application conveniences -------------------------------------------------------------
+
+    def instantiate(self, anchor_cls: type[Anchor], at: str, *args, **kwargs) -> Stub:
+        """Create a complet on Core ``at`` and return its stub."""
+        return self.core(at).instantiate(anchor_cls, *args, **kwargs)
+
+    def move(self, stub: Stub, destination: str) -> None:
+        """Move the complet behind ``stub`` to Core ``destination``."""
+        core = stub._fargo_core
+        assert core is not None
+        core.move(stub, destination)
+
+    def move_via_host(self, stub: Stub, destination: str) -> None:
+        """Ask the complet's *current host* to move it (no forwarding).
+
+        ``move`` routes through the stub's Core, whose tracker gets
+        shortened while locating the host; driving the move from the
+        host itself leaves every other Core's tracker untouched — the
+        way genuine tracker chains form (Figure 2).
+        """
+        host = self._find_host(stub._fargo_target_id)
+        if host is None:
+            raise CoreNotFoundError(f"no running Core hosts {stub._fargo_target_id}")
+        self.core(host).move(stub._fargo_target_id, destination)
+
+    def locate(self, stub: Stub) -> str:
+        """Name of the Core currently hosting ``stub``'s complet.
+
+        Falls back to a cluster-wide search when the stub's own Core has
+        shut down (references die with their Core; the harness can still
+        answer the question).
+        """
+        core = stub._fargo_core
+        if core is not None and core.is_running:
+            return core.references.locate(stub._fargo_tracker)
+        host = self._find_host(stub._fargo_target_id)
+        if host is None:
+            raise CoreNotFoundError(f"no running Core hosts {stub._fargo_target_id}")
+        return host
+
+    def stub_at(self, core_name: str, stub: Stub) -> Stub:
+        """A fresh reference to ``stub``'s complet, wired to ``core_name``.
+
+        Needed when the Core a stub was wired to shuts down: references
+        die with their Core (they live inside complets or programs hosted
+        there), so a surviving program re-acquires the complet from a
+        living Core.
+        """
+        from repro.complet.relocators import Link
+        from repro.complet.tokens import RefToken
+
+        target_id = stub._fargo_target_id
+        via = self.core(core_name)
+        if via.repository.hosts(target_id):
+            return via.references.stub_for_local(target_id)
+        host = self._find_host(target_id)
+        if host is None:
+            raise CoreNotFoundError(f"no running Core hosts {target_id}")
+        anchor_ref = stub._fargo_tracker.anchor_ref
+        address = self.core(host).repository.tracker_for(target_id, anchor_ref).address
+        token = RefToken(target_id, anchor_ref, address, Link())
+        return via.references.materialize(token)
+
+    def _find_host(self, target_id) -> str | None:
+        for core in self.running_cores():
+            if core.repository.hosts(target_id):
+                return core.name
+        return None
+
+    def complets_at(self, name: str) -> list[str]:
+        return [str(cid) for cid in self.core(name).repository.complet_ids()]
+
+    def collect_all_trackers(self) -> int:
+        """Run tracker GC to a fixpoint across all Cores; total collected.
+
+        Collecting a forwarding tracker releases its pointee, which may
+        make trackers on other Cores collectable, so the sweep repeats
+        until a pass collects nothing.
+        """
+        total = 0
+        while True:
+            collected = sum(
+                core.repository.collect_trackers() for core in self.running_cores()
+            )
+            total += collected
+            if collected == 0:
+                return total
+
+    # -- accounting -----------------------------------------------------------------------------
+
+    @property
+    def stats(self) -> NetworkStats:
+        return self.network.stats
+
+    def reset_stats(self) -> None:
+        """Zero the global network accounting (per-experiment measurement)."""
+        self.network.stats = NetworkStats()
+
+    def shutdown_all(self) -> None:
+        for core in self.running_cores():
+            core.shutdown()
+
+    def __repr__(self) -> str:
+        return f"<Cluster {self.core_names()} t={self.now:.3f}>"

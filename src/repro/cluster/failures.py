@@ -1,0 +1,96 @@
+"""Failure injection on the virtual timeline.
+
+Schedules the environmental changes the paper's layout policies react
+to: link degradation and recovery, link cuts, Core shutdown, and
+network partitions — all as timers on the cluster's scheduler, so a
+single ``cluster.advance(...)`` replays a whole failure scenario
+deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.cluster import Cluster
+from repro.sim.scheduler import Timer
+
+
+@dataclass(slots=True)
+class FailureInjector:
+    """Deterministic scheduler of environmental changes."""
+
+    cluster: Cluster
+    #: Log of injected changes: (time, description), for experiment reports.
+    log: list[tuple[float, str]] = field(default_factory=list)
+    _timers: list[Timer] = field(default_factory=list)
+
+    def _at(self, time: float, description: str, action) -> Timer:
+        def fire() -> None:
+            self.log.append((self.cluster.now, description))
+            action()
+
+        timer = self.cluster.scheduler.call_at(time, fire)
+        self._timers.append(timer)
+        return timer
+
+    def degrade_link_at(
+        self, time: float, a: str, b: str, *, bandwidth: float | None = None,
+        latency: float | None = None,
+    ) -> Timer:
+        """Change a link's characteristics at a point in virtual time."""
+        description = f"link {a}<->{b} becomes bw={bandwidth} lat={latency}"
+        return self._at(
+            time,
+            description,
+            lambda: self.cluster.set_link(a, b, bandwidth=bandwidth, latency=latency),
+        )
+
+    def cut_link_at(self, time: float, a: str, b: str) -> Timer:
+        return self._at(
+            time,
+            f"link {a}<->{b} goes down",
+            lambda: self.cluster.set_link(a, b, up=False),
+        )
+
+    def restore_link_at(self, time: float, a: str, b: str) -> Timer:
+        return self._at(
+            time,
+            f"link {a}<->{b} comes back",
+            lambda: self.cluster.set_link(a, b, up=True),
+        )
+
+    def shutdown_core_at(self, time: float, name: str) -> Timer:
+        """Graceful shutdown: the Core fires ``coreShutdown`` first."""
+        return self._at(
+            time, f"core {name} shuts down", lambda: self.cluster.shutdown_core(name)
+        )
+
+    def crash_core_at(self, time: float, name: str) -> Timer:
+        """Hard crash: no shutdown event, the node simply stops answering."""
+        return self._at(
+            time,
+            f"core {name} crashes",
+            lambda: self.cluster.network.set_node_down(name),
+        )
+
+    def revive_core_at(self, time: float, name: str) -> Timer:
+        return self._at(
+            time,
+            f"core {name} revives",
+            lambda: self.cluster.network.set_node_down(name, down=False),
+        )
+
+    def partition_at(self, time: float, *groups: set[str]) -> Timer:
+        return self._at(
+            time,
+            f"network partitions into {[sorted(g) for g in groups]}",
+            lambda: self.cluster.partition(*groups),
+        )
+
+    def heal_at(self, time: float) -> Timer:
+        return self._at(time, "partition heals", self.cluster.heal_partition)
+
+    def cancel_all(self) -> None:
+        for timer in self._timers:
+            timer.cancel()
+        self._timers.clear()

@@ -1,0 +1,103 @@
+"""Topology profiles: shaping the cluster's link matrix.
+
+The paper's setting is a wide-area deployment: many nodes, links of
+"widely different and dynamically changing transfer rates".  These
+helpers configure the simulated network into the standard shapes the
+experiments use — uniform meshes, hub-and-spoke stars, and multi-site
+WANs with fast LANs inside each site and slow links between sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.cluster import Cluster
+from repro.errors import ConfigurationError
+
+
+def configure_uniform(
+    cluster: Cluster, *, bandwidth: float, latency: float
+) -> None:
+    """Give every pair of Cores the same link characteristics."""
+    names = cluster.core_names()
+    for i, a in enumerate(names):
+        for b in names[i + 1:]:
+            cluster.set_link(a, b, bandwidth=bandwidth, latency=latency)
+
+
+def configure_star(
+    cluster: Cluster,
+    hub: str,
+    *,
+    hub_bandwidth: float = 10_000_000.0,
+    hub_latency: float = 0.005,
+    spoke_bandwidth: float = 500_000.0,
+    spoke_latency: float = 0.05,
+) -> None:
+    """Hub-and-spoke: fast links to the hub, slow links between spokes."""
+    names = cluster.core_names()
+    if hub not in names:
+        raise ConfigurationError(f"hub {hub!r} is not a Core of the cluster")
+    for i, a in enumerate(names):
+        for b in names[i + 1:]:
+            if hub in (a, b):
+                cluster.set_link(a, b, bandwidth=hub_bandwidth, latency=hub_latency)
+            else:
+                cluster.set_link(a, b, bandwidth=spoke_bandwidth, latency=spoke_latency)
+
+
+@dataclass(slots=True)
+class WanProfile:
+    """Resulting site map of :func:`configure_wan`."""
+
+    sites: dict[str, list[str]]
+    lan_bandwidth: float
+    lan_latency: float
+    wan_bandwidth: float
+    wan_latency: float
+
+    def site_of(self, core: str) -> str:
+        for site, members in self.sites.items():
+            if core in members:
+                return site
+        raise ConfigurationError(f"core {core!r} belongs to no site")
+
+
+def configure_wan(
+    cluster: Cluster,
+    sites: dict[str, list[str]],
+    *,
+    lan_bandwidth: float = 100_000_000.0,
+    lan_latency: float = 0.0005,
+    wan_bandwidth: float = 250_000.0,
+    wan_latency: float = 0.08,
+) -> WanProfile:
+    """Multi-site WAN: fast intra-site links, slow inter-site links.
+
+    ``sites`` maps a site name to the Cores located there.  Every Core
+    of the cluster must belong to exactly one site.
+    """
+    members: dict[str, str] = {}
+    for site, cores in sites.items():
+        for core in cores:
+            if core in members:
+                raise ConfigurationError(f"core {core!r} assigned to two sites")
+            members[core] = site
+    for name in cluster.core_names():
+        if name not in members:
+            raise ConfigurationError(f"core {name!r} assigned to no site")
+
+    names = cluster.core_names()
+    for i, a in enumerate(names):
+        for b in names[i + 1:]:
+            if members[a] == members[b]:
+                cluster.set_link(a, b, bandwidth=lan_bandwidth, latency=lan_latency)
+            else:
+                cluster.set_link(a, b, bandwidth=wan_bandwidth, latency=wan_latency)
+    return WanProfile(
+        sites={site: list(cores) for site, cores in sites.items()},
+        lan_bandwidth=lan_bandwidth,
+        lan_latency=lan_latency,
+        wan_bandwidth=wan_bandwidth,
+        wan_latency=wan_latency,
+    )

@@ -1,0 +1,163 @@
+"""Reusable workload complets for examples, tests, and benchmarks.
+
+These anchors model the interaction patterns the paper's motivation
+describes: chatty client/server pairs whose affinity changes over time,
+a bulky read-mostly data source that benefits from ``duplicate``
+references, pipelines of processing stages, and site-bound device
+complets (printers) for ``stamp`` references.  All classes live at
+module level so they are importable — and therefore marshalable — on
+every Core.
+"""
+
+from __future__ import annotations
+
+from repro.complet.anchor import Anchor
+from repro.complet.stub import compile_complet
+
+
+class Echo_(Anchor):
+    """Minimal complet: returns what it is told (invocation plumbing tests)."""
+
+    def __init__(self, tag: str = "echo") -> None:
+        self.tag = tag
+        self.calls = 0
+
+    def echo(self, value):
+        """Return ``value`` unchanged (after by-value marshaling)."""
+        self.calls += 1
+        return value
+
+    def ping(self) -> str:
+        self.calls += 1
+        return self.tag
+
+
+class Counter_(Anchor):
+    """Stateful complet: increments survive migration."""
+
+    def __init__(self, start: int = 0) -> None:
+        self.value = start
+
+    def increment(self, by: int = 1) -> int:
+        self.value += by
+        return self.value
+
+    def read(self) -> int:
+        return self.value
+
+
+class Server_(Anchor):
+    """A compute service answering requests of configurable reply size."""
+
+    def __init__(self, reply_size: int = 256) -> None:
+        self.reply_size = reply_size
+        self.requests_served = 0
+
+    def handle(self, request: bytes) -> bytes:
+        """Serve one request; the reply payload models the response body."""
+        self.requests_served += 1
+        return bytes(self.reply_size)
+
+
+class Client_(Anchor):
+    """A client holding a complet reference to a :class:`Server_`.
+
+    ``run(n)`` issues ``n`` requests through the reference; the Core's
+    application profiling observes the resulting invocation rate.
+    """
+
+    def __init__(self, server, request_size: int = 256) -> None:
+        self.server = server
+        self.request_size = request_size
+        self.requests_sent = 0
+
+    def run(self, count: int = 1) -> int:
+        payload = bytes(self.request_size)
+        for _ in range(count):
+            self.server.handle(payload)
+            self.requests_sent += 1
+        return self.requests_sent
+
+
+class DataSource_(Anchor):
+    """A bulky, read-mostly data holder (the ``duplicate`` use case)."""
+
+    def __init__(self, size: int = 64_000, seed: int = 7) -> None:
+        self.blob = bytes((seed + i) % 251 for i in range(size))
+        self.reads = 0
+
+    def read(self, offset: int = 0, length: int = 1_024) -> bytes:
+        self.reads += 1
+        return self.blob[offset:offset + length]
+
+    def checksum(self) -> int:
+        self.reads += 1
+        return sum(self.blob) % 65_521
+
+
+class Worker_(Anchor):
+    """A worker reading from a :class:`DataSource_` through a reference."""
+
+    def __init__(self, source, chunk: int = 1_024) -> None:
+        self.source = source
+        self.chunk = chunk
+        self.processed = 0
+
+    def work(self, rounds: int = 1) -> int:
+        for i in range(rounds):
+            data = self.source.read(offset=(i * self.chunk) % 4_096, length=self.chunk)
+            self.processed += len(data)
+        return self.processed
+
+
+class Stage_(Anchor):
+    """One stage of a processing pipeline, forwarding to the next stage."""
+
+    def __init__(self, successor=None, cost_bytes: int = 128) -> None:
+        self.successor = successor
+        self.cost_bytes = cost_bytes
+        self.handled = 0
+
+    def process(self, item: bytes) -> bytes:
+        self.handled += 1
+        enriched = item + bytes(self.cost_bytes)
+        if self.successor is not None:
+            return self.successor.process(enriched)
+        return enriched
+
+
+class Printer_(Anchor):
+    """A site-bound device complet (the paper's ``stamp`` example)."""
+
+    def __init__(self, site: str = "unknown") -> None:
+        self.site = site
+        self.printed: list[str] = []
+
+    def print_document(self, text: str) -> str:
+        self.printed.append(text)
+        return f"printed at {self.site}: {text}"
+
+    def location(self) -> str:
+        return self.site
+
+
+class Desktop_(Anchor):
+    """A mobile desktop holding a ``stamp`` reference to a printer."""
+
+    def __init__(self, printer) -> None:
+        self.printer = printer
+
+    def print_report(self, text: str) -> str:
+        return self.printer.print_document(text)
+
+
+# Pre-compiled stub classes, importable from anywhere.
+Echo = compile_complet(Echo_)
+Counter = compile_complet(Counter_)
+Server = compile_complet(Server_)
+Client = compile_complet(Client_)
+DataSource = compile_complet(DataSource_)
+Worker = compile_complet(Worker_)
+Stage = compile_complet(Stage_)
+Printer = compile_complet(Printer_)
+Desktop = compile_complet(Desktop_)

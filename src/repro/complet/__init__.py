@@ -1,0 +1,35 @@
+"""The complet programming model: anchors, stubs, trackers, relocators.
+
+A *complet* is FarGo's unit of composition and of relocation: a closure
+of objects reached from a distinguished interface object, the *anchor*.
+All inter-complet references go through compiler-generated *stubs*; each
+stub delegates to the Core-local *tracker* for its target, and carries a
+*meta reference* that reifies the reference's relocation semantics as a
+pluggable :class:`~repro.complet.relocators.Relocator` (``link``,
+``pull``, ``duplicate``, ``stamp``, or user-defined).
+"""
+
+from repro.complet.anchor import Anchor
+from repro.complet.relocators import Duplicate, Link, Pull, Relocator, Stamp
+from repro.complet.metaref import MetaRef
+from repro.complet.stub import Stub, compile_complet
+from repro.complet.tracker import Tracker, TrackerAddress
+from repro.complet.closure import ClosureInfo, compute_closure
+from repro.complet.continuation import Continuation
+
+__all__ = [
+    "Anchor",
+    "Relocator",
+    "Link",
+    "Pull",
+    "Duplicate",
+    "Stamp",
+    "MetaRef",
+    "Stub",
+    "compile_complet",
+    "Tracker",
+    "TrackerAddress",
+    "ClosureInfo",
+    "compute_closure",
+    "Continuation",
+]

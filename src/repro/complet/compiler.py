@@ -1,0 +1,114 @@
+"""The FarGo Compiler as a command-line tool.
+
+§5 lists "the compiler that generates complet stubs and trackers" among
+FarGo's programming tools.  At runtime this reproduction compiles stubs
+on demand (:func:`~repro.complet.stub.compile_complet`); this module is
+the offline face of the same compiler: point it at a Python module and
+it finds every anchor class, compiles its stub, and reports the complet
+interfaces — the build-time check a FarGo developer would run::
+
+    $ python -m repro.complet.compiler myapp.complets
+    complet Message (from Message_)
+      methods:
+        print_message(self) -> str
+    2 complets compiled, 0 errors
+
+Exit status is non-zero when any anchor class fails to compile, so it
+slots into a build pipeline.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import sys
+
+from repro.complet.anchor import Anchor, anchor_type_name
+from repro.complet.stub import compile_complet
+from repro.errors import FarGoError
+from repro.util.introspect import public_methods
+
+
+def find_anchor_classes(module) -> list[type[Anchor]]:
+    """Anchor subclasses *defined in* ``module`` (imports excluded)."""
+    found = []
+    for _name, obj in inspect.getmembers(module, inspect.isclass):
+        if (
+            issubclass(obj, Anchor)
+            and obj is not Anchor
+            and obj.__module__ == module.__name__
+        ):
+            found.append(obj)
+    found.sort(key=lambda cls: cls.__name__)
+    return found
+
+
+def describe_complet(anchor_cls: type[Anchor]) -> str:
+    """Human-readable interface report for one compiled complet."""
+    stub_cls = compile_complet(anchor_cls)
+    lines = [f"complet {stub_cls.__name__} (from {anchor_cls.__name__})"]
+    lines.append("  methods:")
+    method_names = sorted(name for name, _fn in public_methods(anchor_cls, stop_at=Anchor))
+    if not method_names:
+        lines.append("    (none)")
+    for name in method_names:
+        func = getattr(anchor_cls, name)
+        try:
+            signature = str(inspect.signature(func))
+        except (TypeError, ValueError):  # pragma: no cover - builtins
+            signature = "(...)"
+        lines.append(f"    {name}{signature}")
+    properties = sorted(
+        name
+        for klass in anchor_cls.__mro__
+        if klass not in (object, Anchor) and issubclass(klass, Anchor)
+        for name, member in vars(klass).items()
+        if isinstance(member, property) and not name.startswith("_")
+    )
+    if properties:
+        lines.append("  properties:")
+        for name in properties:
+            lines.append(f"    {name}")
+    return "\n".join(lines)
+
+
+def compile_module(module_name: str, *, out=None) -> int:
+    """Compile every anchor in ``module_name``; returns the error count."""
+    if out is None:
+        out = sys.stdout  # resolved at call time so redirection works
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as exc:
+        print(f"error: cannot import {module_name!r}: {exc}", file=out)
+        return 1
+    anchors = find_anchor_classes(module)
+    if not anchors:
+        print(f"no anchor classes found in {module_name!r}", file=out)
+        return 0
+    errors = 0
+    compiled = 0
+    for anchor_cls in anchors:
+        try:
+            print(describe_complet(anchor_cls), file=out)
+            compiled += 1
+        except FarGoError as exc:
+            print(f"error: {anchor_cls.__name__}: {exc}", file=out)
+            errors += 1
+        print(file=out)
+    print(f"{compiled} complets compiled, {errors} errors", file=out)
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args:
+        print("usage: python -m repro.complet.compiler <module> [<module> ...]")
+        return 2
+    total_errors = 0
+    for module_name in args:
+        total_errors += compile_module(module_name)
+    return 1 if total_errors else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry point
+    raise SystemExit(main())

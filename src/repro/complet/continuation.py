@@ -1,0 +1,36 @@
+"""Continuations: resuming computation after a weak-mobility move (§3.3).
+
+FarGo moves object state only (weak mobility) — the stack and program
+counter stay behind.  To let a computation continue at the destination,
+a move may carry a :class:`Continuation`: the name of a method of the
+moved complet's anchor plus its arguments.  The receiving Core invokes
+it once the complet is fully installed (after ``post_arrival``).  The
+arguments travel in the same marshaled stream as the complet, so they
+obey the usual parameter-passing semantics (complet references survive,
+everything else is copied).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ContinuationError
+
+
+@dataclass(slots=True)
+class Continuation:
+    """A ``(method, arguments)`` pair invoked at the destination Core."""
+
+    method: str
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+
+    def resolve(self, anchor: object):
+        """Return the bound method on ``anchor``, validating it exists."""
+        func = getattr(anchor, self.method, None)
+        if func is None or not callable(func):
+            raise ContinuationError(
+                f"moved complet {type(anchor).__name__} has no continuation "
+                f"method {self.method!r}"
+            )
+        return func

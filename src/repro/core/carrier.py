@@ -1,0 +1,48 @@
+"""The Carrier: the paper's movement entry point.
+
+Figure 3 / §3.3 move complets through a static ``Carrier.move`` call::
+
+    Carrier.move(msg, "acadia", "start", (a1, a2))
+
+The Carrier resolves which Core should act — the stub's Core, or the
+Core currently executing complet code when an anchor moves itself — so
+complet code never needs to hold an explicit Core reference to move.
+"""
+
+from __future__ import annotations
+
+from repro.complet.anchor import Anchor, current_core
+from repro.complet.stub import Stub
+from repro.errors import CompletError
+from repro.util.ids import CompletId
+
+
+class Carrier:
+    """Static facade for movement requests."""
+
+    @staticmethod
+    def move(
+        target: Stub | Anchor | CompletId,
+        destination: str,
+        continuation: str | None = None,
+        args: tuple = (),
+        kwargs: dict | None = None,
+    ) -> None:
+        """Move ``target`` to Core ``destination``.
+
+        ``continuation`` names a method of the moved complet's anchor to
+        invoke at the destination with ``args``/``kwargs`` — the weak-
+        mobility continuation of §3.3.  A complet moves *itself* by
+        passing its own anchor (``Carrier.move(self, ...)``).
+        """
+        core = None
+        if isinstance(target, Stub):
+            core = target._fargo_core
+        if core is None:
+            core = current_core()
+        if core is None:
+            raise CompletError(
+                "Carrier.move: no Core in context; move a stub or call from "
+                "within complet code"
+            )
+        core.move(target, destination, continuation, args, kwargs)

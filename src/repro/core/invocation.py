@@ -1,0 +1,139 @@
+"""The Invocation unit: method calls over complet references (§3.1).
+
+Every call issued through a stub passes through here.  Arguments and
+results are marshaled by value (complet references by reference,
+degraded to ``link``) — *also when the target happens to be colocated*,
+because complets are always mutually remote with respect to parameter
+passing.  Remote calls are forwarded along the tracker chain; the reply
+carries the address of the tracker colocated with the target, and every
+tracker on the chain re-points directly at it on the way back — the
+paper's chain shortening.
+"""
+
+from __future__ import annotations
+
+import pickle
+from inspect import getattr_static
+from typing import TYPE_CHECKING
+
+from repro.complet.anchor import current_complet, execution_context
+from repro.complet.marshal import InvocationMarshaler
+from repro.complet.stub import Stub
+from repro.complet.tracker import Tracker, TrackerAddress
+from repro.errors import CoreError, DanglingReferenceError, NoSuchMethodError
+from repro.net.messages import MessageKind
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.core import Core
+
+
+class InvocationUnit:
+    """One Core's invocation engine."""
+
+    def __init__(self, core: "Core") -> None:
+        self.core = core
+        self.marshaler = InvocationMarshaler(core)
+        core.peer.register_raw(MessageKind.INVOKE, self._handle_invoke)
+        #: Invocations executed on this Core (targets hosted here).
+        self.executed = 0
+        #: Invocations this Core forwarded along a tracker chain.
+        self.forwarded = 0
+
+    # -- caller side ----------------------------------------------------------------
+
+    def invoke_stub(self, stub: Stub, method: str, args: tuple, kwargs: dict) -> object:
+        tracker = stub._fargo_tracker
+        source = current_complet()
+        request = self.marshaler.dumps((method, args, kwargs))
+        self.core.profiler.note_invocation(source, tracker.target_id, len(request))
+        result_bytes, final = self._route(tracker, request)
+        self.core.profiler.note_result_bytes(
+            source, tracker.target_id, len(result_bytes)
+        )
+        stub._fargo_meta.record_invocation(len(request) + len(result_bytes))
+        return self.marshaler.loads(result_bytes)
+
+    # -- routing ----------------------------------------------------------------------
+
+    def _route(self, tracker: Tracker, request: bytes) -> tuple[bytes, TrackerAddress]:
+        """Deliver ``request`` to the target, however many hops away.
+
+        Returns the marshaled result together with the address of the
+        tracker colocated with the target, which callers use to shorten.
+        """
+        if tracker.is_local:
+            return self._execute(tracker, request), tracker.address
+        if tracker.next_hop is None:
+            raise DanglingReferenceError(
+                f"reference to {tracker.target_id} dangles: target was destroyed"
+            )
+        try:
+            reply = self._forward(tracker.next_hop, request)
+        except CoreError:
+            # A hop on the chain is gone.  With the location registry
+            # (the paper's future-work naming scheme) the reference can
+            # recover: ask the target's home Core and go direct.
+            recovered = self._recover_route(tracker)
+            if recovered is None:
+                raise
+            reply = self._forward(recovered, request)
+        result_bytes, final = pickle.loads(reply)
+        self.core.references.shorten(tracker, final)
+        return result_bytes, final
+
+    def _forward(self, address: TrackerAddress, request: bytes) -> bytes:
+        frame = pickle.dumps((address.serial, request))
+        return self.core.peer.request_raw(address.core, MessageKind.INVOKE, frame)
+
+    def _recover_route(self, tracker: Tracker) -> TrackerAddress | None:
+        if not self.core.use_location_registry:
+            return None
+        registered = self.core.locator.resolve(tracker.target_id)
+        if registered is None or registered == tracker.next_hop:
+            return None
+        self.core.references.shorten(tracker, registered)
+        return registered
+
+    def _handle_invoke(self, src: str, raw: bytes) -> bytes:
+        serial, request = pickle.loads(raw)
+        tracker = self.core.repository.tracker_by_serial(serial)
+        if tracker is None:
+            raise DanglingReferenceError(
+                f"Core {self.core.name!r} has no tracker #{serial}; target destroyed"
+            )
+        if not tracker.is_local:
+            tracker.forwarded_invocations += 1
+            self.forwarded += 1
+        result_bytes, final = self._route(tracker, request)
+        return pickle.dumps((result_bytes, final))
+
+    # -- execution ---------------------------------------------------------------------
+
+    def _execute(self, tracker: Tracker, request: bytes) -> bytes:
+        anchor = tracker.local_anchor
+        assert anchor is not None
+        method, args, kwargs = self.marshaler.loads(request)  # type: ignore[misc]
+        self._check_invocable(type(anchor), method)
+        attribute = getattr_static(type(anchor), method)
+        with execution_context(self.core, anchor.complet_id):
+            if isinstance(attribute, property):
+                result = getattr(anchor, method)
+            else:
+                result = getattr(anchor, method)(*args, **kwargs)
+        tracker.served_invocations += 1
+        self.executed += 1
+        self.core.profiler.note_served(anchor.complet_id)
+        return self.marshaler.dumps(result)
+
+    @staticmethod
+    def _check_invocable(anchor_cls: type, method: str) -> None:
+        if method.startswith("_"):
+            raise NoSuchMethodError(
+                f"{anchor_cls.__name__}.{method} is not part of the complet interface"
+            )
+        try:
+            getattr_static(anchor_cls, method)
+        except AttributeError:
+            raise NoSuchMethodError(
+                f"{anchor_cls.__name__} has no method {method!r}"
+            ) from None

@@ -1,0 +1,118 @@
+"""The location registry: the paper's future-work naming scheme, built.
+
+§7: "We intend to design a global location-independent naming scheme,
+which will present an alternative to tracking complet objects using
+chains."  This module is that alternative: every complet's *birth Core*
+(encoded in its immutable :class:`~repro.util.ids.CompletId`) acts as
+its home registrar.  Whenever the complet arrives somewhere, the
+receiving Core posts one LOCATION_UPDATE to the home; anyone holding a
+reference can then resolve the current location with a single
+LOCATION_QUERY instead of walking a tracker chain.
+
+Trade-offs versus chains (measured in ``benchmarks/bench_tracking_modes.py``):
+
+- resolution is O(1) messages regardless of migration history;
+- references survive the death of *intermediate* Cores on the migration
+  path (a chain breaks there), at the price of depending on the home
+  Core's availability — so the runtime keeps chains as the fallback and
+  uses the registry opportunistically;
+- every move costs one extra (one-way, best-effort) update message.
+
+Enable per Core with ``use_location_registry=True`` (the cluster harness
+forwards the flag to every Core it creates).
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import TYPE_CHECKING
+
+from repro.complet.tracker import TrackerAddress
+from repro.errors import CoreError
+from repro.net.messages import MessageKind
+from repro.util.ids import CompletId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.core import Core
+
+logger = logging.getLogger(__name__)
+
+
+class LocationRegistry:
+    """One Core's slice of the global location registry.
+
+    Every Core *serves* registry traffic for the complets born on it,
+    whether or not it uses the registry to resolve its own references —
+    homes cannot predict where their offspring's references live.
+    """
+
+    def __init__(self, core: "Core") -> None:
+        self.core = core
+        #: Authoritative locations of complets born on this Core.
+        self._locations: dict[CompletId, TrackerAddress] = {}
+        #: Updates served / queries answered (for the benchmarks).
+        self.updates_received = 0
+        self.queries_served = 0
+        core.peer.register(MessageKind.LOCATION_UPDATE, self._handle_update)
+        core.peer.register(MessageKind.LOCATION_QUERY, self._handle_query)
+
+    # -- publishing (receiving side of every move) ----------------------------
+
+    def publish(self, complet_id: CompletId, address: TrackerAddress) -> None:
+        """Record that ``complet_id`` now lives behind ``address``.
+
+        Called by the movement unit after installing an arrival; the
+        update to a remote home is one-way and best-effort — a missed
+        update only costs a fallback to chain walking later.
+        """
+        if complet_id.birth_core == self.core.name:
+            self._locations[complet_id] = address
+            self.updates_received += 1
+            return
+        try:
+            self.core.peer.notify(
+                complet_id.birth_core,
+                MessageKind.LOCATION_UPDATE,
+                (complet_id, address),
+            )
+        except CoreError:
+            logger.debug(
+                "location update for %s dropped (home %s unreachable)",
+                complet_id,
+                complet_id.birth_core,
+            )
+
+    # -- resolution --------------------------------------------------------------
+
+    def resolve(self, complet_id: CompletId) -> TrackerAddress | None:
+        """Current address of ``complet_id`` per its home, or None.
+
+        None means the home is unreachable or has no record (the complet
+        never moved, or updates were lost) — callers fall back to the
+        tracker chain.
+        """
+        if complet_id.birth_core == self.core.name:
+            return self._locations.get(complet_id)
+        try:
+            answer = self.core.peer.request(
+                complet_id.birth_core, MessageKind.LOCATION_QUERY, complet_id
+            )
+        except CoreError:
+            return None
+        assert answer is None or isinstance(answer, TrackerAddress)
+        return answer
+
+    def known_count(self) -> int:
+        return len(self._locations)
+
+    # -- message handlers -------------------------------------------------------------
+
+    def _handle_update(self, src: str, body: object) -> None:
+        complet_id, address = body  # type: ignore[misc]
+        self._locations[complet_id] = address
+        self.updates_received += 1
+
+    def _handle_query(self, src: str, complet_id: object) -> TrackerAddress | None:
+        assert isinstance(complet_id, CompletId)
+        self.queries_served += 1
+        return self._locations.get(complet_id)

@@ -1,0 +1,288 @@
+"""The Movement unit: the mobility protocol of §3.3.
+
+A move request resolves its target (following tracker chains to the
+hosting Core if needed), plans the movement group by consulting the
+relocators of every outgoing reference, runs the ``pre_departure``
+callbacks, marshals the whole group into a *single* MOVE_COMPLET
+message, and — once the receiving Core replies with the new tracker
+addresses — re-points the local trackers, runs ``post_departure``, and
+releases the complets.  Pull targets living on third Cores get follow-up
+move requests to the same destination.
+
+The receiving side pre-registers the sender's trackers as remote
+pointers, installs the arrivals between their ``pre_arrival`` and
+``post_arrival`` callbacks, fires ``completArrived`` events, and invokes
+the continuation, if one travelled along.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.complet.anchor import Anchor, execution_context
+from repro.complet.continuation import Continuation
+from repro.complet.marshal import (
+    CloneEntry,
+    MovementMarshaler,
+    MovementPayload,
+    MovementPlan,
+    MovementUnmarshaler,
+)
+from repro.complet.stub import Stub
+from repro.errors import CompletError, MovementDeniedError
+from repro.net.messages import MessageKind
+from repro.net.serializer import PLAIN
+from repro.util.ids import CompletId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.core import Core
+
+
+class MovementUnit:
+    """One Core's complet-migration engine."""
+
+    def __init__(self, core: "Core") -> None:
+        self.core = core
+        core.peer.register_raw(MessageKind.MOVE_COMPLET, self._handle_move_complet)
+        core.peer.register(MessageKind.MOVE_REQUEST, self._handle_move_request)
+        core.peer.register(MessageKind.CLONE_REQUEST, self._handle_clone_request)
+        #: Group moves sent / received by this Core (for the benchmarks).
+        self.moves_sent = 0
+        self.moves_received = 0
+
+    # -- public entry point -----------------------------------------------------------
+
+    def move(
+        self,
+        target: Stub | Anchor | CompletId,
+        destination: str,
+        continuation: Continuation | None = None,
+    ) -> None:
+        """Move ``target``'s complet (and whatever its references drag along).
+
+        ``target`` may be a stub, the anchor itself (self-movement), or a
+        complet id.  If the complet is not hosted here, the request is
+        forwarded to its current host, so any Core can initiate any move.
+        """
+        anchor = self._resolve_local(target)
+        if anchor is None:
+            self._forward_request(target, destination, continuation)
+            return
+        if destination == self.core.name:
+            return  # already in place; a move would be a no-op
+        self._move_local(anchor, destination, continuation)
+
+    def _resolve_local(self, target: Stub | Anchor | CompletId) -> Anchor | None:
+        if isinstance(target, Stub):
+            tracker = target._fargo_tracker
+            return tracker.local_anchor
+        if isinstance(target, Anchor):
+            if not target.is_installed or not self.core.repository.hosts(
+                target.complet_id
+            ):
+                raise MovementDeniedError(
+                    f"anchor {target!r} is not hosted at Core {self.core.name!r}"
+                )
+            return target
+        if isinstance(target, CompletId):
+            return self.core.repository.get(target)
+        raise CompletError(f"cannot move {target!r}: not a complet reference")
+
+    # -- sending side ------------------------------------------------------------------
+
+    def _move_local(
+        self, anchor: Anchor, destination: str, continuation: Continuation | None
+    ) -> None:
+        plan = MovementPlan(self.core, anchor)
+        for mover in plan.movers.values():
+            with execution_context(self.core, mover.complet_id):
+                mover.pre_departure(destination)
+        payload = MovementMarshaler(self.core, plan).payload(continuation)
+
+        raw_reply = self.core.peer.request_raw(
+            destination, MessageKind.MOVE_COMPLET, PLAIN.dumps(payload)
+        )
+        addresses: dict[CompletId, object] = PLAIN.loads(raw_reply)  # type: ignore[assignment]
+        self.moves_sent += 1
+
+        for complet_id, mover in plan.movers.items():
+            tracker = self.core.repository.existing_tracker(complet_id)
+            assert tracker is not None
+            tracker.point_to(addresses[complet_id])  # type: ignore[arg-type]
+            with execution_context(self.core, complet_id):
+                mover.post_departure()
+            self.core.repository.release(complet_id)
+            self.core.events.publish(
+                "completDeparted",
+                complet=str(complet_id),
+                type=complet_id.type_name,
+                destination=destination,
+            )
+        for stub in plan.remote_pulls:
+            self._forward_request(stub, destination, None)
+
+    def _forward_request(
+        self,
+        target: Stub | Anchor | CompletId,
+        destination: str,
+        continuation: Continuation | None,
+    ) -> None:
+        if isinstance(target, Stub):
+            target_id = target._fargo_target_id
+            host = self.core.references.locate(target._fargo_tracker)
+        elif isinstance(target, CompletId):
+            tracker = self.core.repository.existing_tracker(target)
+            if tracker is None:
+                raise CompletError(
+                    f"Core {self.core.name!r} holds no reference to {target}"
+                )
+            target_id = target
+            host = self.core.references.locate(tracker)
+        else:
+            raise CompletError(f"cannot forward a move of {target!r}")
+        if host == destination:
+            return  # the complet is already at the requested destination
+        self.core.peer.request(
+            host, MessageKind.MOVE_REQUEST, self._request_body(target_id, destination, continuation)
+        )
+
+    def _request_body(
+        self, target_id: CompletId, destination: str, continuation: Continuation | None
+    ) -> tuple:
+        """Encode a forwarded move request.
+
+        Continuation arguments may contain complet references, so they are
+        marshaled with the invocation marshaler rather than pickled raw.
+        """
+        if continuation is None:
+            return (target_id, destination, None, None)
+        args_bytes = self.core.invocation.marshaler.dumps(
+            (continuation.args, continuation.kwargs)
+        )
+        return (target_id, destination, continuation.method, args_bytes)
+
+    # -- receiving side ------------------------------------------------------------------
+
+    def _handle_move_complet(self, src: str, raw: bytes) -> bytes:
+        payload = PLAIN.loads(raw)
+        assert isinstance(payload, MovementPayload)
+        result = MovementUnmarshaler(self.core, payload).load()
+        arrivals: list[Anchor] = list(result.movers.values()) + result.clones
+
+        for anchor in arrivals:
+            with execution_context(self.core, anchor._complet_id):
+                anchor.pre_arrival()
+
+        addresses: dict[CompletId, object] = {}
+        for anchor in arrivals:
+            # If this Core already tracked the arriving complet through a
+            # chain, it stops forwarding now — tell the old pointee so its
+            # remote-pointer set (and hence tracker GC) stays accurate.
+            stale = self.core.repository.existing_tracker(anchor.complet_id)
+            if stale is not None and stale.next_hop is not None:
+                self.core.references.unregister_remote_pointer(
+                    stale.next_hop, stale.address
+                )
+            tracker = self.core.repository.adopt(anchor)
+            addresses[anchor.complet_id] = tracker.address
+        for member in payload.members:
+            if member.source_tracker is not None:
+                tracker = self.core.repository.tracker_for(
+                    member.complet_id, member.anchor_ref
+                )
+                self.core.references.register_pointer(tracker, member.source_tracker)
+        if self.core.use_location_registry:
+            for complet_id, address in addresses.items():
+                self.core.locator.publish(complet_id, address)  # type: ignore[arg-type]
+
+        for anchor in arrivals:
+            with execution_context(self.core, anchor.complet_id):
+                anchor.post_arrival()
+            self.core.events.publish(
+                "completArrived",
+                complet=str(anchor.complet_id),
+                type=anchor.complet_id.type_name,
+                source=payload.source_core,
+            )
+        self.moves_received += 1
+
+        if result.continuation is not None and result.movers:
+            root = next(iter(result.movers.values()))
+            # Resolve eagerly so a bad continuation still aborts the move,
+            # but *run* it deferred: the paper starts a fresh thread for
+            # post-arrival work, so the continuation must not execute
+            # inside the movement protocol itself (a continuation that
+            # moves the complet again — an agent itinerary — would find
+            # the protocol still holding the previous copy).
+            method = result.continuation.resolve(root)
+            continuation = result.continuation
+            self.core.scheduler.call_after(
+                0.0, self._run_continuation, root, method, continuation
+            )
+
+        return PLAIN.dumps(addresses)
+
+    def _run_continuation(self, root: Anchor, method, continuation: Continuation) -> None:
+        import logging
+
+        if not self.core.repository.hosts(root.complet_id):
+            return  # the complet moved on before the continuation fired
+        try:
+            with execution_context(self.core, root.complet_id):
+                method(*continuation.args, **continuation.kwargs)
+        except Exception:  # noqa: BLE001 - continuations run detached
+            logging.getLogger(__name__).warning(
+                "continuation %s of %s failed", continuation.method,
+                root.complet_id, exc_info=True,
+            )
+
+    def _handle_move_request(self, src: str, body: object):
+        target_id, destination, method, args_bytes = body  # type: ignore[misc]
+        continuation: Continuation | None = None
+        if method is not None:
+            args, kwargs = self.core.invocation.marshaler.loads(args_bytes)  # type: ignore[misc]
+            continuation = Continuation(method, args, kwargs)
+        anchor = self.core.repository.get(target_id)
+        if anchor is not None:
+            if destination != self.core.name:
+                self._move_local(anchor, destination, continuation)
+            return None
+        # The complet moved on; chase it via our tracker if we have one.
+        tracker = self.core.repository.existing_tracker(target_id)
+        if tracker is None:
+            raise CompletError(
+                f"Core {self.core.name!r} does not host (or track) {target_id}"
+            )
+        host = self.core.references.locate(tracker)
+        if host == destination:
+            return None
+        self.core.peer.request(
+            host,
+            MessageKind.MOVE_REQUEST,
+            self._request_body(target_id, destination, continuation),
+        )
+        return None
+
+    # -- remote duplicates -------------------------------------------------------------------
+
+    def fetch_remote_clone(self, stub: Stub) -> CloneEntry:
+        """Ask the Core hosting ``stub``'s target for a marshaled copy."""
+        host = self.core.references.locate(stub._fargo_tracker)
+        entry = self.core.peer.request(
+            host, MessageKind.CLONE_REQUEST, stub._fargo_target_id
+        )
+        assert isinstance(entry, CloneEntry)
+        return entry
+
+    def _handle_clone_request(self, src: str, target_id: object) -> CloneEntry:
+        assert isinstance(target_id, CompletId)
+        anchor = self.core.repository.get(target_id)
+        if anchor is None:
+            raise CompletError(
+                f"complet {target_id} is not hosted at {self.core.name!r} "
+                "(it may have moved); retry after re-locating"
+            )
+        from repro.complet.marshal import marshal_clone
+
+        clone_id = self.core.repository.new_complet_id(anchor)
+        return marshal_clone(self.core, anchor, clone_id)

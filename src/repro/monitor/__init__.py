@@ -1,0 +1,23 @@
+"""Monitoring support for relocation (§4): profiling and monitor events.
+
+The :class:`~repro.monitor.profiler.Profiler` provides the paper's two
+kinds of profiling — *system* (completLoad, bandwidth, latency, ...) and
+*application* (invocationRate along complet references) — each through
+both an *instant* interface (cached, so successive reads don't
+re-evaluate) and a *continuous* interface (start/get/stop with a
+sampling interval and an exponential average).  The
+:class:`~repro.monitor.events.MonitorEventEngine` turns profiled values
+into asynchronous threshold events: one measurement per service, any
+number of listeners filtering by their own thresholds.
+"""
+
+from repro.monitor.profiler import ContinuousProfile, Profiler, ServiceDef
+from repro.monitor.events import MonitorEventEngine, WatchSpec
+
+__all__ = [
+    "Profiler",
+    "ServiceDef",
+    "ContinuousProfile",
+    "MonitorEventEngine",
+    "WatchSpec",
+]

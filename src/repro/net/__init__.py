@@ -1,0 +1,34 @@
+"""Network substrate: the layer below the Core's Peer Interface.
+
+The paper implements Core-to-Core communication on Java RMI over real
+sockets.  Here the same roles are played by:
+
+- :mod:`repro.net.simnet` — a simulated network of named nodes connected
+  by links with configurable bandwidth and latency (mutable at runtime),
+  partitions, and full transfer accounting (messages, bytes, seconds).
+- :mod:`repro.net.serializer` — pickle-based serialization with
+  pluggable persistent-id hooks; *every* payload crossing a link is
+  serialized and deserialized, so no object identity ever leaks between
+  Cores (the isolation separate JVMs gave the original system).
+- :mod:`repro.net.rpc` — synchronous request/reply (the RMI analogue)
+  plus one-way posts, with by-value exception propagation.
+- :mod:`repro.net.peer` — the Peer Interface of Figure 1: the typed
+  facade Cores use to talk to each other.
+"""
+
+from repro.net.messages import Envelope, MessageKind
+from repro.net.serializer import Serializer
+from repro.net.simnet import Link, LinkStats, SimNetwork
+from repro.net.rpc import RpcEndpoint
+from repro.net.peer import PeerInterface
+
+__all__ = [
+    "Envelope",
+    "MessageKind",
+    "Serializer",
+    "Link",
+    "LinkStats",
+    "SimNetwork",
+    "RpcEndpoint",
+    "PeerInterface",
+]

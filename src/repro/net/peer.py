@@ -1,0 +1,81 @@
+"""The Peer Interface: the Core's port for low-level Core-to-Core traffic.
+
+This is the bottom box of Figure 1.  It wraps the RPC endpoint with
+object-level convenience calls, letting each interaction choose its own
+serializer — control traffic uses the plain serializer, while invocation
+and movement payloads are encoded by the complet-aware marshalers before
+they reach this layer.
+"""
+
+from __future__ import annotations
+
+from repro.net.messages import MessageKind
+from repro.net.rpc import RpcEndpoint, RpcHandler
+from repro.net.serializer import PLAIN, Serializer
+from repro.net.simnet import SimNetwork
+
+
+class PeerInterface:
+    """Typed facade over one Core's RPC endpoint."""
+
+    def __init__(self, core_name: str, network: SimNetwork) -> None:
+        self.core_name = core_name
+        self.network = network
+        self.endpoint = RpcEndpoint(core_name, network)
+
+    # -- outgoing -------------------------------------------------------------
+
+    def request(
+        self,
+        dst: str,
+        kind: MessageKind,
+        body: object,
+        *,
+        serializer: Serializer = PLAIN,
+        reply_serializer: Serializer | None = None,
+    ) -> object:
+        """Serialize ``body``, send it, and deserialize the reply.
+
+        ``serializer`` encodes the request; ``reply_serializer`` (default:
+        the same) decodes the reply.  Movement and invocation use
+        asymmetric pairs because tokens are resolved against different
+        Cores on each side.
+        """
+        payload = serializer.dumps(body)
+        reply = self.endpoint.call(dst, kind, payload)
+        decoder = reply_serializer if reply_serializer is not None else serializer
+        return decoder.loads(reply)
+
+    def request_raw(self, dst: str, kind: MessageKind, payload: bytes) -> bytes:
+        """Send pre-encoded bytes and return raw reply bytes."""
+        return self.endpoint.call(dst, kind, payload)
+
+    def notify(
+        self,
+        dst: str,
+        kind: MessageKind,
+        body: object,
+        *,
+        serializer: Serializer = PLAIN,
+    ) -> None:
+        """One-way message (event notifications, shutdown broadcasts)."""
+        self.endpoint.post(dst, kind, serializer.dumps(body))
+
+    # -- incoming -------------------------------------------------------------
+
+    def register_raw(self, kind: MessageKind, handler: RpcHandler) -> None:
+        """Install a raw bytes-level handler (used by movement/invocation)."""
+        self.endpoint.register(kind, handler)
+
+    def register(self, kind: MessageKind, handler, *, serializer: Serializer = PLAIN) -> None:
+        """Install an object-level handler: ``handler(src, body) -> reply``."""
+
+        def raw_handler(src: str, payload: bytes) -> bytes:
+            body = serializer.loads(payload)
+            reply = handler(src, body)
+            return serializer.dumps(reply)
+
+        self.endpoint.register(kind, raw_handler)
+
+    def close(self) -> None:
+        self.endpoint.close()

@@ -1,0 +1,103 @@
+"""Synchronous request/reply over the simulated network (the RMI analogue).
+
+Each Core owns one :class:`RpcEndpoint`.  Handlers are registered per
+:class:`~repro.net.messages.MessageKind` and receive the raw payload
+bytes (the Core layer decides how each payload is serialized, because
+invocation and movement payloads need complet-aware hooks).  Exceptions
+raised by a handler are serialized into the reply frame and re-raised
+*by value* at the caller — the same semantics a remote exception has in
+RMI.
+"""
+
+from __future__ import annotations
+
+import pickle
+from collections.abc import Callable
+
+from repro.errors import RemoteInvocationError, TransportError
+from repro.net.messages import STATUS_ERROR, STATUS_OK, Envelope, MessageKind
+from repro.net.simnet import SimNetwork
+
+#: A handler consumes (source core name, payload bytes) and returns reply bytes.
+RpcHandler = Callable[[str, bytes], bytes]
+
+
+def _encode_frame(status: str, body: object) -> bytes:
+    return pickle.dumps((status, body), protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def _decode_frame(data: bytes) -> tuple[str, object]:
+    status, body = pickle.loads(data)
+    return status, body
+
+
+class RpcEndpoint:
+    """One node's request/reply port on the simulated network."""
+
+    def __init__(self, name: str, network: SimNetwork) -> None:
+        self.name = name
+        self.network = network
+        self._handlers: dict[MessageKind, RpcHandler] = {}
+        network.register(name, self._dispatch)
+
+    def register(self, kind: MessageKind, handler: RpcHandler) -> None:
+        """Install the handler for ``kind``; one handler per kind."""
+        if kind in self._handlers:
+            raise TransportError(f"{self.name!r} already handles {kind.value!r}")
+        self._handlers[kind] = handler
+
+    def call(self, dst: str, kind: MessageKind, payload: bytes) -> bytes:
+        """Send a request and return the reply payload.
+
+        Remote handler exceptions are re-raised here.  An exception that
+        cannot itself be serialized arrives as :class:`RemoteInvocationError`
+        carrying its repr.
+        """
+        envelope = Envelope(src=self.name, dst=dst, kind=kind, payload=payload)
+        frame = self.network.send(envelope)
+        status, body = _decode_frame(frame)
+        if status == STATUS_OK:
+            assert isinstance(body, bytes)
+            return body
+        if isinstance(body, BaseException):
+            raise body
+        raise RemoteInvocationError(f"remote error at {dst!r}: {body}")
+
+    def post(self, dst: str, kind: MessageKind, payload: bytes) -> None:
+        """Send a one-way message; the handler's reply (if any) is dropped."""
+        envelope = Envelope(src=self.name, dst=dst, kind=kind, payload=payload)
+        self.network.post(envelope)
+
+    def close(self) -> None:
+        """Detach from the network (no further traffic in or out)."""
+        self.network.deregister(self.name)
+
+    # -- receiving ------------------------------------------------------------
+
+    def _dispatch(self, envelope: Envelope) -> bytes:
+        handler = self._handlers.get(envelope.kind)
+        if handler is None:
+            error = TransportError(
+                f"node {self.name!r} has no handler for {envelope.kind.value!r}"
+            )
+            return _encode_frame(STATUS_ERROR, error)
+        try:
+            reply = handler(envelope.src, envelope.payload)
+        except BaseException as exc:  # noqa: BLE001 - crossing by value
+            return _encode_frame(STATUS_ERROR, _portable_exception(exc))
+        if not isinstance(reply, bytes):
+            error = TransportError(
+                f"handler for {envelope.kind.value!r} at {self.name!r} returned "
+                f"{type(reply).__name__}, expected bytes"
+            )
+            return _encode_frame(STATUS_ERROR, error)
+        return _encode_frame(STATUS_OK, reply)
+
+
+def _portable_exception(exc: BaseException) -> object:
+    """Return ``exc`` if it survives serialization, else its repr."""
+    try:
+        pickle.loads(pickle.dumps(exc, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:  # noqa: BLE001
+        return repr(exc)
+    return exc

@@ -1,0 +1,101 @@
+"""Pickle-based serialization with pluggable complet-aware hooks.
+
+The paper's mobility protocol rides on Java Serialization, intercepting
+the graph traversal whenever it reaches a complet reference and applying
+a per-reference-type routine (recurse for ``pull``, copy for
+``duplicate``, type-only for ``stamp``, token for ``link``).  The Python
+analogue is pickle's ``persistent_id`` / ``persistent_load`` pair: the
+:class:`Serializer` here accepts an *encode hook* called for every object
+the pickler visits (returning a token diverts the object out of the
+stream) and a *decode hook* that materializes tokens on the other side.
+The complet layer (:mod:`repro.complet.marshal`) supplies hooks bound to
+the operation in progress; plain control messages use no hooks.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+from collections.abc import Callable
+
+from repro.errors import FarGoError, SerializationError
+
+#: An encode hook maps an object to a token (any picklable value) or None
+#: to let pickle serialize the object normally.
+EncodeHook = Callable[[object], object | None]
+#: A decode hook maps a token back to a live object at the receiving side.
+DecodeHook = Callable[[object], object]
+
+
+class _HookedPickler(pickle.Pickler):
+    def __init__(self, buffer: io.BytesIO, encode_hook: EncodeHook | None) -> None:
+        super().__init__(buffer, protocol=pickle.HIGHEST_PROTOCOL)
+        self._encode_hook = encode_hook
+
+    def persistent_id(self, obj: object) -> object | None:  # noqa: D102
+        if self._encode_hook is None:
+            return None
+        return self._encode_hook(obj)
+
+
+class _HookedUnpickler(pickle.Unpickler):
+    def __init__(self, buffer: io.BytesIO, decode_hook: DecodeHook | None) -> None:
+        super().__init__(buffer)
+        self._decode_hook = decode_hook
+
+    def persistent_load(self, token: object) -> object:  # noqa: D102
+        if self._decode_hook is None:
+            raise SerializationError(
+                "stream contains persistent tokens but no decode hook was given"
+            )
+        return self._decode_hook(token)
+
+
+class Serializer:
+    """Serialize and deserialize payloads crossing a Core boundary.
+
+    A serializer without hooks is a plain (but still isolating) pickler;
+    supplying hooks turns it into the reference-aware marshaler the
+    movement and invocation units need.
+    """
+
+    def __init__(
+        self,
+        encode_hook: EncodeHook | None = None,
+        decode_hook: DecodeHook | None = None,
+    ) -> None:
+        self._encode_hook = encode_hook
+        self._decode_hook = decode_hook
+
+    def dumps(self, obj: object) -> bytes:
+        buffer = io.BytesIO()
+        try:
+            _HookedPickler(buffer, self._encode_hook).dump(obj)
+        except FarGoError:
+            raise  # hook errors (boundary violations, ...) keep their type
+        except Exception as exc:  # noqa: BLE001 - pickle raises many types
+            raise SerializationError(f"cannot serialize {type(obj).__name__}: {exc}") from exc
+        return buffer.getvalue()
+
+    def loads(self, data: bytes) -> object:
+        buffer = io.BytesIO(data)
+        try:
+            return _HookedUnpickler(buffer, self._decode_hook).load()
+        except FarGoError:
+            raise  # hook errors (stamp resolution, ...) keep their type
+        except Exception as exc:  # noqa: BLE001
+            raise SerializationError(f"cannot deserialize payload: {exc}") from exc
+
+    def roundtrip(self, obj: object) -> object:
+        """Deep-copy ``obj`` through the wire format.
+
+        Used for by-value parameter passing between *colocated* complets:
+        the paper requires complets to be "always considered remote to
+        each other with respect to parameter passing", so even a local
+        invocation copies its arguments exactly as the wire would.
+        """
+        return self.loads(self.dumps(obj))
+
+
+#: Hook-less serializer for control payloads.
+PLAIN = Serializer()

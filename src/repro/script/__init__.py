@@ -1,0 +1,31 @@
+"""The FarGo layout scripting language (§4.3).
+
+An event-driven rule language for administrators: a script is a set of
+variable bindings and ``on <event> ... do <actions> end`` rules.  The
+event part names a Core event (``shutdown``, ``completArrived``, ...)
+or a profiled quantity with a threshold (``methodInvokeRate(3)``); the
+action part moves complets (``move ... to ...``), retypes references,
+logs, or calls user-defined commands which are loaded automatically on
+first use.  Scripts are attached to a running cluster *after*
+deployment, decoupling layout policy from application code.
+
+The paper's example script runs verbatim::
+
+    $coreList = %1
+    $targetCore = %2
+    $comps = %3
+    on shutdown firedby $core
+      listenAt $coreList do
+        move completsIn $core to $targetCore
+    end
+    on methodInvokeRate(3)
+      from $comps[0] to $comps[1] do
+        move $comps[0] to coreOf $comps[1]
+    end
+"""
+
+from repro.script.lexer import Token, TokenKind, tokenize
+from repro.script.parser import parse
+from repro.script.interpreter import ScriptEngine
+
+__all__ = ["Token", "TokenKind", "tokenize", "parse", "ScriptEngine"]

@@ -1,0 +1,146 @@
+"""Abstract syntax tree of the layout scripting language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+# -- expressions -----------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Literal:
+    """A string or number literal (barewords parse as string literals)."""
+
+    value: object
+
+
+@dataclass(frozen=True, slots=True)
+class VarRef:
+    """``$name`` — a script variable reference."""
+
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class ArgRef:
+    """``%n`` — the n-th positional script argument (1-based)."""
+
+    index: int
+
+
+@dataclass(frozen=True, slots=True)
+class Index:
+    """``expr[n]`` — element access into a list value."""
+
+    base: "Expr"
+    index: int
+
+
+@dataclass(frozen=True, slots=True)
+class ListExpr:
+    """``[a, b, c]`` — a list literal."""
+
+    items: tuple["Expr", ...]
+
+
+@dataclass(frozen=True, slots=True)
+class CompletsIn:
+    """``completsIn expr`` — all complets hosted at a Core."""
+
+    core: "Expr"
+
+
+@dataclass(frozen=True, slots=True)
+class CoreOf:
+    """``coreOf expr`` — the Core currently hosting a complet."""
+
+    complet: "Expr"
+
+
+Expr = Literal | VarRef | ArgRef | Index | ListExpr | CompletsIn | CoreOf
+
+
+# -- actions -----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class MoveAction:
+    """``move <target> to <destination>``."""
+
+    target: Expr
+    destination: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class RetypeAction:
+    """``retype <ref> to <type>`` — change a reference's relocator."""
+
+    reference: Expr
+    type_name: str
+
+
+@dataclass(frozen=True, slots=True)
+class LogAction:
+    """``log <expr>`` — append to the engine's log."""
+
+    message: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class CallAction:
+    """``call name(args...)`` — invoke a registered or loadable command."""
+
+    name: str
+    args: tuple[Expr, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class AssignAction:
+    """``$name = expr`` inside a rule body."""
+
+    name: str
+    value: Expr
+
+
+Action = MoveAction | RetypeAction | LogAction | CallAction | AssignAction
+
+
+# -- statements ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Assignment:
+    """Top-level ``$name = expr``."""
+
+    name: str
+    value: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class Rule:
+    """``on <event>(args) <clauses> do <actions> end``."""
+
+    event: str
+    event_args: tuple[Expr, ...] = ()
+    fired_by: str | None = None          # variable bound to the event origin
+    source: Expr | None = None           # `from` clause
+    target: Expr | None = None           # `to` clause
+    listen_at: Expr | None = None        # `listenAt` clause
+    every: Expr | None = None            # sampling interval
+    actions: tuple[Action, ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class Script:
+    """A parsed script: bindings followed by rules, in source order."""
+
+    statements: tuple[Assignment | Rule, ...] = ()
+
+    @property
+    def rules(self) -> list[Rule]:
+        return [s for s in self.statements if isinstance(s, Rule)]
+
+    @property
+    def assignments(self) -> list[Assignment]:
+        return [s for s in self.statements if isinstance(s, Assignment)]

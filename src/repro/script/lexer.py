@@ -1,0 +1,145 @@
+"""Tokenizer for the layout scripting language.
+
+The language is line-oriented only in spirit: newlines are whitespace,
+keywords (``on``, ``do``, ``end``) delimit structure.  Comments run from
+``#`` to end of line.  Token kinds:
+
+- ``IDENT`` — bare words: keywords, event names, reference types.
+- ``VARIABLE`` — ``$name``.
+- ``ARG`` — positional script arguments, ``%1``, ``%2``, ...
+- ``NUMBER`` — integer or decimal literals.
+- ``STRING`` — double- or single-quoted.
+- ``SYMBOL`` — one of ``= ( ) [ ] ,``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import ScriptSyntaxError
+
+
+class TokenKind(str, Enum):
+    IDENT = "ident"
+    VARIABLE = "variable"
+    ARG = "arg"
+    NUMBER = "number"
+    STRING = "string"
+    SYMBOL = "symbol"
+    EOF = "eof"
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: TokenKind
+    value: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}({self.value!r})@{self.line}:{self.column}"
+
+
+_SYMBOLS = set("=()[],")
+_IDENT_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+# Dots and colons appear in dotted action names ("pkg.module:function").
+_IDENT_BODY = _IDENT_START | set("0123456789.:")
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source``; raises :class:`ScriptSyntaxError` on bad input."""
+    tokens: list[Token] = []
+    line = 1
+    column = 1
+    i = 0
+    length = len(source)
+
+    def error(message: str) -> ScriptSyntaxError:
+        return ScriptSyntaxError(message, line, column)
+
+    while i < length:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        if ch == "#":
+            while i < length and source[i] != "\n":
+                i += 1
+            continue
+        start_line, start_col = line, column
+        if ch in _SYMBOLS:
+            tokens.append(Token(TokenKind.SYMBOL, ch, start_line, start_col))
+            i += 1
+            column += 1
+            continue
+        if ch == "$":
+            j = i + 1
+            while j < length and source[j] in _IDENT_BODY:
+                j += 1
+            name = source[i + 1:j]
+            if not name:
+                raise error("'$' must be followed by a variable name")
+            tokens.append(Token(TokenKind.VARIABLE, name, start_line, start_col))
+            column += j - i
+            i = j
+            continue
+        if ch == "%":
+            j = i + 1
+            while j < length and source[j].isdigit():
+                j += 1
+            digits = source[i + 1:j]
+            if not digits:
+                raise error("'%' must be followed by an argument number")
+            tokens.append(Token(TokenKind.ARG, digits, start_line, start_col))
+            column += j - i
+            i = j
+            continue
+        if ch in "\"'":
+            quote = ch
+            j = i + 1
+            buf: list[str] = []
+            while j < length and source[j] != quote:
+                if source[j] == "\n":
+                    raise error("unterminated string literal")
+                if source[j] == "\\" and j + 1 < length:
+                    buf.append(source[j + 1])
+                    j += 2
+                    continue
+                buf.append(source[j])
+                j += 1
+            if j >= length:
+                raise error("unterminated string literal")
+            tokens.append(Token(TokenKind.STRING, "".join(buf), start_line, start_col))
+            column += j - i + 1
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "-" and i + 1 < length and source[i + 1].isdigit()):
+            j = i + 1
+            seen_dot = False
+            while j < length and (source[j].isdigit() or (source[j] == "." and not seen_dot)):
+                if source[j] == ".":
+                    seen_dot = True
+                j += 1
+            tokens.append(Token(TokenKind.NUMBER, source[i:j], start_line, start_col))
+            column += j - i
+            i = j
+            continue
+        if ch in _IDENT_START:
+            j = i + 1
+            while j < length and source[j] in _IDENT_BODY:
+                j += 1
+            tokens.append(Token(TokenKind.IDENT, source[i:j], start_line, start_col))
+            column += j - i
+            i = j
+            continue
+        raise error(f"unexpected character {ch!r}")
+
+    tokens.append(Token(TokenKind.EOF, "", line, column))
+    return tokens

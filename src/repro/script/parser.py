@@ -1,0 +1,242 @@
+"""Recursive-descent parser for the layout scripting language.
+
+Grammar (terminals in caps, ``[]`` optional, ``*`` repetition)::
+
+    script      := statement*
+    statement   := assignment | rule
+    assignment  := VARIABLE '=' expr
+    rule        := 'on' IDENT [ '(' expr_list ')' ] clause* 'do' action* 'end'
+    clause      := 'firedby' VARIABLE
+                 | 'from' expr
+                 | 'to' expr
+                 | 'listenAt' expr
+                 | 'every' expr
+    action      := 'move' target 'to' dest
+                 | 'retype' expr 'to' IDENT
+                 | 'log' expr
+                 | 'call' IDENT '(' expr_list ')'
+                 | assignment
+    target      := 'completsIn' expr | expr
+    dest        := 'coreOf' expr | expr
+    expr        := STRING | NUMBER | ARG
+                 | VARIABLE [ '[' NUMBER ']' ]
+                 | '[' expr_list ']'
+                 | 'completsIn' expr | 'coreOf' expr
+                 | IDENT                      (bareword = string literal)
+    expr_list   := [ expr (',' expr)* ]
+"""
+
+from __future__ import annotations
+
+from repro.errors import ScriptSyntaxError
+from repro.script.ast import (
+    Action,
+    ArgRef,
+    AssignAction,
+    Assignment,
+    CallAction,
+    CompletsIn,
+    CoreOf,
+    Expr,
+    Index,
+    ListExpr,
+    Literal,
+    LogAction,
+    MoveAction,
+    RetypeAction,
+    Rule,
+    Script,
+    VarRef,
+)
+from repro.script.lexer import Token, TokenKind, tokenize
+
+_CLAUSE_KEYWORDS = {"firedby", "from", "to", "listenAt", "every"}
+_ACTION_KEYWORDS = {"move", "retype", "log", "call"}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing ------------------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _next(self) -> Token:
+        token = self._tokens[self._pos]
+        self._pos += 1
+        return token
+
+    def _error(self, message: str, token: Token | None = None) -> ScriptSyntaxError:
+        token = token if token is not None else self._peek()
+        return ScriptSyntaxError(message, token.line, token.column)
+
+    def _expect_symbol(self, symbol: str) -> Token:
+        token = self._next()
+        if token.kind is not TokenKind.SYMBOL or token.value != symbol:
+            raise self._error(f"expected {symbol!r}, got {token.value!r}", token)
+        return token
+
+    def _expect_ident(self, word: str | None = None) -> Token:
+        token = self._next()
+        if token.kind is not TokenKind.IDENT:
+            raise self._error(f"expected a word, got {token.value!r}", token)
+        if word is not None and token.value != word:
+            raise self._error(f"expected {word!r}, got {token.value!r}", token)
+        return token
+
+    def _at_ident(self, word: str) -> bool:
+        token = self._peek()
+        return token.kind is TokenKind.IDENT and token.value == word
+
+    def _at_symbol(self, symbol: str) -> bool:
+        token = self._peek()
+        return token.kind is TokenKind.SYMBOL and token.value == symbol
+
+    # -- grammar -----------------------------------------------------------------------
+
+    def parse_script(self) -> Script:
+        statements: list[Assignment | Rule] = []
+        while self._peek().kind is not TokenKind.EOF:
+            token = self._peek()
+            if token.kind is TokenKind.VARIABLE:
+                statements.append(self._parse_assignment())
+            elif self._at_ident("on"):
+                statements.append(self._parse_rule())
+            else:
+                raise self._error(
+                    f"expected a rule ('on ...') or an assignment, got {token.value!r}"
+                )
+        return Script(tuple(statements))
+
+    def _parse_assignment(self) -> Assignment:
+        name = self._next().value
+        self._expect_symbol("=")
+        return Assignment(name, self._parse_expr())
+
+    def _parse_rule(self) -> Rule:
+        self._expect_ident("on")
+        event = self._expect_ident().value
+        event_args: tuple[Expr, ...] = ()
+        if self._at_symbol("("):
+            self._next()
+            event_args = tuple(self._parse_expr_list(")"))
+            self._expect_symbol(")")
+
+        fired_by: str | None = None
+        source: Expr | None = None
+        target: Expr | None = None
+        listen_at: Expr | None = None
+        every: Expr | None = None
+        while True:
+            token = self._peek()
+            if token.kind is not TokenKind.IDENT or token.value not in _CLAUSE_KEYWORDS:
+                break
+            keyword = self._next().value
+            if keyword == "firedby":
+                var = self._next()
+                if var.kind is not TokenKind.VARIABLE:
+                    raise self._error("'firedby' binds a $variable", var)
+                fired_by = var.value
+            elif keyword == "from":
+                source = self._parse_expr()
+            elif keyword == "to":
+                target = self._parse_expr()
+            elif keyword == "listenAt":
+                listen_at = self._parse_expr()
+            elif keyword == "every":
+                every = self._parse_expr()
+
+        self._expect_ident("do")
+        actions: list[Action] = []
+        while not self._at_ident("end"):
+            if self._peek().kind is TokenKind.EOF:
+                raise self._error("rule is missing its 'end'")
+            actions.append(self._parse_action())
+        self._expect_ident("end")
+        return Rule(
+            event=event,
+            event_args=event_args,
+            fired_by=fired_by,
+            source=source,
+            target=target,
+            listen_at=listen_at,
+            every=every,
+            actions=tuple(actions),
+        )
+
+    def _parse_action(self) -> Action:
+        token = self._peek()
+        if token.kind is TokenKind.VARIABLE:
+            assignment = self._parse_assignment()
+            return AssignAction(assignment.name, assignment.value)
+        if token.kind is not TokenKind.IDENT or token.value not in _ACTION_KEYWORDS:
+            raise self._error(
+                f"expected an action (move/retype/log/call), got {token.value!r}"
+            )
+        keyword = self._next().value
+        if keyword == "move":
+            target = self._parse_expr()
+            self._expect_ident("to")
+            return MoveAction(target, self._parse_expr())
+        if keyword == "retype":
+            reference = self._parse_expr()
+            self._expect_ident("to")
+            type_name = self._expect_ident().value
+            return RetypeAction(reference, type_name)
+        if keyword == "log":
+            return LogAction(self._parse_expr())
+        name = self._expect_ident().value
+        self._expect_symbol("(")
+        args = tuple(self._parse_expr_list(")"))
+        self._expect_symbol(")")
+        return CallAction(name, args)
+
+    def _parse_expr_list(self, closing: str) -> list[Expr]:
+        items: list[Expr] = []
+        if self._at_symbol(closing):
+            return items
+        items.append(self._parse_expr())
+        while self._at_symbol(","):
+            self._next()
+            items.append(self._parse_expr())
+        return items
+
+    def _parse_expr(self) -> Expr:
+        token = self._next()
+        if token.kind is TokenKind.STRING:
+            return Literal(token.value)
+        if token.kind is TokenKind.NUMBER:
+            text = token.value
+            return Literal(float(text) if "." in text else int(text))
+        if token.kind is TokenKind.ARG:
+            return ArgRef(int(token.value))
+        if token.kind is TokenKind.VARIABLE:
+            expr: Expr = VarRef(token.value)
+            if self._at_symbol("["):
+                self._next()
+                index = self._next()
+                if index.kind is not TokenKind.NUMBER:
+                    raise self._error("index must be a number", index)
+                self._expect_symbol("]")
+                expr = Index(expr, int(index.value))
+            return expr
+        if token.kind is TokenKind.SYMBOL and token.value == "[":
+            items = tuple(self._parse_expr_list("]"))
+            self._expect_symbol("]")
+            return ListExpr(items)
+        if token.kind is TokenKind.IDENT:
+            if token.value == "completsIn":
+                return CompletsIn(self._parse_expr())
+            if token.value == "coreOf":
+                return CoreOf(self._parse_expr())
+            # A bareword is a string literal (core names, etc.).
+            return Literal(token.value)
+        raise self._error(f"expected an expression, got {token.value!r}", token)
+
+
+def parse(source: str) -> Script:
+    """Parse script ``source`` into its AST."""
+    return _Parser(tokenize(source)).parse_script()

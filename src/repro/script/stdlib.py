@@ -1,0 +1,50 @@
+"""Built-in action commands available to every script via ``call``.
+
+These are the commands an administrator reaches for beyond the core
+``move``/``retype``/``log`` actions.  User-defined commands are added
+with :meth:`~repro.script.interpreter.ScriptEngine.register_action` or
+loaded on demand from a ``module:function`` name.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.complet.stub import Stub
+from repro.errors import ScriptRuntimeError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.script.interpreter import ScriptContext, ScriptEngine
+
+
+def register_stdlib(engine: "ScriptEngine") -> None:
+    engine.register_action("collectTrackers", _collect_trackers)
+    engine.register_action("shutdownCore", _shutdown_core)
+    engine.register_action("colocate", _colocate)
+    engine.register_action("bindName", _bind_name)
+
+
+def _collect_trackers(ctx: "ScriptContext") -> None:
+    """``call collectTrackers()`` — run tracker GC on every running Core."""
+    collected = ctx.engine.cluster.collect_all_trackers()
+    ctx.engine.log.append(f"collected {collected} trackers")
+
+
+def _shutdown_core(ctx: "ScriptContext", core_name: object) -> None:
+    """``call shutdownCore(name)`` — gracefully shut a Core down."""
+    ctx.engine.cluster.shutdown_core(str(core_name))
+
+
+def _colocate(ctx: "ScriptContext", mover: object, anchor_point: object) -> None:
+    """``call colocate(a, b)`` — move complet ``a`` to ``b``'s Core."""
+    if not isinstance(anchor_point, Stub):
+        raise ScriptRuntimeError("colocate expects complet references")
+    destination = ctx.engine.cluster.locate(anchor_point)
+    ctx.engine._move_one(mover, destination)
+
+
+def _bind_name(ctx: "ScriptContext", name: object, stub: object) -> None:
+    """``call bindName(name, complet)`` — bind at the engine's home Core."""
+    if not isinstance(stub, Stub):
+        raise ScriptRuntimeError("bindName expects a complet reference")
+    ctx.engine.core.bind(str(name), stub, replace=True)

@@ -1,0 +1,12 @@
+"""The FarGo shell: command-line administration of remote Cores (§3/§5).
+
+The paper ships "a command-line shell for administering remote Cores" as
+a system complet.  :class:`~repro.shell.shell.FarGoShell` is that shell:
+every command goes through the public admin/event/script interfaces, and
+:meth:`~repro.shell.shell.FarGoShell.execute` makes it scriptable (and
+testable) one line at a time.
+"""
+
+from repro.shell.shell import FarGoShell
+
+__all__ = ["FarGoShell"]

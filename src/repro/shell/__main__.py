@@ -1,0 +1,53 @@
+"""Interactive FarGo shell: ``python -m repro.shell``.
+
+Boots a demonstration cluster (three Cores, a client/server pair, a
+data source with a worker, one bound name) and drops into the
+administration REPL, so the system can be explored by hand:
+
+    $ python -m repro.shell
+    FarGo shell — 'help' for commands
+    fargo:hq> layout
+    ...
+    fargo:hq> move hq/c1:Client edge1
+    fargo:hq> advance 5
+    fargo:hq> feed
+
+Pass Core names as arguments to change the topology:
+``python -m repro.shell north south west``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.workload import Client, DataSource, Server, Worker
+from repro.shell.shell import FarGoShell
+
+
+def build_demo_cluster(names: list[str]) -> Cluster:
+    """A small populated deployment to administer."""
+    cluster = Cluster(names)
+    first, *rest = names
+    server = Server(_core=cluster[first])
+    client_home = rest[0] if rest else first
+    client = Client(server, _core=cluster[client_home], _at=client_home)
+    source = DataSource(20_000, _core=cluster[first])
+    Worker(source, _core=cluster[client_home], _at=client_home)
+    cluster[first].bind("server", server)
+    cluster[first].bind("client", client)
+    client.run(3)
+    return cluster
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    names = args if args else ["hq", "edge1", "edge2"]
+    cluster = build_demo_cluster(names)
+    shell = FarGoShell(cluster, home=names[0])
+    shell.loop()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - interactive entry point
+    raise SystemExit(main())

@@ -1,0 +1,230 @@
+"""The FarGo administration shell.
+
+A line-oriented command interpreter over a cluster.  Every command
+returns its output as a string (and :meth:`FarGoShell.loop` provides an
+interactive REPL on top).  Commands::
+
+    cores                                   list Cores and their status
+    complets [<core>]                       list hosted complets
+    layout                                  render the layout panel
+    feed [<n>]                              tail of the live event feed
+    move <complet-id> <core>                relocate a complet
+    refs <core> <complet-id>                outgoing references of a complet
+    retype <core> <complet-id> <target-id> <type>
+    profile <core> <service> [key=value...] instant profiling read
+    history <core> <service> [key=value...] sparkline of recent samples
+    watch <core> <service> <op> <threshold> [key=value...]
+    services <core>                         available profiling services
+    collect                                 tracker GC on every Core
+    shutdown <core>                         graceful Core shutdown
+    advance <seconds>                       advance virtual time
+    script <<< ... >>>  or  script @file    run a layout script
+    help                                    this text
+"""
+
+from __future__ import annotations
+
+import shlex
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import FarGoError
+from repro.script.interpreter import ScriptEngine
+from repro.viewer.viewer import LayoutMonitor
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.cluster import Cluster
+
+_HELP = __doc__.split("Commands::", 1)[1] if __doc__ else ""
+
+
+class FarGoShell:
+    """Administration shell bound to a cluster."""
+
+    def __init__(self, cluster: "Cluster", home: str | None = None) -> None:
+        self.cluster = cluster
+        home_name = home if home is not None else cluster.core_names()[0]
+        self.core = cluster.core(home_name)
+        self.monitor = LayoutMonitor(cluster, home_name)
+        self.monitor.watch_all()
+        self.engine = ScriptEngine(cluster, home_name)
+        self._commands: dict[str, Callable[[list[str]], str]] = {
+            "cores": self._cmd_cores,
+            "complets": self._cmd_complets,
+            "layout": self._cmd_layout,
+            "feed": self._cmd_feed,
+            "move": self._cmd_move,
+            "refs": self._cmd_refs,
+            "retype": self._cmd_retype,
+            "profile": self._cmd_profile,
+            "history": self._cmd_history,
+            "watch": self._cmd_watch,
+            "services": self._cmd_services,
+            "collect": self._cmd_collect,
+            "shutdown": self._cmd_shutdown,
+            "advance": self._cmd_advance,
+            "script": self._cmd_script,
+            "help": self._cmd_help,
+        }
+
+    # -- dispatch ----------------------------------------------------------------------
+
+    def execute(self, line: str) -> str:
+        """Run one command line; returns its output (errors included)."""
+        line = line.strip()
+        if not line:
+            return ""
+        if line.startswith("script"):
+            return self._cmd_script_raw(line[len("script"):].strip())
+        try:
+            parts = shlex.split(line)
+        except ValueError as exc:
+            return f"error: {exc}"
+        command, args = parts[0], parts[1:]
+        handler = self._commands.get(command)
+        if handler is None:
+            return f"error: unknown command {command!r} (try 'help')"
+        try:
+            return handler(args)
+        except FarGoError as exc:
+            return f"error: {exc}"
+        except (IndexError, ValueError):
+            return f"error: bad arguments for {command!r} (try 'help')"
+
+    def loop(self, *, input_fn=input, print_fn=print) -> None:  # pragma: no cover
+        """Interactive REPL; ``exit`` or EOF ends it."""
+        print_fn("FarGo shell — 'help' for commands")
+        while True:
+            try:
+                line = input_fn(f"fargo:{self.core.name}> ")
+            except EOFError:
+                break
+            if line.strip() in ("exit", "quit"):
+                break
+            output = self.execute(line)
+            if output:
+                print_fn(output)
+
+    # -- commands -----------------------------------------------------------------------------
+
+    def _cmd_cores(self, args: list[str]) -> str:
+        lines = []
+        for name in self.cluster.core_names():
+            core = self.cluster.core(name)
+            state = "up" if core.is_running else "down"
+            lines.append(f"{name:<14} {state:<5} {len(core.repository)} complets")
+        return "\n".join(lines)
+
+    def _cmd_complets(self, args: list[str]) -> str:
+        names = args if args else [
+            c.name for c in self.cluster.running_cores()
+        ]
+        lines = []
+        for name in names:
+            for complet in self.cluster.complets_at(name):
+                lines.append(f"{name:<14} {complet}")
+        return "\n".join(lines) if lines else "(no complets)"
+
+    def _cmd_layout(self, args: list[str]) -> str:
+        return self.monitor.render()
+
+    def _cmd_feed(self, args: list[str]) -> str:
+        limit = int(args[0]) if args else 20
+        return self.monitor.render_feed(limit)
+
+    def _cmd_move(self, args: list[str]) -> str:
+        complet_id, destination = args[0], args[1]
+        host = self._host_of(complet_id)
+        if host is None:
+            return f"error: no running Core hosts {complet_id!r}"
+        self.core.admin(host, "move", complet=complet_id, destination=destination)
+        return f"moved {complet_id} from {host} to {destination}"
+
+    def _cmd_refs(self, args: list[str]) -> str:
+        return self.monitor.references(args[0], args[1])
+
+    def _cmd_retype(self, args: list[str]) -> str:
+        core_name, complet_id, target_id, type_name = args[:4]
+        self.monitor.retype_reference(core_name, complet_id, target_id, type_name)
+        return f"reference {complet_id} -> {target_id} is now {type_name}"
+
+    def _cmd_profile(self, args: list[str]) -> str:
+        core_name, service = args[0], args[1]
+        params = _parse_params(args[2:])
+        value = self.monitor.profile(core_name, service, **params)
+        return f"{service}@{core_name} {params or ''} = {value:g}"
+
+    def _cmd_history(self, args: list[str]) -> str:
+        """history <core> <service> [key=value...] — start-if-needed and
+        render the continuous profile's recent samples as a sparkline."""
+        from repro.viewer.render import render_sparkline
+
+        core_name, service = args[0], args[1]
+        params = _parse_params(args[2:])
+        self.core.admin(
+            core_name, "profile_start", service=service, params=params
+        )
+        samples = self.core.admin(
+            core_name, "profile_history", service=service, params=params
+        )
+        return f"{service}@{core_name}: {render_sparkline(samples)}"
+
+    def _cmd_watch(self, args: list[str]) -> str:
+        core_name, service, op, threshold = args[0], args[1], args[2], float(args[3])
+        params = _parse_params(args[4:])
+        watch_id = self.core.admin(
+            core_name, "watch", service=service, op=op, threshold=threshold,
+            params=params,
+        )
+        return f"watch #{watch_id} installed at {core_name}"
+
+    def _cmd_services(self, args: list[str]) -> str:
+        services = self.core.admin(args[0], "services")
+        return "\n".join(services)
+
+    def _cmd_collect(self, args: list[str]) -> str:
+        return f"collected {self.cluster.collect_all_trackers()} trackers"
+
+    def _cmd_shutdown(self, args: list[str]) -> str:
+        self.cluster.shutdown_core(args[0])
+        return f"core {args[0]} shut down"
+
+    def _cmd_advance(self, args: list[str]) -> str:
+        seconds = float(args[0])
+        self.cluster.advance(seconds)
+        return f"t = {self.cluster.now:.3f}"
+
+    def _cmd_script_raw(self, rest: str) -> str:
+        if rest.startswith("@"):
+            with open(rest[1:], encoding="utf-8") as f:
+                source = f.read()
+        else:
+            source = rest
+        try:
+            script = self.engine.run(source)
+        except FarGoError as exc:
+            return f"error: {exc}"
+        return f"script active: {len(script.rules)} rules"
+
+    def _cmd_script(self, args: list[str]) -> str:  # pragma: no cover - routed raw
+        return self._cmd_script_raw(" ".join(args))
+
+    def _cmd_help(self, args: list[str]) -> str:
+        return _HELP.strip("\n")
+
+    # -- helpers ---------------------------------------------------------------------------------
+
+    def _host_of(self, complet_id: str) -> str | None:
+        for core in self.cluster.running_cores():
+            if complet_id in self.cluster.complets_at(core.name):
+                return core.name
+        return None
+
+
+def _parse_params(tokens: list[str]) -> dict:
+    params = {}
+    for token in tokens:
+        key, _, value = token.partition("=")
+        if not value:
+            raise ValueError(f"expected key=value, got {token!r}")
+        params[key] = value
+    return params

@@ -1,0 +1,18 @@
+"""Virtual-time substrate: clocks and the timer scheduler.
+
+The FarGo paper evaluates its runtime on a wide-area testbed where
+bandwidth, latency, and invocation rates change over wall-clock time.
+This reproduction runs the identical mechanisms over *virtual* time: a
+:class:`VirtualClock` that advances only when told to, and a
+:class:`Scheduler` that fires timers (continuous-profiling samplers,
+script timers, cache expiry) as the clock sweeps past their deadlines.
+Virtual time makes every experiment deterministic and lets benchmarks
+simulate hours of wide-area behaviour in milliseconds.  A
+:class:`RealClock` is provided for interactive use (the live viewer and
+the shell).
+"""
+
+from repro.sim.clock import Clock, RealClock, VirtualClock
+from repro.sim.scheduler import Scheduler, Timer
+
+__all__ = ["Clock", "RealClock", "VirtualClock", "Scheduler", "Timer"]

@@ -1,0 +1,66 @@
+"""Clock abstractions: virtual (simulated) and real (wall) time."""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+
+from repro.errors import ConfigurationError
+
+
+class Clock(ABC):
+    """Source of the current time, in seconds."""
+
+    @abstractmethod
+    def now(self) -> float:
+        """Return the current time in seconds."""
+
+    @property
+    def is_virtual(self) -> bool:
+        return False
+
+
+class VirtualClock(Clock):
+    """A clock that advances only when explicitly told to.
+
+    All runtime components read time through this interface; the cluster
+    harness (or the scheduler, while draining timers) moves it forward.
+    Time never goes backward.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0.0:
+            raise ConfigurationError(f"clock cannot start before zero, got {start}")
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def is_virtual(self) -> bool:
+        return True
+
+    def set(self, timestamp: float) -> None:
+        """Move the clock to ``timestamp`` (monotonicity enforced)."""
+        if timestamp < self._now:
+            raise ConfigurationError(
+                f"virtual time cannot move backward: {timestamp} < {self._now}"
+            )
+        self._now = float(timestamp)
+
+    def tick(self, delta: float) -> float:
+        """Advance the clock by ``delta`` seconds and return the new time."""
+        if delta < 0.0:
+            raise ConfigurationError(f"cannot tick by negative delta {delta}")
+        self._now += delta
+        return self._now
+
+
+class RealClock(Clock):
+    """Wall-clock time, for interactive sessions (shell, live viewer)."""
+
+    def __init__(self) -> None:
+        self._origin = time.monotonic()
+
+    def now(self) -> float:
+        return time.monotonic() - self._origin

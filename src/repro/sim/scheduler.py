@@ -1,0 +1,220 @@
+"""Timer scheduler driving periodic work over a virtual clock.
+
+Continuous profiling samplers, monitor-event evaluation, cache expiry,
+and script timers all register timers here.  The cluster harness calls
+:meth:`Scheduler.advance` to sweep virtual time forward; due timers fire
+in deadline order, each observing the exact virtual time it was scheduled
+for.  The scheduler is reentrancy-safe: when the network layer charges
+transfer time *during* a timer callback (or during a synchronous remote
+invocation), the nested advance merely extends the outer sweep instead of
+recursing.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.sim.clock import Clock, VirtualClock
+
+
+@dataclass(order=True)
+class _Entry:
+    deadline: float
+    sequence: int
+    timer: "Timer" = field(compare=False)
+
+
+class Timer:
+    """Handle to a scheduled callback; ``cancel()`` to stop it."""
+
+    __slots__ = ("callback", "args", "period", "cancelled", "fired_count")
+
+    def __init__(
+        self,
+        callback: Callable[..., None],
+        args: tuple,
+        period: float | None,
+    ) -> None:
+        self.callback = callback
+        self.args = args
+        self.period = period
+        self.cancelled = False
+        self.fired_count = 0
+
+    @property
+    def is_periodic(self) -> bool:
+        return self.period is not None
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class Scheduler:
+    """Deadline-ordered timer queue over a :class:`Clock`.
+
+    With a :class:`VirtualClock` (the default), time moves only through
+    :meth:`advance`.  With a real clock, callers poll :meth:`fire_due`.
+    """
+
+    def __init__(self, clock: Clock | None = None) -> None:
+        self.clock = clock if clock is not None else VirtualClock()
+        self._heap: list[_Entry] = []
+        self._sequence = itertools.count()
+        self._advancing = False
+        self._pending_target: float | None = None
+
+    # -- registration -----------------------------------------------------
+
+    def call_at(self, deadline: float, callback: Callable[..., None], *args) -> Timer:
+        """Run ``callback(*args)`` once when the clock reaches ``deadline``."""
+        if deadline < self.clock.now():
+            if self.clock.is_virtual:
+                raise ConfigurationError(
+                    f"deadline {deadline} is in the past (now={self.clock.now()})"
+                )
+            # A real clock moves between computing and registering the
+            # deadline; clamp instead of failing on the skew.
+            deadline = self.clock.now()
+        timer = Timer(callback, args, period=None)
+        self._push(deadline, timer)
+        return timer
+
+    def call_after(self, delay: float, callback: Callable[..., None], *args) -> Timer:
+        """Run ``callback(*args)`` once, ``delay`` seconds from now."""
+        if delay < 0.0:
+            raise ConfigurationError(f"delay must be non-negative, got {delay}")
+        return self.call_at(self.clock.now() + delay, callback, *args)
+
+    def call_every(
+        self,
+        period: float,
+        callback: Callable[..., None],
+        *args,
+        first_delay: float | None = None,
+    ) -> Timer:
+        """Run ``callback(*args)`` every ``period`` seconds.
+
+        The first firing happens after ``first_delay`` (default: one full
+        period).  The returned handle cancels all future firings.
+        """
+        if period <= 0.0:
+            raise ConfigurationError(f"period must be positive, got {period}")
+        timer = Timer(callback, args, period=period)
+        delay = period if first_delay is None else first_delay
+        self._push(self.clock.now() + delay, timer)
+        return timer
+
+    def _push(self, deadline: float, timer: Timer) -> None:
+        heapq.heappush(self._heap, _Entry(deadline, next(self._sequence), timer))
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Number of live (non-cancelled) scheduled firings."""
+        return sum(1 for entry in self._heap if not entry.timer.cancelled)
+
+    def next_deadline(self) -> float | None:
+        """Earliest live deadline, or None when the queue is empty."""
+        for entry in sorted(self._heap):
+            if not entry.timer.cancelled:
+                return entry.deadline
+        return None
+
+    # -- time driving -------------------------------------------------------
+
+    def advance(self, delta: float) -> None:
+        """Sweep virtual time forward by ``delta``, firing due timers.
+
+        Nested calls (e.g. the network charging transfer time from inside
+        a timer callback, or a profiling sampler running during a remote
+        invocation) extend the current sweep instead of recursing, which
+        keeps callback execution strictly deadline-ordered.
+        """
+        if not isinstance(self.clock, VirtualClock):
+            raise ConfigurationError("advance() requires a VirtualClock")
+        if delta < 0.0:
+            raise ConfigurationError(f"cannot advance by negative delta {delta}")
+        target = self.clock.now() + delta
+        if self._advancing:
+            # Reentrant: record the furthest requested target; the
+            # outermost sweep will cover it.  The clock itself still moves
+            # immediately so the nested caller observes the elapsed time.
+            self.clock.set(target)
+            if self._pending_target is None or target > self._pending_target:
+                self._pending_target = target
+            return
+        self._advancing = True
+        try:
+            self._sweep_to(target)
+            # Nested advances during callbacks may have pushed time further.
+            while self._pending_target is not None:
+                pending = self._pending_target
+                self._pending_target = None
+                self._sweep_to(pending)
+        finally:
+            self._advancing = False
+            self._pending_target = None
+
+    def advance_quiet(self, delta: float) -> None:
+        """Move the clock without firing timers (network transfer charges).
+
+        Work that becomes due stays queued until the next explicit
+        :meth:`advance` (or, inside one, until the current sweep reaches
+        the extended target).  This keeps timer callbacks — continuous
+        profiling samplers, deferred movement continuations — from
+        running re-entrantly in the middle of a protocol exchange.
+        """
+        if not isinstance(self.clock, VirtualClock):
+            return  # real time passes by itself
+        if delta < 0.0:
+            raise ConfigurationError(f"cannot advance by negative delta {delta}")
+        target = self.clock.now() + delta
+        self.clock.set(target)
+        if self._advancing and (
+            self._pending_target is None or target > self._pending_target
+        ):
+            self._pending_target = target
+
+    def _sweep_to(self, target: float) -> None:
+        while self._heap and self._heap[0].deadline <= target:
+            entry = heapq.heappop(self._heap)
+            timer = entry.timer
+            if timer.cancelled:
+                continue
+            # Observe the scheduled instant (clock may already be past it
+            # if a nested advance overshot while we were mid-sweep).
+            if entry.deadline > self.clock.now():
+                self.clock.set(entry.deadline)
+            if timer.is_periodic:
+                assert timer.period is not None
+                self._push(entry.deadline + timer.period, timer)
+            timer.fired_count += 1
+            timer.callback(*timer.args)
+        if target > self.clock.now():
+            self.clock.set(target)
+
+    def fire_due(self) -> int:
+        """Fire every timer whose deadline has passed; return the count.
+
+        This is the driving mode for a :class:`RealClock`: the clock moves
+        on its own and callers poll.
+        """
+        fired = 0
+        now = self.clock.now()
+        while self._heap and self._heap[0].deadline <= now:
+            entry = heapq.heappop(self._heap)
+            timer = entry.timer
+            if timer.cancelled:
+                continue
+            if timer.is_periodic:
+                assert timer.period is not None
+                self._push(entry.deadline + timer.period, timer)
+            timer.fired_count += 1
+            timer.callback(*timer.args)
+            fired += 1
+        return fired

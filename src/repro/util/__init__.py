@@ -1,0 +1,16 @@
+"""Small shared utilities: identifiers, averages, sizing, introspection."""
+
+from repro.util.ids import CompletId, IdGenerator, TrackerId
+from repro.util.ema import ExponentialAverage, RateMeter
+from repro.util.bytesize import payload_size
+from repro.util.introspect import public_methods
+
+__all__ = [
+    "CompletId",
+    "IdGenerator",
+    "TrackerId",
+    "ExponentialAverage",
+    "RateMeter",
+    "payload_size",
+    "public_methods",
+]

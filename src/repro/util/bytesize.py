@@ -1,0 +1,35 @@
+"""Payload sizing used for bandwidth accounting and the completSize service."""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.errors import SerializationError
+
+
+def payload_size(obj: object) -> int:
+    """Return the serialized size of ``obj`` in bytes.
+
+    The simulated network charges transfer time proportionally to this
+    size, and the ``completSize`` profiling service reports it for a
+    complet closure.  Objects are measured with the same mechanism that
+    moves them (pickle), so the measurement equals the wire size.
+    """
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    try:
+        return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception as exc:  # noqa: BLE001 - pickle raises many types
+        raise SerializationError(f"cannot size object of type {type(obj).__name__}: {exc}") from exc
+
+
+def human_bytes(size: int) -> str:
+    """Render a byte count for the viewer/shell, e.g. ``12.3 KB``."""
+    value = float(size)
+    for unit in ("B", "KB", "MB", "GB"):
+        if value < 1024.0 or unit == "GB":
+            if unit == "B":
+                return f"{int(value)} {unit}"
+            return f"{value:.1f} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")

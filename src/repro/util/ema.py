@@ -1,0 +1,103 @@
+"""Averaging primitives used by the continuous profiling services.
+
+The paper specifies that continuous profiling returns "some average value
+(typically an exponential average)"; :class:`ExponentialAverage` is that
+average, and :class:`RateMeter` builds on it to turn discrete occurrences
+(method invocations, transferred bytes) into a smoothed per-second rate.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+class ExponentialAverage:
+    """Exponentially weighted moving average of a sampled quantity.
+
+    ``alpha`` is the weight of the newest sample: ``avg' = alpha * sample
+    + (1 - alpha) * avg``.  The first sample initializes the average
+    directly so that a freshly started profile is not biased toward zero.
+    """
+
+    def __init__(self, alpha: float = 0.3) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigurationError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._value: float | None = None
+        self._samples = 0
+
+    @property
+    def samples(self) -> int:
+        """Number of samples folded into the average so far."""
+        return self._samples
+
+    @property
+    def value(self) -> float:
+        """Current average; 0.0 before the first sample."""
+        return 0.0 if self._value is None else self._value
+
+    def add(self, sample: float) -> float:
+        """Fold one sample into the average and return the new average."""
+        if self._value is None:
+            self._value = float(sample)
+        else:
+            self._value = self.alpha * sample + (1.0 - self.alpha) * self._value
+        self._samples += 1
+        return self._value
+
+    def reset(self) -> None:
+        self._value = None
+        self._samples = 0
+
+
+class RateMeter:
+    """Smoothed events-per-second meter fed by discrete occurrences.
+
+    Callers record occurrences with :meth:`mark` (optionally weighted,
+    e.g. by byte count) as they happen; a periodic sampler then calls
+    :meth:`sample` with the current time, which converts the count
+    accumulated since the previous sample into a rate and folds it into
+    an exponential average.  This is the mechanism behind the paper's
+    ``invocationRate`` application-profiling service.
+    """
+
+    def __init__(self, alpha: float = 0.3) -> None:
+        self._average = ExponentialAverage(alpha)
+        self._accumulated = 0.0
+        self._last_sample_time: float | None = None
+        self._total = 0.0
+
+    @property
+    def total(self) -> float:
+        """Total weight recorded since creation (never reset by sampling)."""
+        return self._total
+
+    @property
+    def rate(self) -> float:
+        """Current smoothed rate in marks per second."""
+        return self._average.value
+
+    def mark(self, weight: float = 1.0) -> None:
+        """Record ``weight`` occurrences at the current instant."""
+        self._accumulated += weight
+        self._total += weight
+
+    def sample(self, now: float) -> float:
+        """Close the current window at time ``now`` and return the rate."""
+        if self._last_sample_time is None:
+            # First sample only anchors the window; no rate can be derived.
+            self._last_sample_time = now
+            self._accumulated = 0.0
+            return self._average.value
+        elapsed = now - self._last_sample_time
+        if elapsed <= 0.0:
+            return self._average.value
+        self._average.add(self._accumulated / elapsed)
+        self._accumulated = 0.0
+        self._last_sample_time = now
+        return self._average.value
+
+    def reset(self) -> None:
+        self._average.reset()
+        self._accumulated = 0.0
+        self._last_sample_time = None

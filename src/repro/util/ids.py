@@ -1,0 +1,59 @@
+"""Identifiers for complets and trackers.
+
+Complets are globally identified by the Core that created them plus a
+per-Core sequence number; the identity is immutable and travels with the
+complet as it migrates.  Trackers are identified per hosting Core.  Using
+deterministic counters (rather than UUIDs) keeps test output and traces
+reproducible.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass
+
+
+class IdGenerator:
+    """Thread-safe monotonically increasing integer id source."""
+
+    def __init__(self, start: int = 1) -> None:
+        self._counter = itertools.count(start)
+        self._lock = threading.Lock()
+
+    def next(self) -> int:
+        with self._lock:
+            return next(self._counter)
+
+
+@dataclass(frozen=True, slots=True)
+class CompletId:
+    """Global, immutable identity of a complet instance.
+
+    ``birth_core`` is the name of the Core on which the complet was
+    instantiated; it never changes, even after the complet migrates.
+    """
+
+    birth_core: str
+    serial: int
+    type_name: str = ""
+
+    def __str__(self) -> str:
+        suffix = f":{self.type_name}" if self.type_name else ""
+        return f"{self.birth_core}/c{self.serial}{suffix}"
+
+    def short(self) -> str:
+        """Compact display form used by the viewer and shell."""
+        base = self.type_name or "complet"
+        return f"{base}#{self.serial}@{self.birth_core}"
+
+
+@dataclass(frozen=True, slots=True)
+class TrackerId:
+    """Identity of a tracker within the Core that hosts it."""
+
+    core: str
+    serial: int
+
+    def __str__(self) -> str:
+        return f"{self.core}/t{self.serial}"

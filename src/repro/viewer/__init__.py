@@ -1,0 +1,22 @@
+"""The layout monitor: the textual stand-in for the paper's GUI (Figure 4).
+
+The original graphical monitor connects to multiple Cores, shows in real
+time which complets reside where, tracks movements by listening for
+arrival/departure events, displays reference properties (type,
+invocation counts, profiling values), and lets the administrator move
+complets and retype references.  :class:`~repro.viewer.viewer.LayoutMonitor`
+offers the same surface over text: snapshot rendering, a live event
+feed, and the same manipulation verbs — all through the public admin
+and event interfaces, never by reaching into Core internals.
+"""
+
+from repro.viewer.viewer import LayoutMonitor
+from repro.viewer.render import render_layout, render_references
+from repro.viewer.timeline import MovementTimeline
+
+__all__ = [
+    "LayoutMonitor",
+    "MovementTimeline",
+    "render_layout",
+    "render_references",
+]

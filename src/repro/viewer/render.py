@@ -1,0 +1,95 @@
+"""Text rendering of cluster layout and reference tables."""
+
+from __future__ import annotations
+
+from repro.util.bytesize import human_bytes
+
+
+def render_layout(snapshots: list[dict], *, title: str = "FarGo layout") -> str:
+    """Render per-Core snapshots (from ``Core.snapshot``) as a text panel.
+
+    ::
+
+        == FarGo layout (t=12.00) =====================
+        core technion   [2 complets, 3 trackers]
+          - technion/c1:Message        (bound: msg)
+          - technion/c2:Logger
+        core acadia     [0 complets, 1 trackers]
+          (empty)
+    """
+    lines = [f"== {title} " + "=" * max(0, 50 - len(title))]
+    for snap in snapshots:
+        header = (
+            f"core {snap['core']:<12} [{len(snap['complets'])} complets, "
+            f"{snap['tracker_count']} trackers, "
+            f"{snap['active_profiles']} profiles]"
+        )
+        lines.append(header)
+        names = {name: True for name in snap.get("names", [])}
+        if not snap["complets"]:
+            lines.append("  (empty)")
+        for complet in snap["complets"]:
+            bound = ""
+            if names:
+                bound_names = [n for n in names if complet["id"].endswith(n)]
+                if bound_names:
+                    bound = f"  (bound: {', '.join(bound_names)})"
+            lines.append(f"  - {complet['id']}{bound}")
+        if snap.get("names"):
+            lines.append(f"  names: {', '.join(snap['names'])}")
+    return "\n".join(lines)
+
+
+def render_references(complet_id: str, rows: list[dict]) -> str:
+    """Render one complet's outgoing-reference table.
+
+    ``rows`` come from the ``references`` admin operation.
+    """
+    lines = [f"references of {complet_id}:"]
+    if not rows:
+        lines.append("  (none)")
+        return "\n".join(lines)
+    lines.append(f"  {'target':<28} {'type':<10} {'invocations':>12} {'traffic':>10} local")
+    for row in rows:
+        lines.append(
+            f"  {row['target']:<28} {row['type']:<10} "
+            f"{row['invocations']:>12} {human_bytes(row['bytes']):>10} "
+            f"{'yes' if row['local'] else 'no'}"
+        )
+    return "\n".join(lines)
+
+
+#: Eight-level block characters for sparklines.
+_SPARK_LEVELS = " ▁▂▃▄▅▆▇█"
+
+
+def render_sparkline(
+    samples: list[tuple[float, float]] | list[float], *, width: int = 40
+) -> str:
+    """One-line chart of a profiling history (the viewer's mini-plots).
+
+    Accepts the ``(time, value)`` pairs :meth:`Profiler.history` returns
+    (times are ignored; samples are evenly spaced) or plain values.
+    """
+    values = [v[1] if isinstance(v, tuple) else float(v) for v in samples]
+    if not values:
+        return "(no samples)"
+    values = values[-width:]
+    low, high = min(values), max(values)
+    span = high - low
+    if span <= 0:
+        body = _SPARK_LEVELS[4] * len(values)
+    else:
+        body = "".join(
+            _SPARK_LEVELS[1 + int((v - low) / span * (len(_SPARK_LEVELS) - 2))]
+            for v in values
+        )
+    return f"{body}  [{low:g} .. {high:g}]"
+
+
+def render_events(events: list[str], *, limit: int = 20) -> str:
+    """Render the tail of a live event feed."""
+    tail = events[-limit:]
+    if not tail:
+        return "(no events)"
+    return "\n".join(tail)

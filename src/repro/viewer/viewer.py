@@ -1,0 +1,146 @@
+"""The layout monitor (Figure 4, textual).
+
+Connects to multiple Cores through the admin and event interfaces and
+offers the GUI's capabilities:
+
+- :meth:`LayoutMonitor.render` — the current layout of every connected
+  Core (the GUI's main panel);
+- live tracking — subscribes to arrival/departure/retype/shutdown
+  events at every connected Core and appends them to a feed;
+- :meth:`LayoutMonitor.references` — per-complet reference properties
+  (relocator type, invocation counts, traffic);
+- manipulation — :meth:`move_complet` (the GUI's drag-and-drop) and
+  :meth:`retype_reference`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.core import Core
+from repro.core.events import (
+    COMPLET_ARRIVED,
+    COMPLET_DEPARTED,
+    CORE_SHUTDOWN,
+    REFERENCE_RETYPED,
+    Event,
+)
+from repro.errors import CoreError
+from repro.viewer.render import render_events, render_layout, render_references
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.cluster import Cluster
+
+_TRACKED_EVENTS = (COMPLET_ARRIVED, COMPLET_DEPARTED, CORE_SHUTDOWN, REFERENCE_RETYPED)
+
+
+class LayoutMonitor:
+    """A monitor attached to a cluster at one home Core."""
+
+    def __init__(self, cluster: "Cluster", home: str | None = None) -> None:
+        self.cluster = cluster
+        home_name = home if home is not None else cluster.core_names()[0]
+        self.core: Core = cluster.core(home_name)
+        #: Live feed of observed events, rendered lines in arrival order.
+        self.feed: list[str] = []
+        self._subscriptions: list[tuple[str, int]] = []
+        self._connected: list[str] = []
+
+    # -- connection -------------------------------------------------------------------
+
+    def connect(self, *core_names: str) -> None:
+        """Start live tracking of the given Cores (default in :meth:`watch_all`)."""
+        for name in core_names:
+            if name in self._connected:
+                continue
+            for event_name in _TRACKED_EVENTS:
+                handle = self.core.events.subscribe_remote(
+                    name, event_name, self._on_event
+                )
+                self._subscriptions.append(handle)
+            self._connected.append(name)
+
+    def watch_all(self) -> None:
+        """Connect to every running Core of the cluster."""
+        self.connect(*[c.name for c in self.cluster.running_cores()])
+
+    def disconnect(self) -> None:
+        for handle in self._subscriptions:
+            try:
+                self.core.events.unsubscribe_remote(handle)
+            except CoreError:
+                pass
+        self._subscriptions.clear()
+        self._connected.clear()
+
+    def _on_event(self, event: Event) -> None:
+        self.feed.append(str(event))
+
+    # -- panels -----------------------------------------------------------------------------
+
+    def snapshots(self) -> list[dict]:
+        """Admin snapshots of every running Core, in name order."""
+        result = []
+        for name in self.cluster.core_names():
+            if not self.cluster.core(name).is_running:
+                continue
+            result.append(self.core.admin(name, "snapshot"))
+        return result
+
+    def render(self) -> str:
+        """The main layout panel."""
+        title = f"FarGo layout (t={self.cluster.now:.2f})"
+        return render_layout(self.snapshots(), title=title)
+
+    def render_feed(self, limit: int = 20) -> str:
+        """The live event feed panel."""
+        return render_events(self.feed, limit=limit)
+
+    def references(self, core_name: str, complet_id: str) -> str:
+        """The reference-properties panel for one complet."""
+        rows = self.core.admin(core_name, "references", complet=complet_id)
+        return render_references(complet_id, rows)
+
+    def render_links(self) -> str:
+        """The network panel: configured links and observed traffic.
+
+        The GUI of Figure 4 annotates references with "average network
+        bandwidth"; this panel shows the underlying link matrix.
+        """
+        from repro.util.bytesize import human_bytes
+
+        network = self.cluster.network
+        names = [c.name for c in self.cluster.running_cores()]
+        lines = ["links (bandwidth / latency / observed traffic):"]
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                link = network.link(a, b)
+                forward = network.link_stats(a, b)
+                backward = network.link_stats(b, a)
+                state = "up" if link.up else "DOWN"
+                lines.append(
+                    f"  {a:<10} <-> {b:<10} {link.bandwidth / 1000:8.0f} KB/s  "
+                    f"{link.latency * 1000:6.1f} ms  "
+                    f"{human_bytes(forward.bytes + backward.bytes):>10}  {state}"
+                )
+        if len(lines) == 1:
+            lines.append("  (no links)")
+        return "\n".join(lines)
+
+    # -- manipulation ----------------------------------------------------------------------------
+
+    def move_complet(self, core_name: str, complet_id: str, destination: str) -> None:
+        """Drag-and-drop: move a complet between Cores."""
+        self.core.admin(core_name, "move", complet=complet_id, destination=destination)
+
+    def retype_reference(
+        self, core_name: str, complet_id: str, target_id: str, type_name: str
+    ) -> None:
+        """Change the relocator of one outgoing reference."""
+        self.core.admin(
+            core_name, "retype", complet=complet_id, target=target_id, type=type_name
+        )
+
+    def profile(self, core_name: str, service: str, **params) -> float:
+        """Read a profiling value of a connected Core (instant interface)."""
+        return self.core.admin(core_name, "profile_instant", service=service, params=params)

@@ -1,0 +1,10 @@
+"""A module with a deliberately broken anchor (compiler CLI error tests)."""
+
+from repro.complet.anchor import Anchor
+
+
+class NoUnderscore(Anchor):
+    """Violates the anchor naming convention: the compiler must reject it."""
+
+    def touch(self) -> str:
+        return "bad"

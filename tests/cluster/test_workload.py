@@ -1,0 +1,81 @@
+"""Tests for the reusable workload complets."""
+
+import pytest
+
+from repro.cluster.workload import (
+    Client,
+    Counter,
+    DataSource,
+    Desktop,
+    Echo,
+    Printer,
+    Server,
+    Stage,
+    Worker,
+)
+
+
+class TestEchoAndCounter:
+    def test_echo_roundtrip(self, cluster):
+        echo = Echo("t", _core=cluster["alpha"])
+        assert echo.echo([1, 2]) == [1, 2]
+        assert echo.ping() == "t"
+
+    def test_counter_state(self, cluster):
+        counter = Counter(10, _core=cluster["alpha"])
+        counter.increment()
+        counter.increment(4)
+        assert counter.read() == 15
+
+
+class TestClientServer:
+    def test_request_reply_sizes(self, cluster):
+        server = Server(reply_size=512, _core=cluster["beta"], _at="beta")
+        client = Client(server, request_size=128, _core=cluster["alpha"])
+        assert client.run(3) == 3
+        anchor = cluster["beta"].repository.get(server._fargo_target_id)
+        assert anchor.requests_served == 3
+
+    def test_traffic_scales_with_reply_size(self, cluster):
+        big_server = Server(reply_size=50_000, _core=cluster["beta"], _at="beta")
+        client = Client(big_server, _core=cluster["alpha"])
+        before = cluster.stats.bytes
+        client.run(1)
+        assert cluster.stats.bytes - before > 50_000
+
+
+class TestDataWorkers:
+    def test_worker_reads(self, cluster):
+        source = DataSource(8_192, _core=cluster["alpha"])
+        worker = Worker(source, chunk=512, _core=cluster["alpha"])
+        assert worker.work(4) == 2_048
+
+    def test_checksum_stable(self, cluster):
+        source = DataSource(1_000, seed=3, _core=cluster["alpha"])
+        first = source.checksum()
+        cluster.move(source, "beta")
+        assert source.checksum() == first  # content survives migration
+
+
+class TestPipeline:
+    def test_three_stage_chain(self, cluster):
+        last = Stage(None, cost_bytes=10, _core=cluster["alpha"])
+        middle = Stage(last, cost_bytes=10, _core=cluster["alpha"])
+        first = Stage(middle, cost_bytes=10, _core=cluster["alpha"])
+        out = first.process(b"seed")
+        assert len(out) == 4 + 30
+
+    def test_stages_spread_across_cores(self, cluster3):
+        last = Stage(None, _core=cluster3["gamma"], _at="gamma")
+        middle = Stage(last, _core=cluster3["beta"], _at="beta")
+        first = Stage(middle, _core=cluster3["alpha"])
+        out = first.process(b"x")
+        assert len(out) == 1 + 3 * 128
+
+
+class TestPrinters:
+    def test_print_at_site(self, cluster):
+        printer = Printer("lab", _core=cluster["alpha"])
+        desk = Desktop(printer, _core=cluster["alpha"])
+        assert desk.print_report("doc") == "printed at lab: doc"
+        assert printer.location() == "lab"

@@ -1,0 +1,98 @@
+"""Tests for the Anchor base class and execution context."""
+
+import pytest
+
+from repro.complet.anchor import (
+    Anchor,
+    anchor_type_name,
+    current_complet,
+    current_core,
+    execution_context,
+    qualified_class_ref,
+    resolve_class_ref,
+)
+from repro.errors import CompletError
+from repro.util.ids import CompletId
+from tests.anchors import Probe_
+
+
+class TestIdentity:
+    def test_uninstalled_anchor_has_no_id(self):
+        probe = Probe_()
+        assert not probe.is_installed
+        with pytest.raises(CompletError):
+            _ = probe.complet_id
+
+    def test_installed_on_instantiation(self, cluster):
+        from tests.anchors import Probe
+
+        stub = Probe(_core=cluster["alpha"])
+        anchor = cluster["alpha"].repository.get(stub._fargo_target_id)
+        assert anchor.is_installed
+        assert anchor.complet_id.birth_core == "alpha"
+        assert anchor.complet_id.type_name == "Probe"
+
+    def test_repr_shows_state(self):
+        probe = Probe_()
+        assert "uninstalled" in repr(probe)
+        probe._complet_id = CompletId("x", 1, "Probe")
+        assert "x/c1" in repr(probe)
+
+
+class TestExecutionContext:
+    def test_no_context_by_default(self):
+        assert current_core() is None
+        assert current_complet() is None
+
+    def test_core_property_requires_context(self):
+        probe = Probe_()
+        with pytest.raises(CompletError):
+            _ = probe.core
+
+    def test_context_is_scoped(self, cluster):
+        core = cluster["alpha"]
+        cid = CompletId("alpha", 1, "T")
+        with execution_context(core, cid):
+            assert current_core() is core
+            assert current_complet() == cid
+            with execution_context(None, None):
+                assert current_core() is None
+            assert current_core() is core
+        assert current_core() is None
+
+    def test_core_visible_during_invocation(self, cluster):
+        from tests.anchors import Probe
+
+        stub = Probe(_core=cluster["alpha"])
+        cluster.move(stub, "beta")
+        history = stub.get_history()
+        assert "post_arrival:beta" in history
+
+
+class TestClassRefs:
+    def test_type_name_strips_underscore(self):
+        assert anchor_type_name(Probe_) == "Probe"
+
+    def test_type_name_without_underscore(self):
+        class Odd(Anchor):
+            pass
+
+        assert anchor_type_name(Odd) == "Odd"
+
+    def test_qualified_ref_roundtrip(self):
+        ref = qualified_class_ref(Probe_)
+        assert ref == "tests.anchors:Probe_"
+        assert resolve_class_ref(ref) is Probe_
+
+    def test_resolve_non_class_raises(self):
+        with pytest.raises(CompletError):
+            resolve_class_ref("tests.anchors:__doc__")
+
+
+class TestCallbacksDefaults:
+    def test_default_callbacks_are_noops(self):
+        anchor = Anchor()
+        anchor.pre_departure("anywhere")
+        anchor.pre_arrival()
+        anchor.post_arrival()
+        anchor.post_departure()

@@ -1,0 +1,89 @@
+"""Tests for the offline FarGo Compiler CLI."""
+
+import io
+
+from repro.complet.compiler import (
+    compile_module,
+    describe_complet,
+    find_anchor_classes,
+    main,
+)
+from repro.cluster import workload
+from repro.cluster.workload import Counter_, Echo_
+
+
+class TestDiscovery:
+    def test_finds_module_anchors(self):
+        found = find_anchor_classes(workload)
+        names = [cls.__name__ for cls in found]
+        assert "Echo_" in names
+        assert "Counter_" in names
+        assert "Anchor" not in names
+
+    def test_sorted_deterministically(self):
+        found = find_anchor_classes(workload)
+        assert [c.__name__ for c in found] == sorted(c.__name__ for c in found)
+
+    def test_imported_anchors_excluded(self):
+        from tests import anchors as test_anchors
+
+        found = find_anchor_classes(test_anchors)
+        # Probe_ is defined there; workload classes are not re-reported.
+        names = [cls.__name__ for cls in found]
+        assert "Probe_" in names
+        assert "Echo_" not in names
+
+
+class TestDescription:
+    def test_describe_lists_interface(self):
+        report = describe_complet(Echo_)
+        assert "complet Echo (from Echo_)" in report
+        assert "echo(self, value)" in report
+        assert "ping(self)" in report
+
+    def test_describe_includes_properties(self):
+        from tests.anchors import Propertied_
+
+        report = describe_complet(Propertied_)
+        assert "properties:" in report
+        assert "answer" in report
+
+    def test_describe_empty_interface(self):
+        from repro.complet.anchor import Anchor
+
+        class Bare_(Anchor):
+            pass
+
+        assert "(none)" in describe_complet(Bare_)
+
+
+class TestCli:
+    def test_compile_module_reports(self):
+        out = io.StringIO()
+        errors = compile_module("repro.cluster.workload", out=out)
+        text = out.getvalue()
+        assert errors == 0
+        assert "complets compiled, 0 errors" in text
+        assert "complet Echo" in text
+
+    def test_compile_module_import_failure(self):
+        out = io.StringIO()
+        assert compile_module("no.such.module", out=out) == 1
+        assert "cannot import" in out.getvalue()
+
+    def test_compile_module_without_anchors(self):
+        out = io.StringIO()
+        assert compile_module("repro.util.ids", out=out) == 0
+        assert "no anchor classes" in out.getvalue()
+
+    def test_main_usage(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().out
+
+    def test_main_success(self, capsys):
+        assert main(["repro.cluster.workload"]) == 0
+
+    def test_main_bad_anchor_fails(self, capsys):
+        # tests.badanchors defines an anchor violating the underscore rule.
+        assert main(["tests.badanchors"]) == 1
+        assert "error" in capsys.readouterr().out

@@ -1,0 +1,95 @@
+"""Tests for weak-mobility continuations and movement callbacks (§3.3)."""
+
+import pytest
+
+from repro.complet.anchor import Anchor
+from repro.complet.continuation import Continuation
+from repro.complet.stub import compile_complet
+from repro.core.carrier import Carrier
+from repro.errors import CompletError, ContinuationError
+from tests.anchors import Probe, Probe_
+
+
+class TestContinuationObject:
+    def test_resolve_bound_method(self):
+        probe = Probe_()
+        cont = Continuation("note", ("entry",))
+        cont.resolve(probe)("from-continuation")
+        assert probe.history == ["from-continuation"]
+
+    def test_resolve_missing_method(self):
+        with pytest.raises(ContinuationError):
+            Continuation("does_not_exist").resolve(Probe_())
+
+    def test_resolve_non_callable(self):
+        class Odd_(Anchor):
+            attribute = 42
+
+        with pytest.raises(ContinuationError):
+            Continuation("attribute").resolve(Odd_())
+
+
+class TestMovementCallbacks:
+    def test_callback_order_single_move(self, cluster):
+        probe = Probe(_core=cluster["alpha"])
+        cluster.move(probe, "beta")
+        history = probe.get_history()
+        assert history == [
+            "pre_departure:beta",
+            "pre_arrival",
+            "post_arrival:beta",
+        ]
+        # post_departure ran on the *old copy*, which stayed behind.
+        # The moved complet's history was marshaled before it fired.
+
+    def test_post_departure_runs_on_old_copy(self, cluster):
+        probe = Probe(_core=cluster["alpha"])
+        anchor = cluster["alpha"].repository.get(probe._fargo_target_id)
+        cluster.move(probe, "beta")
+        assert "post_departure" in anchor.history
+
+    def test_callbacks_fire_per_hop(self, cluster3):
+        probe = Probe(_core=cluster3["alpha"])
+        cluster3.move(probe, "beta")
+        cluster3.move(probe, "gamma")
+        history = probe.get_history()
+        assert history.count("pre_arrival") == 2
+        assert "post_arrival:beta" in history
+        assert "post_arrival:gamma" in history
+
+
+class TestMoveWithContinuation:
+    def test_continuation_invoked_at_destination(self, cluster):
+        probe = Probe(_core=cluster["alpha"])
+        Carrier.move(probe, "beta", "note", ("continued",))
+        # Continuations run detached (the paper starts a thread); drain
+        # the virtual timeline to let it fire.
+        cluster.drain()
+        history = probe.get_history()
+        assert history[-1] == "continued"
+        assert history[-2] == "post_arrival:beta"  # after post_arrival
+
+    def test_continuation_with_kwargs(self, cluster):
+        probe = Probe(_core=cluster["alpha"])
+        cluster["alpha"].move(probe, "beta", "note", kwargs={"entry": "kw"})
+        cluster.drain()
+        assert probe.get_history()[-1] == "kw"
+
+    def test_missing_continuation_method_fails_move(self, cluster):
+        probe = Probe(_core=cluster["alpha"])
+        with pytest.raises(ContinuationError):
+            Carrier.move(probe, "beta", "no_such_method")
+
+    def test_self_move_figure3_style(self, cluster):
+        """A complet moves itself by passing its own anchor to Carrier.move."""
+        from tests.anchors import Roamer
+
+        roamer = Roamer(_core=cluster["alpha"])
+        roamer.roam("beta")
+        cluster.drain()
+        assert roamer.path() == ["beta"]
+        assert cluster.locate(roamer) == "beta"
+
+    def test_carrier_requires_context(self):
+        with pytest.raises(CompletError):
+            Carrier.move(Probe_(), "anywhere")

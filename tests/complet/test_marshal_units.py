@@ -1,0 +1,163 @@
+"""Unit tests for the movement planner and marshaler internals."""
+
+import pytest
+
+from repro.complet.marshal import (
+    CloneEntry,
+    MovementMarshaler,
+    MovementPlan,
+    MovementUnmarshaler,
+    marshal_clone,
+    unmarshal_clone,
+)
+from repro.complet.relocators import Duplicate, Pull
+from repro.complet.tokens import InGroupToken, RefToken
+from repro.core.core import Core
+from repro.errors import SerializationError
+from repro.net.serializer import PLAIN
+from repro.cluster.workload import Counter, DataSource, Echo, Worker
+from tests.anchors import Holder
+
+
+def _anchor(cluster, stub):
+    return cluster.core(cluster.locate(stub)).repository.get(stub._fargo_target_id)
+
+
+class TestMovementPlan:
+    def test_single_complet_plan(self, cluster):
+        echo = Echo("x", _core=cluster["alpha"])
+        plan = MovementPlan(cluster["alpha"], _anchor(cluster, echo))
+        assert list(plan.movers) == [echo._fargo_target_id]
+        assert plan.local_clones == {}
+        assert plan.remote_pulls == []
+
+    def test_pull_extends_group(self, cluster):
+        target = Counter(0, _core=cluster["alpha"])
+        holder = Holder(target, _core=cluster["alpha"])
+        anchor = _anchor(cluster, holder)
+        Core.get_meta_ref(anchor.ref).set_relocator(Pull())
+        plan = MovementPlan(cluster["alpha"], anchor)
+        assert set(plan.movers) == {
+            holder._fargo_target_id,
+            target._fargo_target_id,
+        }
+
+    def test_remote_pull_recorded_not_grouped(self, cluster):
+        target = Counter(0, _core=cluster["beta"], _at="beta")
+        holder = Holder(target, _core=cluster["alpha"])
+        anchor = _anchor(cluster, holder)
+        Core.get_meta_ref(anchor.ref).set_relocator(Pull())
+        plan = MovementPlan(cluster["alpha"], anchor)
+        assert list(plan.movers) == [holder._fargo_target_id]
+        assert len(plan.remote_pulls) == 1
+
+    def test_duplicate_assigns_fresh_clone_id(self, cluster):
+        source = DataSource(50, _core=cluster["alpha"])
+        worker = Worker(source, _core=cluster["alpha"])
+        anchor = _anchor(cluster, worker)
+        Core.get_meta_ref(anchor.source).set_relocator(Duplicate())
+        plan = MovementPlan(cluster["alpha"], anchor)
+        clone_id, clone_anchor = plan.local_clones[source._fargo_target_id]
+        assert clone_id != source._fargo_target_id
+        assert clone_anchor is _anchor(cluster, source)
+        assert clone_id in plan.group_ids
+
+    def test_root_first_in_movers(self, cluster):
+        target = Counter(0, _core=cluster["alpha"])
+        holder = Holder(target, _core=cluster["alpha"])
+        anchor = _anchor(cluster, holder)
+        Core.get_meta_ref(anchor.ref).set_relocator(Pull())
+        plan = MovementPlan(cluster["alpha"], anchor)
+        assert next(iter(plan.movers)) == holder._fargo_target_id
+
+
+class TestMarshalerPayload:
+    def test_payload_metadata(self, cluster):
+        echo = Echo("x", _core=cluster["alpha"])
+        plan = MovementPlan(cluster["alpha"], _anchor(cluster, echo))
+        payload = MovementMarshaler(cluster["alpha"], plan).payload(None)
+        assert payload.source_core == "alpha"
+        assert payload.member_ids == [echo._fargo_target_id]
+        member = payload.members[0]
+        assert member.source_tracker.core == "alpha"
+
+    def test_payload_is_plain_picklable(self, cluster):
+        """The whole movement payload crosses in one PLAIN message."""
+        target = Counter(0, _core=cluster["alpha"])
+        holder = Holder(target, _core=cluster["alpha"])
+        anchor = _anchor(cluster, holder)
+        Core.get_meta_ref(anchor.ref).set_relocator(Pull())
+        plan = MovementPlan(cluster["alpha"], anchor)
+        payload = MovementMarshaler(cluster["alpha"], plan).payload(None)
+        assert PLAIN.roundtrip(payload).member_ids == payload.member_ids
+
+    def test_in_group_references_tokenized(self, cluster):
+        target = Counter(0, _core=cluster["alpha"])
+        holder = Holder(target, _core=cluster["alpha"])
+        anchor = _anchor(cluster, holder)
+        Core.get_meta_ref(anchor.ref).set_relocator(Pull())
+        plan = MovementPlan(cluster["alpha"], anchor)
+        marshaler = MovementMarshaler(cluster["alpha"], plan)
+        token = marshaler.reference_token(anchor.ref, Pull())
+        assert isinstance(token, InGroupToken)
+
+    def test_outside_references_tokenized_as_ref(self, cluster):
+        target = Counter(0, _core=cluster["alpha"])
+        holder = Holder(target, _core=cluster["alpha"])
+        anchor = _anchor(cluster, holder)  # link: target stays
+        plan = MovementPlan(cluster["alpha"], anchor)
+        marshaler = MovementMarshaler(cluster["alpha"], plan)
+        token = marshaler.reference_token(anchor.ref, anchor.ref._fargo_meta.get_relocator())
+        assert isinstance(token, RefToken)
+        assert token.target_id == target._fargo_target_id
+
+
+class TestCloneStreams:
+    def test_clone_roundtrip(self, cluster):
+        source = DataSource(100, _core=cluster["alpha"])
+        anchor = _anchor(cluster, source)
+        clone_id = cluster["alpha"].repository.new_complet_id(anchor)
+        entry = marshal_clone(cluster["alpha"], anchor, clone_id)
+        clone = unmarshal_clone(cluster["beta"], entry)
+        assert clone.complet_id == clone_id
+        assert clone.blob == anchor.blob
+        assert clone is not anchor
+
+    def test_clone_outgoing_refs_degrade_to_link(self, cluster):
+        source = DataSource(100, _core=cluster["alpha"])
+        worker = Worker(source, _core=cluster["alpha"])
+        anchor = _anchor(cluster, worker)
+        Core.get_meta_ref(anchor.source).set_relocator(Pull())
+        clone_id = cluster["alpha"].repository.new_complet_id(anchor)
+        entry = marshal_clone(cluster["alpha"], anchor, clone_id)
+        clone = unmarshal_clone(cluster["beta"], entry)
+        assert Core.get_meta_ref(clone.source).type_name == "link"
+
+    def test_corrupt_clone_stream_rejected(self, cluster):
+        entry = CloneEntry(
+            cluster["alpha"].repository.new_complet_id(Echo.__mro__[0]._fargo_anchor_cls("x")),
+            "repro.cluster.workload:Echo_",
+            PLAIN.dumps("not an anchor"),
+        )
+        with pytest.raises(SerializationError):
+            unmarshal_clone(cluster["beta"], entry)
+
+
+class TestUnmarshaler:
+    def test_group_roundtrip_through_objects(self, cluster):
+        target = Counter(3, _core=cluster["alpha"])
+        holder = Holder(target, _core=cluster["alpha"])
+        anchor = _anchor(cluster, holder)
+        Core.get_meta_ref(anchor.ref).set_relocator(Pull())
+        plan = MovementPlan(cluster["alpha"], anchor)
+        payload = MovementMarshaler(cluster["alpha"], plan).payload(None)
+        shipped = PLAIN.roundtrip(payload)
+        result = MovementUnmarshaler(cluster["beta"], shipped).load()
+        movers = list(result.movers.values())
+        assert len(movers) == 2
+        arrived_holder = result.movers[holder._fargo_target_id]
+        arrived_counter = result.movers[target._fargo_target_id]
+        # The intra-group reference is wired to beta's tracker for the
+        # counter that travelled in the same stream:
+        assert arrived_holder.ref._fargo_target_id == target._fargo_target_id
+        assert arrived_counter.value == 3

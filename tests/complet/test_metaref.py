@@ -1,0 +1,116 @@
+"""Tests for meta references: reflection on complet references (§3.2)."""
+
+import pytest
+
+from repro.complet.relocators import Link, Pull
+from repro.core.core import Core
+from repro.errors import ConfigurationError, NotAStubError
+from repro.cluster.workload import Counter, Echo
+
+
+class TestReflection:
+    def test_get_meta_ref(self, cluster):
+        echo = Echo("x", _core=cluster["alpha"])
+        meta = Core.get_meta_ref(echo)
+        assert isinstance(meta.get_relocator(), Link)
+        assert meta.type_name == "link"
+
+    def test_get_meta_ref_rejects_non_stub(self):
+        with pytest.raises(NotAStubError):
+            Core.get_meta_ref("not a stub")
+
+    def test_paper_retyping_idiom(self, cluster):
+        """The exact §3.2 pattern: check the type, then change it."""
+        msg = Echo("m", _core=cluster["alpha"])
+        meta_ref = Core.get_meta_ref(msg)
+        if isinstance(meta_ref.get_relocator(), Link):
+            meta_ref.set_relocator(Pull())
+        assert isinstance(meta_ref.get_relocator(), Pull)
+
+    def test_set_relocator_validates_type(self, cluster):
+        echo = Echo("x", _core=cluster["alpha"])
+        with pytest.raises(ConfigurationError):
+            Core.get_meta_ref(echo).set_relocator("pull")
+
+    def test_retyping_fires_event(self, cluster):
+        events = []
+        cluster["alpha"].events.subscribe("referenceRetyped", events.append)
+        echo = Echo("x", _core=cluster["alpha"])
+        Core.get_meta_ref(echo).set_relocator(Pull())
+        assert len(events) == 1
+        assert events[0].data["old_type"] == "link"
+        assert events[0].data["new_type"] == "pull"
+
+    def test_invocation_syntax_unchanged_after_retype(self, cluster):
+        """§3.2's key point: retyping never touches how the stub is used."""
+        echo = Echo("same", _core=cluster["alpha"])
+        before = echo.ping()
+        Core.get_meta_ref(echo).set_relocator(Pull())
+        assert echo.ping() == before
+
+
+class TestTargetReflection:
+    def test_target_id(self, cluster):
+        echo = Echo("x", _core=cluster["alpha"])
+        meta = Core.get_meta_ref(echo)
+        assert meta.get_target_id() == echo._fargo_target_id
+
+    def test_target_type(self, cluster):
+        echo = Echo("x", _core=cluster["alpha"])
+        assert Core.get_meta_ref(echo).get_target_type() == "repro.cluster.workload:Echo_"
+
+    def test_target_location_local(self, cluster):
+        echo = Echo("x", _core=cluster["alpha"])
+        assert Core.get_meta_ref(echo).get_target_location() == "alpha"
+        assert Core.get_meta_ref(echo).is_local
+
+    def test_target_location_after_moves(self, cluster3):
+        echo = Echo("x", _core=cluster3["alpha"])
+        cluster3.move_via_host(echo, "beta")
+        cluster3.move_via_host(echo, "gamma")
+        meta = Core.get_meta_ref(echo)
+        assert meta.get_target_location() == "gamma"
+        assert not meta.is_local
+
+
+class TestAccounting:
+    def test_invocation_count(self, cluster):
+        counter = Counter(0, _core=cluster["alpha"])
+        meta = Core.get_meta_ref(counter)
+        for _ in range(5):
+            counter.increment()
+        assert meta.invocation_count == 5
+
+    def test_bytes_transferred_grow(self, cluster):
+        echo = Echo("x", _core=cluster["alpha"])
+        meta = Core.get_meta_ref(echo)
+        echo.echo("a")
+        small = meta.bytes_transferred
+        echo.echo("a" * 10_000)
+        assert meta.bytes_transferred > small + 10_000
+
+    def test_counts_are_per_reference(self, cluster):
+        counter = Counter(0, _core=cluster["alpha"])
+        other = cluster.stub_at("alpha", counter)
+        counter.increment()
+        counter.increment()
+        other.increment()
+        assert Core.get_meta_ref(counter).invocation_count == 2
+        assert Core.get_meta_ref(other).invocation_count == 1
+
+
+class TestNewReference:
+    def test_independent_meta_reference(self, cluster):
+        """Core.new_reference: same complet, separately typable reference."""
+        from repro.errors import NotAStubError
+
+        counter = Counter(0, _core=cluster["alpha"])
+        other = Core.new_reference(counter)
+        Core.get_meta_ref(other).set_relocator(Pull())
+        assert Core.get_meta_ref(counter).type_name == "link"
+        assert Core.get_meta_ref(other).type_name == "pull"
+        assert other._fargo_tracker is counter._fargo_tracker  # one tracker
+        assert other.increment() == 1
+        assert counter.read() == 1  # same complet behind both
+        with pytest.raises(NotAStubError):
+            Core.new_reference("nope")

@@ -1,0 +1,74 @@
+"""Tests: relocators (built-in and user-defined) travel on the wire intact."""
+
+from repro.complet.relocators import Duplicate, Pull, Stamp
+from repro.core.core import Core
+from repro.cluster.workload import Counter, DataSource, Worker
+from tests.anchors import Holder, SizeBound_
+
+
+def _held_ref(cluster, holder):
+    host = cluster.core(cluster.locate(holder))
+    return host.repository.get(holder._fargo_target_id).ref
+
+
+class TestRelocatorsTravel:
+    def test_pull_semantics_survive_holder_moves(self, cluster3):
+        """A pull ref keeps pulling after its holder migrated twice."""
+        target = Counter(0, _core=cluster3["alpha"])
+        holder = Holder(target, _core=cluster3["alpha"])
+        Core.get_meta_ref(_held_ref(cluster3, holder)).set_relocator(Pull())
+        cluster3.move(holder, "beta")
+        assert cluster3.locate(target) == "beta"
+        cluster3.move(holder, "gamma")
+        assert cluster3.locate(target) == "gamma"
+        assert Core.get_meta_ref(_held_ref(cluster3, holder)).type_name == "pull"
+
+    def test_stamp_state_survives_wire(self, cluster3):
+        """Stamp's fallback configuration is part of the travelling state."""
+        from repro.cluster.workload import Printer
+
+        Printer("beta-p", _core=cluster3["beta"], _at="beta")
+        printer = Printer("alpha-p", _core=cluster3["alpha"])
+        holder = Holder(printer, _core=cluster3["alpha"])
+        Core.get_meta_ref(_held_ref(cluster3, holder)).set_relocator(
+            Stamp(fallback="link")
+        )
+        cluster3.move(holder, "beta")
+        meta = Core.get_meta_ref(_held_ref(cluster3, holder))
+        assert meta.type_name == "stamp"
+        assert meta.get_relocator().fallback == "link"
+        # gamma has no printer: fallback applies, move succeeds.
+        cluster3.move(holder, "gamma")
+        assert cluster3.locate(holder) == "gamma"
+
+    def test_user_defined_relocator_travels(self, cluster3):
+        """A user-defined relocator class rides the wire by module reference
+        and keeps both its behaviour and its configuration."""
+        small = DataSource(100, _core=cluster3["alpha"])
+        holder = Holder(small, _core=cluster3["alpha"])
+        Core.get_meta_ref(_held_ref(cluster3, holder)).set_relocator(
+            SizeBound_(max_bytes=50_000)
+        )
+        cluster3.move(holder, "beta")
+        assert cluster3.locate(small) == "beta"  # pulled (small enough)
+        meta = Core.get_meta_ref(_held_ref(cluster3, holder))
+        assert meta.type_name == "sizebound"
+        assert meta.get_relocator().max_bytes == 50_000
+        # Grow the target beyond the bound; the next move links instead.
+        anchor = cluster3["beta"].repository.get(small._fargo_target_id)
+        anchor.blob = bytes(200_000)
+        cluster3.move(holder, "gamma")
+        assert cluster3.locate(small) == "beta"  # left behind this time
+
+    def test_duplicate_copies_on_every_hop(self, cluster3):
+        source = DataSource(100, _core=cluster3["alpha"])
+        worker = Worker(source, _core=cluster3["alpha"])
+        anchor = cluster3["alpha"].repository.get(worker._fargo_target_id)
+        Core.get_meta_ref(anchor.source).set_relocator(Duplicate())
+        cluster3.move(worker, "beta")
+        cluster3.move(worker, "gamma")
+        beta_copies = [c for c in cluster3.complets_at("beta") if "DataSource" in c]
+        gamma_copies = [c for c in cluster3.complets_at("gamma") if "DataSource" in c]
+        assert len(beta_copies) == 1  # first hop's copy stays at beta
+        assert len(gamma_copies) == 1  # second hop copies the beta copy
+        assert cluster3.locate(source) == "alpha"  # original untouched

@@ -1,0 +1,232 @@
+"""Tests for the four relocation semantics and user-defined relocators (§3.3)."""
+
+import pytest
+
+from repro.complet.relocators import (
+    BUILTIN_RELOCATORS,
+    Duplicate,
+    Link,
+    Pull,
+    Relocator,
+    Stamp,
+    relocator_from_name,
+)
+from repro.core.core import Core
+from repro.errors import ConfigurationError, StampResolutionError
+from repro.cluster.workload import DataSource, Desktop, Printer, Worker
+from tests.anchors import Holder, Pair, SizeBound_
+
+
+def _retype(cluster, holder_stub, attr, relocator):
+    """Retype the reference held in `attr` of the complet behind holder_stub."""
+    core = cluster.core(cluster.locate(holder_stub))
+    anchor = core.repository.get(holder_stub._fargo_target_id)
+    Core.get_meta_ref(getattr(anchor, attr)).set_relocator(relocator)
+
+
+class TestRelocatorBasics:
+    def test_builtin_registry(self):
+        assert set(BUILTIN_RELOCATORS) == {"link", "pull", "duplicate", "stamp"}
+
+    def test_from_name(self):
+        assert isinstance(relocator_from_name("pull"), Pull)
+        assert isinstance(relocator_from_name("LINK"), Link)
+
+    def test_from_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            relocator_from_name("teleport")
+
+    def test_equality_by_type_and_state(self):
+        assert Link() == Link()
+        assert Pull() != Link()
+        assert Stamp("link") != Stamp("error")
+        assert Stamp("link") == Stamp("link")
+
+    def test_parameter_degrading_defaults_to_link(self):
+        for relocator in (Link(), Pull(), Duplicate(), Stamp()):
+            assert isinstance(relocator.degraded_for_parameter(), Link)
+
+    def test_stamp_fallback_validated(self):
+        with pytest.raises(ConfigurationError):
+            Stamp(fallback="explode")
+
+    def test_picklable(self):
+        import pickle
+
+        for relocator in (Link(), Pull(), Duplicate(), Stamp("link")):
+            assert pickle.loads(pickle.dumps(relocator)) == relocator
+
+
+class TestLinkSemantics:
+    def test_link_target_stays_behind(self, cluster):
+        source = DataSource(100, _core=cluster["alpha"])
+        worker = Worker(source, _core=cluster["alpha"])
+        cluster.move(worker, "beta")
+        assert cluster.locate(worker) == "beta"
+        assert cluster.locate(source) == "alpha"
+
+    def test_link_keeps_tracking_after_both_move(self, cluster3):
+        source = DataSource(100, _core=cluster3["alpha"])
+        worker = Worker(source, _core=cluster3["alpha"])
+        cluster3.move(worker, "beta")
+        cluster3.move(source, "gamma")
+        assert worker.work(1) == 100  # reference still resolves (100-byte blob)
+
+
+class TestPullSemantics:
+    def test_pull_target_moves_along(self, cluster):
+        source = DataSource(100, _core=cluster["alpha"])
+        worker = Worker(source, _core=cluster["alpha"])
+        _retype(cluster, worker, "source", Pull())
+        cluster.move(worker, "beta")
+        assert cluster.locate(worker) == "beta"
+        assert cluster.locate(source) == "beta"
+
+    def test_pull_chain_recursive(self, cluster):
+        """A pulls B pulls C: all three move in one group."""
+        c = DataSource(50, _core=cluster["alpha"])
+        b = Worker(c, _core=cluster["alpha"])
+        a = Holder(b, _core=cluster["alpha"])
+        _retype(cluster, a, "ref", Pull())
+        _retype(cluster, b, "source", Pull())
+        cluster.move(a, "beta")
+        for stub in (a, b, c):
+            assert cluster.locate(stub) == "beta"
+
+    def test_pull_single_message(self, cluster):
+        source = DataSource(100, _core=cluster["alpha"])
+        worker = Worker(source, _core=cluster["alpha"])
+        _retype(cluster, worker, "source", Pull())
+        from repro.net.messages import MessageKind
+
+        before = cluster.stats.by_kind[MessageKind.MOVE_COMPLET]
+        cluster.move(worker, "beta")
+        # one request + one reply, regardless of group size
+        assert cluster.stats.by_kind[MessageKind.MOVE_COMPLET] - before == 2
+
+    def test_pull_remote_target_follows(self, cluster3):
+        """Pulling a target hosted on a third Core triggers a follow-up move."""
+        source = DataSource(100, _core=cluster3["gamma"])
+        worker = Worker(source, _core=cluster3["alpha"])
+        _retype(cluster3, worker, "source", Pull())
+        cluster3.move(worker, "beta")
+        assert cluster3.locate(worker) == "beta"
+        assert cluster3.locate(source) == "beta"
+
+    def test_mutual_pull_moves_both_once(self, cluster):
+        """Two complets pulling each other travel as one group."""
+        left = Holder(None, _core=cluster["alpha"])
+        right = Holder(left, _core=cluster["alpha"])
+        left.set_ref(right)
+        _retype(cluster, left, "ref", Pull())
+        _retype(cluster, right, "ref", Pull())
+        cluster.move(left, "beta")
+        assert cluster.locate(left) == "beta"
+        assert cluster.locate(right) == "beta"
+
+
+class TestDuplicateSemantics:
+    def test_copy_travels_original_stays(self, cluster):
+        source = DataSource(100, _core=cluster["alpha"])
+        worker = Worker(source, _core=cluster["alpha"])
+        _retype(cluster, worker, "source", Duplicate())
+        cluster.move(worker, "beta")
+        assert cluster.locate(source) == "alpha"  # original untouched
+        beta_ids = cluster.complets_at("beta")
+        assert any("DataSource" in cid for cid in beta_ids)
+
+    def test_copy_is_independent_state(self, cluster):
+        source = DataSource(100, _core=cluster["alpha"])
+        worker = Worker(source, _core=cluster["alpha"])
+        _retype(cluster, worker, "source", Duplicate())
+        original_reads = source.checksum() and 0
+        cluster.move(worker, "beta")
+        worker.work(3)  # reads go to the copy at beta
+        anchor = cluster["alpha"].repository.get(source._fargo_target_id)
+        assert anchor.reads <= 1  # only our checksum probe touched it
+
+    def test_copy_gets_fresh_identity(self, cluster):
+        source = DataSource(100, _core=cluster["alpha"])
+        worker = Worker(source, _core=cluster["alpha"])
+        _retype(cluster, worker, "source", Duplicate())
+        cluster.move(worker, "beta")
+        beta = cluster["beta"]
+        worker_anchor = beta.repository.get(worker._fargo_target_id)
+        copy_id = worker_anchor.source._fargo_target_id
+        assert copy_id != source._fargo_target_id
+
+    def test_duplicate_remote_target(self, cluster3):
+        """Duplicating a target hosted elsewhere fetches a copy first."""
+        source = DataSource(100, _core=cluster3["gamma"])
+        worker = Worker(source, _core=cluster3["alpha"])
+        _retype(cluster3, worker, "source", Duplicate())
+        cluster3.move(worker, "beta")
+        assert cluster3.locate(source) == "gamma"
+        assert worker.work(1) == 100  # served by the copy at beta
+
+    def test_one_copy_for_two_duplicate_refs(self, cluster):
+        shared = DataSource(100, _core=cluster["alpha"])
+        pair = Pair(shared, shared, _core=cluster["alpha"])
+        anchor = cluster["alpha"].repository.get(pair._fargo_target_id)
+        Core.get_meta_ref(anchor.left).set_relocator(Duplicate())
+        Core.get_meta_ref(anchor.right).set_relocator(Duplicate())
+        cluster.move(pair, "beta")
+        copies = [c for c in cluster.complets_at("beta") if "DataSource" in c]
+        assert len(copies) == 1
+
+
+class TestStampSemantics:
+    def test_reconnects_to_local_instance(self, cluster):
+        printer_a = Printer("site-a", _core=cluster["alpha"])
+        printer_b = Printer("site-b", _core=cluster["beta"])
+        desk = Desktop(printer_a, _core=cluster["alpha"])
+        _retype(cluster, desk, "printer", Stamp())
+        assert desk.print_report("r1") == "printed at site-a: r1"
+        cluster.move(desk, "beta")
+        assert desk.print_report("r2") == "printed at site-b: r2"
+
+    def test_missing_type_aborts_move(self, cluster):
+        printer = Printer("site-a", _core=cluster["alpha"])
+        desk = Desktop(printer, _core=cluster["alpha"])
+        _retype(cluster, desk, "printer", Stamp())
+        with pytest.raises(StampResolutionError):
+            cluster.move(desk, "beta")  # beta has no printer
+        assert cluster.locate(desk) == "alpha"  # move aborted
+
+    def test_link_fallback_keeps_original(self, cluster):
+        printer = Printer("site-a", _core=cluster["alpha"])
+        desk = Desktop(printer, _core=cluster["alpha"])
+        _retype(cluster, desk, "printer", Stamp(fallback="link"))
+        cluster.move(desk, "beta")
+        # No printer at beta: the reference degraded to a link back home.
+        assert desk.print_report("r") == "printed at site-a: r"
+
+    def test_deterministic_pick_among_candidates(self, cluster):
+        first = Printer("beta-one", _core=cluster["beta"])
+        second = Printer("beta-two", _core=cluster["beta"])
+        printer = Printer("site-a", _core=cluster["alpha"])
+        desk = Desktop(printer, _core=cluster["alpha"])
+        _retype(cluster, desk, "printer", Stamp())
+        cluster.move(desk, "beta")
+        assert desk.print_report("r") == "printed at beta-one: r"
+
+
+class TestUserDefinedRelocator:
+    def test_sizebound_pulls_small_target(self, cluster):
+        source = DataSource(100, _core=cluster["alpha"])  # tiny closure
+        worker = Worker(source, _core=cluster["alpha"])
+        _retype(cluster, worker, "source", SizeBound_(max_bytes=100_000))
+        cluster.move(worker, "beta")
+        assert cluster.locate(source) == "beta"
+
+    def test_sizebound_links_large_target(self, cluster):
+        source = DataSource(200_000, _core=cluster["alpha"])  # big closure
+        worker = Worker(source, _core=cluster["alpha"])
+        _retype(cluster, worker, "source", SizeBound_(max_bytes=1_000))
+        cluster.move(worker, "beta")
+        assert cluster.locate(source) == "alpha"
+        assert worker.work(1) == 1024  # link still resolves (big blob)
+
+    def test_custom_relocator_is_a_relocator(self):
+        assert isinstance(SizeBound_(), Relocator)
+        assert SizeBound_().type_name == "sizebound"

@@ -1,0 +1,171 @@
+"""Tests for stubs and the stub compiler (the FarGo Compiler analogue)."""
+
+import inspect
+
+import pytest
+
+from repro.complet.anchor import Anchor
+from repro.complet.stub import Stub, compile_complet
+from repro.errors import (
+    CompletError,
+    NotAnAnchorError,
+    SerializationError,
+    StubGenerationError,
+)
+from repro.cluster.workload import Counter, Echo, Echo_
+from tests.anchors import Propertied, Propertied_
+
+
+class TestCompiler:
+    def test_stub_class_name_drops_underscore(self):
+        assert compile_complet(Echo_).__name__ == "Echo"
+
+    def test_stub_class_cached(self):
+        assert compile_complet(Echo_) is compile_complet(Echo_)
+
+    def test_public_methods_mirrored(self):
+        stub_cls = compile_complet(Echo_)
+        assert hasattr(stub_cls, "echo")
+        assert hasattr(stub_cls, "ping")
+
+    def test_private_methods_not_mirrored(self):
+        class WithPrivate_(Anchor):
+            def visible(self):
+                return 1
+
+            def _hidden(self):
+                return 2
+
+        stub_cls = compile_complet(WithPrivate_)
+        assert hasattr(stub_cls, "visible")
+        assert not hasattr(stub_cls, "_hidden")
+
+    def test_anchor_machinery_not_mirrored(self):
+        stub_cls = compile_complet(Echo_)
+        assert not hasattr(stub_cls, "pre_departure")
+        assert not hasattr(stub_cls, "complet_id")
+
+    def test_signature_preserved(self):
+        stub_cls = compile_complet(Echo_)
+        signature = inspect.signature(stub_cls.echo)
+        assert list(signature.parameters) == ["self", "value"]
+
+    def test_docstring_preserved(self):
+        stub_cls = compile_complet(Echo_)
+        assert "unchanged" in stub_cls.echo.__doc__
+
+    def test_properties_mirrored(self):
+        assert isinstance(
+            inspect.getattr_static(Propertied, "answer"), property
+        )
+
+    def test_requires_anchor_subclass(self):
+        class NotAnchor:
+            pass
+
+        with pytest.raises(NotAnAnchorError):
+            compile_complet(NotAnchor)
+
+    def test_requires_underscore_convention(self):
+        class BadName(Anchor):
+            pass
+
+        with pytest.raises(StubGenerationError):
+            compile_complet(BadName)
+
+    def test_anchor_base_rejected(self):
+        with pytest.raises(StubGenerationError):
+            compile_complet(Anchor)
+
+    def test_module_attribution(self):
+        assert compile_complet(Echo_).__module__ == "repro.cluster.workload"
+
+
+class TestInstantiation:
+    def test_constructor_creates_complet(self, cluster):
+        stub = Echo("tag", _core=cluster["alpha"])
+        assert len(cluster["alpha"].repository) == 1
+        assert stub.ping() == "tag"
+
+    def test_no_core_context_raises(self):
+        with pytest.raises(CompletError):
+            Echo("lost")
+
+    def test_remote_instantiation(self, cluster):
+        stub = Echo("far", _at="beta", _core=cluster["alpha"])
+        assert len(cluster["beta"].repository) == 1
+        assert len(cluster["alpha"].repository) == 0
+        assert stub.ping() == "far"
+        assert cluster.locate(stub) == "beta"
+
+    def test_constructor_args_passed_by_value(self, cluster):
+        shared = {"mutable": [1]}
+
+        class Keeper_(Anchor):
+            def __init__(self, data):
+                self.data = data
+
+            def read(self):
+                return self.data
+
+        Keeper = compile_complet(Keeper_)
+        stub = Keeper(shared, _core=cluster["alpha"])
+        shared["mutable"].append(2)
+        assert stub.read() == {"mutable": [1]}
+
+    def test_constructor_complet_ref_by_reference(self, cluster):
+        """A stub passed to a constructor arrives as a reference, not a copy."""
+        counter = Counter(0, _core=cluster["alpha"])
+
+        class User_(Anchor):
+            def __init__(self, target):
+                self.target = target
+
+            def bump(self):
+                return self.target.increment()
+
+        User = compile_complet(User_)
+        user = User(counter, _core=cluster["beta"], _at="beta")
+        assert user.bump() == 1
+        assert counter.read() == 1  # the same complet was mutated
+
+    def test_invalid_core_kwarg_type(self):
+        with pytest.raises(CompletError):
+            Echo("x", _core=None)
+
+
+class TestStubBehaviour:
+    def test_property_read_through_stub(self, cluster):
+        stub = Propertied(41, _core=cluster["alpha"])
+        assert stub.answer == 42
+        stub.bump()
+        assert stub.answer == 43
+
+    def test_property_read_remote(self, cluster):
+        stub = Propertied(10, _core=cluster["alpha"])
+        cluster.move(stub, "beta")
+        assert stub.answer == 11
+
+    def test_repr_names_target(self, cluster):
+        stub = Echo("x", _core=cluster["alpha"])
+        assert "Echo" in repr(stub)
+        assert "link" in repr(stub)
+
+    def test_direct_pickle_rejected(self, cluster):
+        import pickle
+
+        stub = Echo("x", _core=cluster["alpha"])
+        with pytest.raises(SerializationError):
+            pickle.dumps(stub)
+
+    def test_stub_is_stub_instance(self, cluster):
+        stub = Echo("x", _core=cluster["alpha"])
+        assert isinstance(stub, Stub)
+
+    def test_two_stubs_same_target_share_tracker(self, cluster):
+        counter = Counter(0, _core=cluster["alpha"])
+        holder_core = cluster["alpha"]
+        second = cluster.stub_at("alpha", counter)
+        assert second is not counter
+        assert second._fargo_tracker is counter._fargo_tracker
+        assert holder_core.repository.tracker_count() == 1

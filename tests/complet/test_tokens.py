@@ -1,0 +1,67 @@
+"""Tests for wire tokens: equality, hashing (decode memoization relies on it)."""
+
+import pickle
+
+from repro.complet.relocators import Duplicate, Link, Pull, Stamp
+from repro.complet.tokens import CloneToken, InGroupToken, RefToken, StampToken
+from repro.complet.tracker import TrackerAddress
+from repro.util.ids import CompletId
+
+CID = CompletId("a", 1, "Echo")
+ADDR = TrackerAddress("a", 1)
+REF = "repro.cluster.workload:Echo_"
+
+
+class TestEqualityAndHashing:
+    def test_ref_token_equality(self):
+        assert RefToken(CID, REF, ADDR, Link()) == RefToken(CID, REF, ADDR, Link())
+
+    def test_ref_token_hashable(self):
+        """The decode memo keys on tokens: equal tokens must hash equal."""
+        a = RefToken(CID, REF, ADDR, Link())
+        b = RefToken(CID, REF, ADDR, Link())
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_different_relocator_differs(self):
+        assert RefToken(CID, REF, ADDR, Link()) != RefToken(CID, REF, ADDR, Pull())
+
+    def test_different_target_differs(self):
+        other = CompletId("a", 2, "Echo")
+        assert RefToken(CID, REF, ADDR, Link()) != RefToken(other, REF, ADDR, Link())
+
+    def test_in_group_token(self):
+        assert InGroupToken(CID, REF, Pull()) == InGroupToken(CID, REF, Pull())
+        assert hash(InGroupToken(CID, REF, Pull())) == hash(InGroupToken(CID, REF, Pull()))
+
+    def test_clone_token(self):
+        assert CloneToken(CID, REF, Duplicate()) == CloneToken(CID, REF, Duplicate())
+
+    def test_stamp_token_with_fallback(self):
+        fallback = RefToken(CID, REF, ADDR, Link())
+        a = StampToken(REF, Stamp("link"), fallback)
+        b = StampToken(REF, Stamp("link"), fallback)
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestWireFormat:
+    def test_all_tokens_picklable(self):
+        tokens = [
+            RefToken(CID, REF, ADDR, Link()),
+            InGroupToken(CID, REF, Pull()),
+            CloneToken(CID, REF, Duplicate()),
+            StampToken(REF, Stamp(), None),
+            StampToken(REF, Stamp("link"), RefToken(CID, REF, ADDR, Link())),
+        ]
+        for token in tokens:
+            assert pickle.loads(pickle.dumps(token)) == token
+
+    def test_tokens_are_immutable(self):
+        token = RefToken(CID, REF, ADDR, Link())
+        try:
+            token.target_id = CompletId("b", 2)  # type: ignore[misc]
+            mutated = True
+        except AttributeError:
+            mutated = False
+        assert not mutated

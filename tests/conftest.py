@@ -1,0 +1,33 @@
+"""Shared fixtures: clusters of various sizes over the virtual clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+
+
+@pytest.fixture
+def cluster() -> Cluster:
+    """Two Cores, uniform 1 MB/s / 10 ms links."""
+    return Cluster(["alpha", "beta"])
+
+
+@pytest.fixture
+def cluster3() -> Cluster:
+    return Cluster(["alpha", "beta", "gamma"])
+
+
+@pytest.fixture
+def cluster4() -> Cluster:
+    return Cluster(["alpha", "beta", "gamma", "delta"])
+
+
+@pytest.fixture
+def make_cluster():
+    """Factory for custom topologies."""
+
+    def factory(names, **kwargs) -> Cluster:
+        return Cluster(names, **kwargs)
+
+    return factory

@@ -1,0 +1,97 @@
+"""Edge cases of the event and profiling configuration surface."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.workload import Counter, Echo
+
+
+class TestWildcardRemote:
+    def test_remote_wildcard_subscription(self, cluster):
+        """A remote subscription with '*' receives every event kind."""
+        seen = []
+        cluster["alpha"].events.subscribe_remote("beta", "*", seen.append)
+        counter = Counter(0, _core=cluster["alpha"])
+        cluster.move(counter, "beta")  # fires completArrived at beta
+        cluster["beta"].events.publish("custom-event")
+        names = [e.name for e in seen]
+        assert "completArrived" in names
+        assert "custom-event" in names
+
+    def test_wildcard_complet_listener(self, cluster):
+        from tests.anchors import Listener
+
+        listener = Listener(_core=cluster["beta"], _at="beta")
+        cluster["alpha"].events.subscribe_complet("*", listener)
+        cluster["alpha"].events.publish("one")
+        cluster["alpha"].events.publish("two")
+        assert listener.events_seen() == ["one", "two"]
+
+
+class TestProfileCacheTtl:
+    def test_custom_ttl_per_core(self):
+        cluster = Cluster(["a", "b"], profile_cache_ttl=5.0)
+        core = cluster["a"]
+        core.profile_instant("completLoad")
+        evaluations = core.profiler.evaluations["completLoad"]
+        cluster.advance(3.0)  # within the 5 s TTL
+        core.profile_instant("completLoad")
+        assert core.profiler.evaluations["completLoad"] == evaluations
+        cluster.advance(3.0)  # past it
+        core.profile_instant("completLoad")
+        assert core.profiler.evaluations["completLoad"] == evaluations + 1
+
+    def test_zero_ttl_disables_caching(self):
+        cluster = Cluster(["a"], profile_cache_ttl=0.0)
+        core = cluster["a"]
+        core.profile_instant("completLoad")
+        first = core.profiler.evaluations["completLoad"]
+        cluster.advance(0.001)
+        core.profile_instant("completLoad")
+        assert core.profiler.evaluations["completLoad"] == first + 1
+
+
+class TestEventDataIntegrity:
+    def test_remote_event_is_a_copy(self, cluster):
+        """Events cross the wire by value like everything else."""
+        received = []
+        cluster["alpha"].events.subscribe_remote("beta", "e", received.append)
+        local = []
+        cluster["beta"].events.subscribe("e", local.append)
+        cluster["beta"].events.publish("e", payload={"k": [1]})
+        assert received[0].data == local[0].data
+        assert received[0].data is not local[0].data
+
+    def test_event_ordering_preserved(self, cluster):
+        seen = []
+        cluster["alpha"].events.subscribe("*", seen.append)
+        for index in range(10):
+            cluster["alpha"].events.publish(f"evt{index}")
+        assert [e.name for e in seen] == [f"evt{i}" for i in range(10)]
+
+    def test_subscribe_during_dispatch_is_safe(self, cluster):
+        """A listener adding listeners must not break the current dispatch."""
+        core = cluster["alpha"]
+        late = []
+
+        def recursive(event):
+            core.events.subscribe("later", late.append)
+
+        core.events.subscribe("first", recursive)
+        core.events.publish("first")
+        core.events.publish("later")
+        assert len(late) == 1
+
+    def test_unsubscribe_during_dispatch_is_safe(self, cluster):
+        core = cluster["alpha"]
+        seen = []
+        handles = {}
+
+        def self_removing(event):
+            seen.append(event)
+            core.events.unsubscribe(handles["me"])
+
+        handles["me"] = core.events.subscribe("e", self_removing)
+        core.events.publish("e")
+        core.events.publish("e")
+        assert len(seen) == 1

@@ -1,0 +1,150 @@
+"""Tests for the location registry (the paper's future-work naming scheme)."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.workload import Counter
+from repro.errors import CoreDownError
+from repro.net.messages import MessageKind
+
+
+@pytest.fixture
+def registry_cluster():
+    return Cluster(["a", "b", "c", "d"], use_location_registry=True)
+
+
+class TestRegistryMaintenance:
+    def test_home_learns_every_move(self, registry_cluster):
+        cluster = registry_cluster
+        counter = Counter(0, _core=cluster["a"])
+        cluster.move_via_host(counter, "b")
+        cluster.move_via_host(counter, "c")
+        location = cluster["a"].locator.resolve(counter._fargo_target_id)
+        assert location is not None
+        assert location.core == "c"
+
+    def test_local_birth_core_records_directly(self, registry_cluster):
+        cluster = registry_cluster
+        counter = Counter(0, _core=cluster["a"])
+        cluster.move(counter, "b")
+        cluster["b"].move(counter._fargo_target_id, "a")  # back home
+        location = cluster["a"].locator.resolve(counter._fargo_target_id)
+        assert location.core == "a"
+
+    def test_no_record_before_first_move(self, registry_cluster):
+        cluster = registry_cluster
+        counter = Counter(0, _core=cluster["a"])
+        assert cluster["a"].locator.resolve(counter._fargo_target_id) is None
+
+    def test_query_from_third_core(self, registry_cluster):
+        cluster = registry_cluster
+        counter = Counter(0, _core=cluster["a"])
+        cluster.move(counter, "c")
+        location = cluster["d"].locator.resolve(counter._fargo_target_id)
+        assert location.core == "c"
+
+    def test_update_is_one_message_per_move(self, registry_cluster):
+        cluster = registry_cluster
+        counter = Counter(0, _core=cluster["a"])
+        cluster.move(counter, "b")
+        before = cluster.stats.by_kind[MessageKind.LOCATION_UPDATE]
+        cluster.move_via_host(counter, "c")
+        assert cluster.stats.by_kind[MessageKind.LOCATION_UPDATE] - before == 1
+
+    def test_disabled_by_default(self, cluster):
+        counter = Counter(0, _core=cluster["alpha"])
+        cluster.move(counter, "beta")
+        assert cluster["alpha"].locator.resolve(counter._fargo_target_id) is None
+
+    def test_update_survives_home_outage(self, registry_cluster):
+        """A missed update degrades to chain walking, never to an error."""
+        cluster = registry_cluster
+        counter = Counter(0, _core=cluster["a"])
+        cluster.move(counter, "b")
+        cluster.network.set_node_down("a")  # home offline
+        cluster["b"].move(counter._fargo_target_id, "c")  # update dropped
+        cluster.network.set_node_down("a", down=False)
+        assert counter.increment() == 1  # chain still resolves
+
+
+class TestRegistryResolution:
+    def test_locate_is_single_query_after_many_hops(self, registry_cluster):
+        cluster = registry_cluster
+        counter = Counter(0, _core=cluster["a"])
+        for destination in ("b", "c", "d", "b", "c"):
+            cluster.move_via_host(counter, destination)
+        cluster.reset_stats()
+        # The stub lives at the complet's home Core: resolution needs no
+        # query or chain walk (only shorten bookkeeping posts).
+        assert cluster.locate(counter) == "c"
+        assert cluster.stats.by_kind[MessageKind.LOCATION_QUERY] == 0
+        assert cluster.stats.by_kind[MessageKind.TRACKER_LOOKUP] == 0
+        # From any other Core: one LOCATION_QUERY round trip, no chain walk.
+        foreign = cluster.stub_at("d", counter)
+        cluster.reset_stats()
+        assert cluster["d"].references.locate(foreign._fargo_tracker) == "c"
+        assert cluster.stats.by_kind[MessageKind.LOCATION_QUERY] == 2
+        assert cluster.stats.by_kind[MessageKind.TRACKER_LOOKUP] == 0
+
+    def test_invocation_survives_dead_intermediate_core(self, registry_cluster):
+        """The headline benefit over chains: a dead Core on the migration
+        path no longer breaks the reference."""
+        cluster = registry_cluster
+        counter = Counter(0, _core=cluster["a"])
+        cluster.move_via_host(counter, "b")
+        cluster.move_via_host(counter, "c")
+        cluster.network.set_node_down("b")  # the chain a->b->c is cut
+        assert counter.increment() == 1  # recovered via the registry
+
+    def test_chain_mode_fails_same_scenario(self):
+        chain_cluster = Cluster(["a", "b", "c"])  # registry disabled
+        counter = Counter(0, _core=chain_cluster["a"])
+        chain_cluster.move_via_host(counter, "b")
+        chain_cluster.move_via_host(counter, "c")
+        chain_cluster.network.set_node_down("b")
+        with pytest.raises(CoreDownError):
+            counter.increment()
+
+    def test_no_recovery_when_home_also_dead(self, registry_cluster):
+        cluster = registry_cluster
+        counter = Counter(0, _core=cluster["a"])
+        cluster.move_via_host(counter, "b")
+        cluster.move_via_host(counter, "c")
+        cluster.network.set_node_down("b")
+        cluster.network.set_node_down("a")  # home gone too
+        with pytest.raises(CoreDownError):
+            counter.increment()
+
+    def test_registry_shortens_tracker(self, registry_cluster):
+        cluster = registry_cluster
+        counter = Counter(0, _core=cluster["a"])
+        cluster.move_via_host(counter, "b")
+        cluster.move_via_host(counter, "c")
+        assert cluster.locate(counter) == "c"
+        assert counter._fargo_tracker.next_hop.core == "c"
+
+    def test_stats_counters(self, registry_cluster):
+        cluster = registry_cluster
+        counter = Counter(0, _core=cluster["a"])
+        cluster.move(counter, "b")
+        assert cluster["a"].locator.updates_received == 1
+        assert cluster["a"].locator.known_count() == 1
+        cluster["d"].locator.resolve(counter._fargo_target_id)
+        assert cluster["a"].locator.queries_served == 1
+
+
+class TestRegistryWithGroups:
+    def test_whole_group_registered(self, registry_cluster):
+        from repro.complet.relocators import Pull
+        from repro.core.core import Core
+        from repro.cluster.workload import DataSource, Worker
+
+        cluster = registry_cluster
+        source = DataSource(100, _core=cluster["a"])
+        worker = Worker(source, _core=cluster["a"])
+        anchor = cluster["a"].repository.get(worker._fargo_target_id)
+        Core.get_meta_ref(anchor.source).set_relocator(Pull())
+        cluster.move(worker, "c")
+        for stub in (worker, source):
+            location = cluster["a"].locator.resolve(stub._fargo_target_id)
+            assert location.core == "c"

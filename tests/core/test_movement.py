@@ -1,0 +1,201 @@
+"""Tests for the movement unit: the mobility protocol of §3.3."""
+
+import pytest
+
+from repro.errors import CompletError, MovementDeniedError
+from repro.net.messages import MessageKind
+from repro.cluster.workload import Counter, DataSource, Echo, Worker
+from tests.anchors import Holder, Probe
+
+
+class TestBasicMovement:
+    def test_state_travels(self, cluster):
+        counter = Counter(10, _core=cluster["alpha"])
+        counter.increment(5)
+        cluster.move(counter, "beta")
+        assert counter.read() == 15
+        assert cluster.locate(counter) == "beta"
+
+    def test_repositories_updated(self, cluster):
+        counter = Counter(0, _core=cluster["alpha"])
+        cluster.move(counter, "beta")
+        assert len(cluster["alpha"].repository) == 0
+        assert len(cluster["beta"].repository) == 1
+
+    def test_move_to_same_core_is_noop(self, cluster):
+        counter = Counter(0, _core=cluster["alpha"])
+        messages = cluster.stats.messages
+        cluster.move(counter, "alpha")
+        assert cluster.stats.messages == messages
+        assert cluster.locate(counter) == "alpha"
+
+    def test_move_by_complet_id(self, cluster):
+        counter = Counter(0, _core=cluster["alpha"])
+        cluster["alpha"].move(counter._fargo_target_id, "beta")
+        assert cluster.locate(counter) == "beta"
+
+    def test_move_by_anchor(self, cluster):
+        counter = Counter(0, _core=cluster["alpha"])
+        anchor = cluster["alpha"].repository.get(counter._fargo_target_id)
+        cluster["alpha"].move(anchor, "beta")
+        assert cluster.locate(counter) == "beta"
+
+    def test_move_foreign_anchor_denied(self, cluster):
+        from repro.cluster.workload import Counter_
+
+        with pytest.raises(MovementDeniedError):
+            cluster["alpha"].move(Counter_(0), "beta")
+
+    def test_move_unknown_target_rejected(self, cluster):
+        with pytest.raises(CompletError):
+            cluster["alpha"].move("not-a-complet", "beta")
+
+
+class TestRemoteInitiatedMoves:
+    def test_move_forwarded_to_host(self, cluster3):
+        """Any Core can initiate a move of any complet (MOVE_REQUEST)."""
+        counter = Counter(0, _core=cluster3["alpha"])
+        cluster3.move(counter, "beta")
+        # The stub is wired to alpha; moving again forwards to beta.
+        cluster3.move(counter, "gamma")
+        assert cluster3.locate(counter) == "gamma"
+        assert counter.increment() == 1
+
+    def test_forwarded_move_to_current_host_is_noop(self, cluster):
+        counter = Counter(0, _core=cluster["alpha"])
+        cluster.move(counter, "beta")
+        cluster.move(counter, "beta")  # already there
+        assert cluster.locate(counter) == "beta"
+
+    def test_chased_move_through_stale_tracker(self, cluster3):
+        """A MOVE_REQUEST that arrives after the complet left is chased."""
+        counter = Counter(0, _core=cluster3["alpha"])
+        cluster3.move_via_host(counter, "beta")
+        cluster3.move_via_host(counter, "gamma")
+        # alpha's tracker still says beta; the request is forwarded twice.
+        cluster3["alpha"].move(counter._fargo_target_id, "alpha")
+        assert cluster3.locate(counter) == "alpha"
+
+
+class TestGroupMovement:
+    def test_group_single_message(self, cluster):
+        """One MOVE_COMPLET round trip no matter how many complets move."""
+        from repro.complet.relocators import Pull
+        from repro.core.core import Core
+
+        members = [Counter(i, _core=cluster["alpha"]) for i in range(5)]
+        head = Holder(None, _core=cluster["alpha"])
+        head_anchor = cluster["alpha"].repository.get(head._fargo_target_id)
+        head_anchor.refs = list(members)
+        for stub in head_anchor.refs:
+            Core.get_meta_ref(stub).set_relocator(Pull())
+        before = cluster.stats.by_kind[MessageKind.MOVE_COMPLET]
+        cluster.move(head, "beta")
+        assert cluster.stats.by_kind[MessageKind.MOVE_COMPLET] - before == 2
+        for stub in members:
+            assert cluster.locate(stub) == "beta"
+
+    def test_intra_group_references_stay_wired(self, cluster):
+        """Mutual references between group members survive the move."""
+        from repro.complet.relocators import Pull
+        from repro.core.core import Core
+
+        echo = Echo("inner", _core=cluster["alpha"])
+        holder = Holder(echo, _core=cluster["alpha"])
+        anchor = cluster["alpha"].repository.get(holder._fargo_target_id)
+        Core.get_meta_ref(anchor.ref).set_relocator(Pull())
+        cluster.move(holder, "beta")
+        assert holder.call_ref() == "inner"
+        # The call is local at beta: no INVOKE messages crossed the wire.
+        invokes = cluster.stats.by_kind[MessageKind.INVOKE]
+        holder.call_ref()
+        assert cluster.stats.by_kind[MessageKind.INVOKE] == invokes + 2  # only outer hop
+
+
+class TestIncomingReferences:
+    def test_incoming_refs_keep_working(self, cluster3):
+        """References held by third parties survive the move (§3.3)."""
+        counter = Counter(0, _core=cluster3["alpha"])
+        gamma_ref = cluster3.stub_at("gamma", counter)
+        cluster3.move(counter, "beta")
+        assert gamma_ref.increment() == 1
+
+    def test_outgoing_refs_keep_working(self, cluster3):
+        source = DataSource(100, _core=cluster3["gamma"])
+        worker = Worker(source, _core=cluster3["alpha"])
+        cluster3.move(worker, "beta")
+        assert worker.work(1) == 100
+
+    def test_dest_registers_source_pointer(self, cluster):
+        counter = Counter(0, _core=cluster["alpha"])
+        alpha_tracker = counter._fargo_tracker
+        cluster.move(counter, "beta")
+        beta_tracker = cluster["beta"].repository.existing_tracker(
+            counter._fargo_target_id
+        )
+        assert alpha_tracker.address in beta_tracker.remote_pointers
+
+
+class TestAbortedMoves:
+    def test_unmarshalable_closure_aborts_cleanly(self, cluster):
+        """A move that cannot marshal leaves the complet fully usable."""
+        from repro.errors import SerializationError
+
+        counter = Counter(5, _core=cluster["alpha"])
+        anchor = cluster["alpha"].repository.get(counter._fargo_target_id)
+        anchor.handle = open("/dev/null", "rb")
+        try:
+            with pytest.raises(SerializationError):
+                cluster.move(counter, "beta")
+        finally:
+            anchor.handle.close()
+        del anchor.handle
+        assert cluster.locate(counter) == "alpha"
+        assert counter.increment() == 6
+        cluster.move(counter, "beta")  # works once the handle is gone
+        assert cluster.locate(counter) == "beta"
+
+    def test_unreachable_destination_aborts_cleanly(self, cluster):
+        from repro.errors import CoreDownError
+
+        counter = Counter(0, _core=cluster["alpha"])
+        cluster.network.set_node_down("beta")
+        with pytest.raises(CoreDownError):
+            cluster.move(counter, "beta")
+        assert cluster.locate(counter) == "alpha"
+        assert counter.increment() == 1
+
+
+class TestMovementAccounting:
+    def test_moves_counted(self, cluster):
+        counter = Counter(0, _core=cluster["alpha"])
+        sent = cluster["alpha"].movement.moves_sent
+        received = cluster["beta"].movement.moves_received
+        cluster.move(counter, "beta")
+        assert cluster["alpha"].movement.moves_sent == sent + 1
+        assert cluster["beta"].movement.moves_received == received + 1
+
+    def test_departure_and_arrival_events(self, cluster):
+        seen = []
+        cluster["alpha"].events.subscribe("completDeparted", seen.append)
+        cluster["beta"].events.subscribe("completArrived", seen.append)
+        counter = Counter(0, _core=cluster["alpha"])
+        cluster.move(counter, "beta")
+        names = [e.name for e in seen]
+        assert "completArrived" in names
+        assert "completDeparted" in names
+
+    def test_bytes_scale_with_closure(self, cluster):
+        small = Counter(0, _core=cluster["alpha"])
+        cluster.move(small, "beta")
+        small_bytes = cluster.stats.bytes
+        big = DataSource(100_000, _core=cluster["alpha"])
+        cluster.move(big, "beta")
+        assert cluster.stats.bytes - small_bytes > 90_000
+
+    def test_probe_history_travels(self, cluster):
+        probe = Probe(_core=cluster["alpha"])
+        cluster.move(probe, "beta")
+        cluster.move(probe, "alpha")
+        history = probe.get_history()
+        assert history.count("pre_arrival") == 2

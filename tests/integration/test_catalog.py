@@ -1,0 +1,94 @@
+"""Tests for the replicated catalog sample application."""
+
+import pytest
+
+from repro.apps.catalog import Catalog, CatalogClient, CatalogFleet
+from repro.cluster.cluster import Cluster
+
+
+@pytest.fixture
+def rig():
+    cluster = Cluster(["hub", "edge1", "edge2"])
+    return cluster
+
+
+class TestCatalogComplet:
+    def test_versioned_writes(self, rig):
+        catalog = Catalog(_core=rig["hub"])
+        assert catalog.put("a", 1) == 1
+        assert catalog.put("b", 2) == 2
+        assert catalog.get("a") == 1
+        assert catalog.get_version() == 2
+
+    def test_changes_since(self, rig):
+        catalog = Catalog(_core=rig["hub"])
+        catalog.put("a", 1)
+        version, entries = catalog.changes_since(0)
+        assert version == 1 and entries == {"a": 1}
+        version, entries = catalog.changes_since(1)
+        assert entries == {}
+
+
+class TestReplicationByDuplicate:
+    def test_snapshot_travels_with_client(self, rig):
+        fleet = CatalogFleet(rig, "hub", ["edge1"])
+        # One catalog copy now lives at edge1, next to the client:
+        edge_complets = rig.complets_at("edge1")
+        assert any("Catalog" in c and "Client" not in c for c in edge_complets)
+
+    def test_reads_are_local_after_replication(self, rig):
+        fleet = CatalogFleet(rig, "hub", ["edge1"])
+        fleet.publish("k", "v")
+        fleet.refresh_all()
+        client = rig.stub_at("edge1", fleet.clients[0])
+        rig.reset_stats()
+        assert client.lookup("k") == "v"
+        assert rig.stats.messages == 0  # served from the edge snapshot
+
+    def test_snapshot_isolated_from_master(self, rig):
+        fleet = CatalogFleet(rig, "hub", ["edge1"])
+        fleet.publish("fresh", 1)
+        client = rig.stub_at("edge1", fleet.clients[0])
+        assert client.lookup("fresh") is None  # snapshot predates the write
+        assert client.staleness() == 1
+
+    def test_refresh_catches_up(self, rig):
+        fleet = CatalogFleet(rig, "hub", ["edge1", "edge2"])
+        fleet.publish("a", 1)
+        fleet.publish("b", 2)
+        assert fleet.refresh_all() == 4  # two versions x two clients
+        assert fleet.read_everywhere("b") == [2, 2]
+        client = rig.stub_at("edge1", fleet.clients[0])
+        assert client.staleness() == 0
+
+    def test_refresh_noop_when_current(self, rig):
+        fleet = CatalogFleet(rig, "hub", ["edge1"])
+        assert fleet.refresh_all() == 0
+
+    def test_master_link_survives_replication(self, rig):
+        """The client's master reference still reaches the hub master."""
+        fleet = CatalogFleet(rig, "hub", ["edge1"])
+        fleet.publish("x", 42)
+        client = rig.stub_at("edge1", fleet.clients[0])
+        assert client.staleness() == 1  # read over the master link
+
+    def test_replication_saves_traffic_for_hot_reads(self, rig):
+        """N local reads beat N remote reads once the snapshot ships."""
+        fleet = CatalogFleet(rig, "hub", ["edge1"])
+        for index in range(20):
+            fleet.publish(f"k{index}", "v" * 100)
+        fleet.refresh_all()
+        client = rig.stub_at("edge1", fleet.clients[0])
+        rig.reset_stats()
+        for index in range(50):
+            client.lookup(f"k{index % 20}")
+        local_bytes = rig.stats.bytes
+
+        # Reference point: the same reads straight at the master.
+        remote_reader = CatalogClient(fleet.master, _core=rig["edge2"], _at="edge2")
+        rig.reset_stats()
+        for index in range(50):
+            remote_reader.lookup(f"k{index % 20}")
+        remote_bytes = rig.stats.bytes
+        assert local_bytes == 0
+        assert remote_bytes > 10_000

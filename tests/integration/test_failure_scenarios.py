@@ -1,0 +1,104 @@
+"""Integration: failure injection meets layout policies."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.failures import FailureInjector
+from repro.cluster.workload import Counter, Echo
+from repro.script.interpreter import ScriptEngine
+
+
+class TestScriptedReliability:
+    def test_timed_shutdown_triggers_evacuation(self):
+        """Failure injection + the reliability rule = automatic rescue."""
+        cluster = Cluster(["w1", "w2", "safe"])
+        engine = ScriptEngine(cluster, home="safe")
+        engine.run(
+            "on shutdown firedby $core listenAt [w1, w2] do"
+            " move completsIn $core to safe end"
+        )
+        inject = FailureInjector(cluster)
+        stubs = [Echo(f"e{i}", _core=cluster["w1"], _at="w1") for i in range(3)]
+        inject.shutdown_core_at(10.0, "w1")
+        cluster.advance(10.0)
+        assert len(cluster.complets_at("safe")) == 3
+        for i, stub in enumerate(stubs):
+            assert cluster.stub_at("safe", stub).ping() == f"e{i}"
+
+    def test_cascading_shutdowns(self):
+        cluster = Cluster(["w1", "w2", "safe"])
+        engine = ScriptEngine(cluster, home="safe")
+        engine.run(
+            "on shutdown firedby $core do move completsIn $core to safe end"
+        )
+        inject = FailureInjector(cluster)
+        Echo("a", _core=cluster["w1"], _at="w1")
+        Echo("b", _core=cluster["w2"], _at="w2")
+        inject.shutdown_core_at(5.0, "w1")
+        inject.shutdown_core_at(6.0, "w2")
+        cluster.advance(10.0)
+        assert len(cluster.complets_at("safe")) == 2
+
+    def test_crash_gives_no_chance_to_evacuate(self):
+        """A hard crash (no event) strands the complets — by design."""
+        cluster = Cluster(["w1", "safe"])
+        engine = ScriptEngine(cluster, home="safe")
+        engine.run("on shutdown firedby $core do move completsIn $core to safe end")
+        inject = FailureInjector(cluster)
+        Echo("lost", _core=cluster["w1"], _at="w1")
+        inject.crash_core_at(5.0, "w1")
+        cluster.advance(10.0)
+        assert cluster.complets_at("safe") == []
+
+
+class TestPartitionBehaviour:
+    def test_partition_isolates_then_heals(self):
+        cluster = Cluster(["a", "b"])
+        inject = FailureInjector(cluster)
+        counter = Counter(0, _core=cluster["a"])
+        cluster.move(counter, "b")
+        inject.partition_at(1.0, {"a"}, {"b"})
+        inject.heal_at(5.0)
+        cluster.advance(1.0)
+        from repro.errors import CoreUnreachableError
+
+        with pytest.raises(CoreUnreachableError):
+            counter.increment()
+        cluster.advance(4.0)
+        assert counter.increment() == 1
+
+    def test_move_fails_cleanly_across_partition(self):
+        """A move into the other partition aborts; the complet stays."""
+        cluster = Cluster(["a", "b"])
+        counter = Counter(7, _core=cluster["a"])
+        cluster.partition({"a"}, {"b"})
+        from repro.errors import CoreUnreachableError
+
+        with pytest.raises(CoreUnreachableError):
+            cluster.move(counter, "b")
+        assert cluster.locate(counter) == "a"
+        assert counter.read() == 7  # state intact after aborted move
+
+
+class TestDegradedLinks:
+    def test_transfer_times_grow_after_degradation(self):
+        cluster = Cluster(["a", "b"])
+        inject = FailureInjector(cluster)
+        inject.degrade_link_at(1.0, "a", "b", bandwidth=1_000.0)
+        echo = Echo("x", _core=cluster["a"])
+        cluster.move(echo, "b")
+        cluster.advance(1.0)
+        t0 = cluster.now
+        echo.echo(bytes(10_000))
+        slow_elapsed = cluster.now - t0
+        assert slow_elapsed > 10.0  # 10 KB at 1 KB/s, both directions
+
+    def test_monitoring_observes_the_degradation(self):
+        cluster = Cluster(["a", "b"])
+        inject = FailureInjector(cluster)
+        inject.degrade_link_at(5.0, "a", "b", bandwidth=10_000.0)
+        before = cluster["a"].profile_instant("bandwidth", peer="b")
+        cluster.advance(6.0)
+        after = cluster["a"].profile_instant("bandwidth", peer="b", use_cache=False)
+        assert before == pytest.approx(1_000_000.0, rel=0.05)
+        assert after == pytest.approx(10_000.0, rel=0.05)

@@ -1,0 +1,137 @@
+"""Integration: composite relocation scenarios mixing all reference types."""
+
+import pytest
+
+from repro.complet.relocators import Duplicate, Link, Pull, Stamp
+from repro.core.core import Core
+from repro.net.messages import MessageKind
+from repro.cluster.workload import (
+    Counter,
+    DataSource,
+    Desktop,
+    Echo,
+    Printer,
+    Worker,
+)
+from tests.anchors import Holder, Pair
+
+
+def _anchor(cluster, stub):
+    return cluster.core(cluster.locate(stub)).repository.get(stub._fargo_target_id)
+
+
+class TestMixedGroup:
+    """One mover with a pull, a duplicate, a stamp, and a link reference."""
+
+    @pytest.fixture
+    def rig(self, cluster3):
+        cluster = cluster3
+        Printer("beta-printer", _core=cluster["beta"], _at="beta")
+        pulled = Counter(1, _core=cluster["alpha"])
+        copied = DataSource(500, _core=cluster["alpha"])
+        linked = Echo("stay", _core=cluster["alpha"])
+        stamped = Printer("alpha-printer", _core=cluster["alpha"])
+        mover = Holder(None, _core=cluster["alpha"])
+        anchor = _anchor(cluster, mover)
+        anchor.pulled = pulled
+        anchor.copied = copied
+        anchor.linked = linked
+        anchor.stamped = stamped
+        Core.get_meta_ref(anchor.pulled).set_relocator(Pull())
+        Core.get_meta_ref(anchor.copied).set_relocator(Duplicate())
+        Core.get_meta_ref(anchor.stamped).set_relocator(Stamp())
+        return cluster, mover, pulled, copied, linked, stamped
+
+    def test_every_semantics_applies(self, rig):
+        cluster, mover, pulled, copied, linked, stamped = rig
+        cluster.move(mover, "beta")
+        assert cluster.locate(mover) == "beta"
+        assert cluster.locate(pulled) == "beta"      # pull: moved along
+        assert cluster.locate(copied) == "alpha"     # duplicate: original stays
+        assert cluster.locate(linked) == "alpha"     # link: untouched
+        assert cluster.locate(stamped) == "alpha"    # stamp: original stays
+        anchor = _anchor(cluster, mover)
+        assert anchor.stamped.location() == "beta-printer"  # reconnected
+
+    def test_single_stream_for_whole_group(self, rig):
+        cluster, mover, *_rest = rig
+        before = cluster.stats.by_kind[MessageKind.MOVE_COMPLET]
+        cluster.move(mover, "beta")
+        assert cluster.stats.by_kind[MessageKind.MOVE_COMPLET] - before == 2
+
+    def test_group_remains_movable(self, rig):
+        cluster, mover, pulled, *_rest = rig
+        cluster.move(mover, "beta")
+        Printer("gamma-printer", _core=cluster["gamma"], _at="gamma")
+        cluster.move(mover, "gamma")
+        assert cluster.locate(pulled) == "gamma"
+        anchor = _anchor(cluster, mover)
+        assert anchor.stamped.location() == "gamma-printer"
+
+
+class TestRetypeMidLifecycle:
+    def test_pull_then_link_then_pull(self, cluster3):
+        source = DataSource(100, _core=cluster3["alpha"])
+        worker = Worker(source, _core=cluster3["alpha"])
+        anchor = _anchor(cluster3, worker)
+        Core.get_meta_ref(anchor.source).set_relocator(Pull())
+        cluster3.move(worker, "beta")
+        assert cluster3.locate(source) == "beta"
+
+        anchor = _anchor(cluster3, worker)
+        Core.get_meta_ref(anchor.source).set_relocator(Link())
+        cluster3.move(worker, "gamma")
+        assert cluster3.locate(source) == "beta"  # left behind this time
+
+        anchor = _anchor(cluster3, worker)
+        Core.get_meta_ref(anchor.source).set_relocator(Pull())
+        cluster3.move(worker, "alpha")
+        assert cluster3.locate(source) == "alpha"  # remote pull followed
+
+    def test_relocator_survives_migration(self, cluster3):
+        """The reference keeps its type as its holder migrates."""
+        source = DataSource(100, _core=cluster3["alpha"])
+        worker = Worker(source, _core=cluster3["alpha"])
+        anchor = _anchor(cluster3, worker)
+        Core.get_meta_ref(anchor.source).set_relocator(Pull())
+        cluster3.move(worker, "beta")
+        anchor = _anchor(cluster3, worker)
+        assert Core.get_meta_ref(anchor.source).type_name == "pull"
+
+
+class TestDeepGroups:
+    def test_pull_chain_of_ten(self, cluster):
+        chain = [Counter(0, _core=cluster["alpha"])]
+        for _ in range(9):
+            holder = Holder(chain[-1], _core=cluster["alpha"])
+            anchor = _anchor(cluster, holder)
+            Core.get_meta_ref(anchor.ref).set_relocator(Pull())
+            chain.append(holder)
+        before = cluster.stats.by_kind[MessageKind.MOVE_COMPLET]
+        cluster.move(chain[-1], "beta")
+        assert cluster.stats.by_kind[MessageKind.MOVE_COMPLET] - before == 2
+        for stub in chain:
+            assert cluster.locate(stub) == "beta"
+
+    def test_diamond_pull_topology(self, cluster):
+        """A pulls B and C; both pull D: D moves once, stays shared."""
+        shared = Counter(0, _core=cluster["alpha"])
+        left = Holder(shared, _core=cluster["alpha"])
+        right = Holder(shared, _core=cluster["alpha"])
+        top = Pair(left, right, _core=cluster["alpha"])
+        for holder in (left, right):
+            anchor = _anchor(cluster, holder)
+            Core.get_meta_ref(anchor.ref).set_relocator(Pull())
+        top_anchor = _anchor(cluster, top)
+        Core.get_meta_ref(top_anchor.left).set_relocator(Pull())
+        Core.get_meta_ref(top_anchor.right).set_relocator(Pull())
+        cluster.move(top, "beta")
+        assert cluster.complets_at("alpha") == []
+        # The shared target arrived once:
+        counters = [c for c in cluster.complets_at("beta") if "Counter" in c]
+        assert len(counters) == 1
+        # Both holders see the same counter:
+        left_anchor = _anchor(cluster, left)
+        right_anchor = _anchor(cluster, right)
+        left_anchor.ref.increment()
+        assert right_anchor.ref.read() == 1

@@ -1,0 +1,143 @@
+"""Tests for threshold monitor events (§4.2)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.monitor.events import WatchSpec
+from repro.cluster.workload import Echo
+
+
+class TestThresholdWatches:
+    def test_event_on_crossing(self, cluster):
+        core = cluster["alpha"]
+        fired = []
+        core.events.subscribe("completLoad>2", fired.append)
+        core.monitor.watch("completLoad", ">", 2.0, interval=1.0)
+        cluster.advance(1.0)
+        assert fired == []
+        for _ in range(3):
+            Echo("x", _core=core)
+        # The exponential average needs a few samples of "3" to cross 2.
+        cluster.advance(4.0)
+        assert len(fired) == 1
+        assert fired[0].data["value"] >= 2.0
+        assert fired[0].data["threshold"] == 2.0
+
+    def test_edge_triggered_by_default(self, cluster):
+        core = cluster["alpha"]
+        fired = []
+        core.events.subscribe("completLoad>0", fired.append)
+        core.monitor.watch("completLoad", ">", 0.0, interval=1.0, alpha_unused=None)
+        Echo("x", _core=core)
+        cluster.advance(5.0)
+        assert len(fired) == 1  # stays above threshold: no re-fire
+
+    def test_refires_after_dropping_below(self, cluster):
+        core = cluster["alpha"]
+        fired = []
+        core.events.subscribe("completLoad>0", fired.append)
+        core.monitor.watch("completLoad", ">", 0.5, interval=1.0, event_name="completLoad>0")
+        echo = Echo("x", _core=core)
+        cluster.advance(1.0)
+        assert len(fired) == 1
+        cluster.move(echo, "beta")  # load drops to 0
+        cluster.advance(3.0)  # EMA decays below 0.5
+        Echo("y", _core=core)
+        cluster.advance(3.0)
+        assert len(fired) == 2
+
+    def test_repeat_mode(self, cluster):
+        core = cluster["alpha"]
+        fired = []
+        core.events.subscribe("load-high", fired.append)
+        core.monitor.watch(
+            "completLoad", ">", 0.0, interval=1.0, event_name="load-high", repeat=True
+        )
+        Echo("x", _core=core)
+        cluster.advance(4.0)
+        assert len(fired) == 4
+
+    def test_below_threshold_direction(self, cluster):
+        core = cluster["alpha"]
+        fired = []
+        core.events.subscribe("completLoad<1", fired.append)
+        core.monitor.watch("completLoad", "<", 1.0, interval=1.0)
+        cluster.advance(1.0)
+        assert len(fired) == 1  # empty core is below threshold
+
+    def test_unknown_operator(self, cluster):
+        with pytest.raises(ConfigurationError):
+            cluster["alpha"].monitor.watch("completLoad", "!=", 1.0)
+
+    def test_unwatch_stops_events_and_profiling(self, cluster):
+        core = cluster["alpha"]
+        fired = []
+        core.events.subscribe("load-evt", fired.append)
+        watch_id = core.monitor.watch(
+            "completLoad", ">", 0.0, interval=1.0, event_name="load-evt", repeat=True
+        )
+        Echo("x", _core=core)
+        cluster.advance(2.0)
+        core.monitor.unwatch(watch_id)
+        cluster.advance(5.0)
+        assert len(fired) == 2
+        assert core.profiler.active_profiles() == 0
+
+    def test_many_watchers_one_sampler(self, cluster):
+        """§4.2: thresholds filter per listener; measurement is shared."""
+        core = cluster["alpha"]
+        for threshold in range(20):
+            core.monitor.watch("completLoad", ">", float(threshold), interval=1.0)
+        cluster.advance(5.0)
+        assert core.profiler.evaluations["completLoad"] == 5
+        assert core.profiler.active_profiles() == 1
+
+    def test_default_event_name(self):
+        spec = WatchSpec(service="cpuLoad", op=">", threshold=2.5)
+        assert spec.resolved_event_name() == "cpuLoad>2.5"
+
+    def test_fired_count_tracking(self, cluster):
+        core = cluster["alpha"]
+        watch_id = core.monitor.watch(
+            "completLoad", ">", 0.0, interval=1.0, repeat=True
+        )
+        Echo("x", _core=core)
+        cluster.advance(3.0)
+        assert core.monitor.fired_count(watch_id) == 3
+        assert core.monitor.fired_count(999) == 0
+
+    def test_registration_starts_profiling(self, cluster):
+        """§4.2: event registration invokes the proper start method."""
+        core = cluster["alpha"]
+        assert core.profiler.active_profiles() == 0
+        core.monitor.watch("completLoad", ">", 1.0)
+        assert core.profiler.active_profiles() == 1
+
+    def test_shutdown_clears_watches(self, cluster):
+        core = cluster["alpha"]
+        core.monitor.watch("completLoad", ">", 1.0)
+        core.monitor.shutdown()
+        assert core.monitor.active_watches() == 0
+        assert core.profiler.active_profiles() == 0
+
+
+class TestDistributedMonitorEvents:
+    def test_remote_core_subscribes_to_threshold_event(self, cluster):
+        """The distributed-event capability §4.2 calls essential."""
+        fired = []
+        cluster["beta"].events.subscribe_remote("alpha", "completLoad>0", fired.append)
+        cluster["alpha"].monitor.watch("completLoad", ">", 0.0, interval=1.0)
+        Echo("x", _core=cluster["alpha"])
+        cluster.advance(1.0)
+        assert len(fired) == 1
+        assert fired[0].origin == "alpha"
+
+    def test_complet_listener_for_threshold_event(self, cluster):
+        from tests.anchors import Listener
+
+        listener = Listener(_core=cluster["beta"], _at="beta")
+        cluster["alpha"].events.subscribe_complet("completLoad>0", listener)
+        cluster["alpha"].monitor.watch("completLoad", ">", 0.0, interval=1.0)
+        Echo("x", _core=cluster["alpha"])
+        cluster.advance(1.0)
+        assert listener.events_seen() == ["completLoad>0"]

@@ -1,0 +1,52 @@
+"""Tests for wire message kinds and envelopes."""
+
+from repro.net.messages import Envelope, MessageKind
+
+
+class TestMessageKind:
+    def test_values_are_unique(self):
+        values = [kind.value for kind in MessageKind]
+        assert len(values) == len(set(values))
+
+    def test_protocol_covers_every_unit(self):
+        """The kind enumeration names the complete Core-to-Core protocol."""
+        values = {kind.value for kind in MessageKind}
+        for expected in (
+            "invoke",
+            "move_complet",
+            "move_request",
+            "clone_request",
+            "tracker_lookup",
+            "tracker_update",
+            "location_update",
+            "location_query",
+            "name_bind",
+            "name_lookup",
+            "instantiate",
+            "event_notify",
+            "event_subscribe",
+            "profile_probe",
+            "admin_query",
+        ):
+            assert expected in values
+
+    def test_str_is_value(self):
+        assert str(MessageKind.INVOKE) == "invoke"
+
+
+class TestEnvelope:
+    def test_describe(self):
+        envelope = Envelope(
+            src="a", dst="b", kind=MessageKind.INVOKE, payload=b"12345", msg_id=7
+        )
+        description = envelope.describe()
+        assert "[7]" in description
+        assert "a -> b" in description
+        assert "invoke" in description
+        assert "5B" in description
+
+    def test_headers_default_independent(self):
+        e1 = Envelope("a", "b", MessageKind.INVOKE, b"")
+        e2 = Envelope("a", "b", MessageKind.INVOKE, b"")
+        e1.headers["k"] = "v"
+        assert e2.headers == {}

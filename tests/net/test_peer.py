@@ -1,0 +1,69 @@
+"""Tests for the Peer Interface facade."""
+
+import pytest
+
+from repro.net.messages import MessageKind
+from repro.net.peer import PeerInterface
+from repro.net.serializer import Serializer
+from repro.net.simnet import SimNetwork
+from repro.sim.clock import VirtualClock
+from repro.sim.scheduler import Scheduler
+
+
+@pytest.fixture
+def peers():
+    net = SimNetwork(Scheduler(VirtualClock()))
+    return PeerInterface("a", net), PeerInterface("b", net)
+
+
+class TestObjectLevelCalls:
+    def test_request_with_objects(self, peers):
+        a, b = peers
+        b.register(MessageKind.ADMIN_QUERY, lambda src, body: {"echo": body, "src": src})
+        reply = a.request("b", MessageKind.ADMIN_QUERY, [1, 2, 3])
+        assert reply == {"echo": [1, 2, 3], "src": "a"}
+
+    def test_notify_is_one_way(self, peers):
+        a, b = peers
+        seen = []
+        b.register(MessageKind.EVENT_NOTIFY, lambda src, body: seen.append(body))
+        a.notify("b", MessageKind.EVENT_NOTIFY, ("evt", 1))
+        assert seen == [("evt", 1)]
+
+    def test_request_raw_passthrough(self, peers):
+        a, b = peers
+        b.register_raw(MessageKind.INVOKE, lambda src, payload: payload[::-1])
+        assert a.request_raw("b", MessageKind.INVOKE, b"abc") == b"cba"
+
+    def test_custom_serializer_pair(self, peers):
+        a, b = peers
+        tagged = Serializer(
+            encode_hook=lambda o: ("T",) if isinstance(o, _Marker) else None,
+            decode_hook=lambda t: _Marker(),
+        )
+        b.register(
+            MessageKind.ADMIN_QUERY,
+            lambda src, body: body,
+            serializer=tagged,
+        )
+        out = a.request("b", MessageKind.ADMIN_QUERY, _Marker(), serializer=tagged)
+        assert isinstance(out, _Marker)
+
+    def test_isolation_objects_always_copied(self, peers):
+        a, b = peers
+        store = {}
+
+        def handler(src, body):
+            store["body"] = body
+            return body
+
+        b.register(MessageKind.ADMIN_QUERY, handler)
+        original = {"mutable": [1]}
+        reply = a.request("b", MessageKind.ADMIN_QUERY, original)
+        assert store["body"] is not original
+        assert reply is not original
+        assert reply == original
+
+
+class _Marker:
+    pass

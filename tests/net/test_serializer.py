@@ -1,0 +1,103 @@
+"""Tests for hooked serialization."""
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.net.serializer import PLAIN, Serializer
+
+
+class Payload:
+    def __init__(self, value):
+        self.value = value
+
+
+class Diverted:
+    """Marker type diverted out of the stream by the test hooks."""
+
+    def __init__(self, tag):
+        self.tag = tag
+
+
+class TestPlainSerializer:
+    def test_roundtrip_basics(self):
+        for obj in [1, "s", 3.5, None, True, [1, 2], {"a": (1, 2)}, b"bytes"]:
+            assert PLAIN.roundtrip(obj) == obj
+
+    def test_roundtrip_is_a_copy(self):
+        original = {"k": [1, 2, 3]}
+        copy = PLAIN.roundtrip(original)
+        assert copy == original
+        assert copy is not original
+        assert copy["k"] is not original["k"]
+
+    def test_custom_class_roundtrip(self):
+        out = PLAIN.roundtrip(Payload({"deep": [Payload(1)]}))
+        assert isinstance(out, Payload)
+        assert isinstance(out.value["deep"][0], Payload)
+
+    def test_unserializable_raises(self):
+        with pytest.raises(SerializationError):
+            PLAIN.dumps(lambda: None)
+
+    def test_token_without_decode_hook_raises(self):
+        encoder = Serializer(encode_hook=lambda o: "tok" if isinstance(o, Diverted) else None)
+        data = encoder.dumps(Diverted("x"))
+        with pytest.raises(SerializationError):
+            PLAIN.loads(data)
+
+
+class TestHookedSerializer:
+    def _pair(self):
+        registry = {}
+
+        def encode(obj):
+            if isinstance(obj, Diverted):
+                registry[obj.tag] = obj
+                return ("diverted", obj.tag)
+            return None
+
+        def decode(token):
+            kind, tag = token
+            assert kind == "diverted"
+            return registry[tag]
+
+        return Serializer(encode_hook=encode, decode_hook=decode), registry
+
+    def test_diverted_objects_keep_identity(self):
+        serializer, _registry = self._pair()
+        diverted = Diverted("a")
+        out = serializer.roundtrip({"inner": diverted})
+        assert out["inner"] is diverted
+
+    def test_non_diverted_copied(self):
+        serializer, _registry = self._pair()
+        payload = Payload(7)
+        out = serializer.roundtrip([payload, Diverted("b")])
+        assert out[0] is not payload
+        assert out[0].value == 7
+        assert out[1].tag == "b"
+
+    def test_nested_divert_in_graph(self):
+        serializer, _ = self._pair()
+        graph = {"list": [Diverted("x"), {"deep": Diverted("y")}]}
+        out = serializer.roundtrip(graph)
+        assert out["list"][0].tag == "x"
+        assert out["list"][1]["deep"].tag == "y"
+
+    def test_shared_object_stays_shared(self):
+        serializer, _ = self._pair()
+        shared = Payload("shared")
+        out = serializer.roundtrip((shared, shared))
+        assert out[0] is out[1]
+
+    def test_hook_exception_keeps_fargo_type(self):
+        from repro.errors import CompletBoundaryError
+
+        def encode(obj):
+            if isinstance(obj, Diverted):
+                raise CompletBoundaryError("boundary")
+            return None
+
+        serializer = Serializer(encode_hook=encode)
+        with pytest.raises(CompletBoundaryError):
+            serializer.dumps([Diverted("x")])

@@ -1,0 +1,62 @@
+"""Property-based tests for closure scanning."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.complet.closure import compute_closure
+from repro.cluster.workload import Echo_
+
+json_values = st.recursive(
+    st.none() | st.booleans() | st.integers() | st.text(max_size=16) | st.binary(max_size=32),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=6), children, max_size=4),
+    max_leaves=15,
+)
+
+
+class TestClosureProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(payload=json_values)
+    def test_scan_never_mutates_the_anchor(self, payload):
+        anchor = Echo_("x")
+        anchor.cargo = payload
+        import copy
+
+        snapshot = copy.deepcopy(payload)
+        compute_closure(anchor)
+        assert anchor.cargo == snapshot
+
+    @settings(max_examples=50, deadline=None)
+    @given(payload=json_values)
+    def test_size_positive_and_deterministic(self, payload):
+        anchor = Echo_("x")
+        anchor.cargo = payload
+        first = compute_closure(anchor)
+        second = compute_closure(anchor)
+        assert first.size_bytes > 0
+        assert first.size_bytes == second.size_bytes
+        assert first.object_count == second.object_count
+
+    @settings(max_examples=50, deadline=None)
+    @given(payload=json_values, extra=st.binary(min_size=64, max_size=256))
+    def test_size_monotone_under_growth(self, payload, extra):
+        anchor = Echo_("x")
+        anchor.cargo = payload
+        before = compute_closure(anchor).size_bytes
+        anchor.more = extra
+        after = compute_closure(anchor).size_bytes
+        assert after > before
+
+    @settings(max_examples=30, deadline=None)
+    @given(count=st.integers(min_value=0, max_value=5))
+    def test_outgoing_count_matches_distinct_stub_attributes(self, count):
+        from repro.cluster.cluster import Cluster
+        from repro.cluster.workload import Echo
+
+        cluster = Cluster(["a"])
+        anchor = Echo_("holder")
+        anchor._complet_id = None
+        holder = Echo("holder", _core=cluster["a"])
+        holder_anchor = cluster["a"].repository.get(holder._fargo_target_id)
+        holder_anchor.refs = [Echo(f"t{i}", _core=cluster["a"]) for i in range(count)]
+        info = compute_closure(holder_anchor)
+        assert len(info.outgoing) == count

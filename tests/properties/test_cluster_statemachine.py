@@ -1,0 +1,122 @@
+"""Stateful property testing: random interleavings of runtime operations.
+
+Hypothesis drives arbitrary sequences of the operations a real
+deployment performs — instantiation, movement (driver- and
+host-initiated), invocation through any reference, reference creation at
+arbitrary Cores, tracker GC — and checks the runtime's global invariants
+after every step:
+
+- every complet is hosted by exactly one running Core;
+- every Core keeps at most one tracker per target;
+- invocation through any reference reaches the authoritative state
+  (counter values are globally consistent);
+- tracker GC never breaks a live reference.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.workload import Counter
+
+CORES = ["a", "b", "c"]
+
+
+class ClusterMachine(RuleBasedStateMachine):
+    references = Bundle("references")
+
+    @initialize()
+    def setup(self):
+        self.cluster = Cluster(CORES)
+        #: Authoritative expected value per complet id.
+        self.expected: dict = {}
+        self.complet_count = 0
+
+    # -- operations ----------------------------------------------------------------
+
+    @rule(target=references, core=st.sampled_from(CORES))
+    def create_complet(self, core):
+        if self.complet_count >= 6:  # bound the population
+            stub = next(iter(self.expected_stubs()))
+            return stub
+        stub = Counter(0, _core=self.cluster[core])
+        self.expected[stub._fargo_target_id] = 0
+        self.complet_count += 1
+        return stub
+
+    def expected_stubs(self):
+        # Recover one live stub per known complet via the harness.
+        for complet_id in self.expected:
+            for core in self.cluster:
+                if core.repository.hosts(complet_id):
+                    yield core.references.stub_for_local(complet_id)
+                    break
+
+    @rule(ref=references, destination=st.sampled_from(CORES))
+    def move_from_driver(self, ref, destination):
+        self.cluster.move(ref, destination)
+
+    @rule(ref=references, destination=st.sampled_from(CORES))
+    def move_from_host(self, ref, destination):
+        self.cluster.move_via_host(ref, destination)
+
+    @rule(ref=references, by=st.integers(min_value=1, max_value=5))
+    def invoke(self, ref, by):
+        observed = ref.increment(by)
+        self.expected[ref._fargo_target_id] += by
+        assert observed == self.expected[ref._fargo_target_id]
+
+    @rule(target=references, ref=references, at=st.sampled_from(CORES))
+    def alias_reference(self, ref, at):
+        """A second reference to the same complet, wired elsewhere."""
+        return self.cluster.stub_at(at, ref)
+
+    @rule()
+    def collect_trackers(self):
+        self.cluster.collect_all_trackers()
+
+    @rule()
+    def advance_time(self):
+        self.cluster.advance(1.0)
+
+    # -- invariants ---------------------------------------------------------------------
+
+    @invariant()
+    def exactly_one_host_per_complet(self):
+        for complet_id in getattr(self, "expected", {}):
+            hosts = [
+                core.name
+                for core in self.cluster
+                if core.repository.hosts(complet_id)
+            ]
+            assert len(hosts) == 1, (complet_id, hosts)
+
+    @invariant()
+    def one_tracker_per_target_per_core(self):
+        for core in getattr(self, "cluster", []):
+            seen = set()
+            for tracker in core.repository.trackers():
+                key = tracker.target_id
+                assert key not in seen, (core.name, key)
+                seen.add(key)
+
+    @invariant()
+    def authoritative_state_matches(self):
+        for complet_id, value in getattr(self, "expected", {}).items():
+            for core in self.cluster:
+                anchor = core.repository.get(complet_id)
+                if anchor is not None:
+                    assert anchor.value == value
+
+
+TestClusterMachine = ClusterMachine.TestCase
+TestClusterMachine.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

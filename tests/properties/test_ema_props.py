@@ -1,0 +1,94 @@
+"""Property-based tests for the averaging primitives."""
+
+from hypothesis import given, strategies as st
+
+from repro.util.ema import ExponentialAverage, RateMeter
+
+finite_floats = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+alphas = st.floats(min_value=0.01, max_value=1.0)
+
+
+class TestExponentialAverageProperties:
+    @given(samples=st.lists(finite_floats, min_size=1, max_size=100), alpha=alphas)
+    def test_bounded_by_sample_range(self, samples, alpha):
+        """The average never escapes [min(samples), max(samples)]."""
+        avg = ExponentialAverage(alpha)
+        for sample in samples:
+            avg.add(sample)
+        assert min(samples) - 1e-6 <= avg.value <= max(samples) + 1e-6
+
+    @given(value=finite_floats, count=st.integers(1, 50), alpha=alphas)
+    def test_constant_input_is_fixed_point(self, value, count, alpha):
+        avg = ExponentialAverage(alpha)
+        for _ in range(count):
+            avg.add(value)
+        assert abs(avg.value - value) < 1e-6 * max(1.0, abs(value))
+
+    @given(samples=st.lists(finite_floats, min_size=1, max_size=50), alpha=alphas)
+    def test_sample_count_tracks(self, samples, alpha):
+        avg = ExponentialAverage(alpha)
+        for sample in samples:
+            avg.add(sample)
+        assert avg.samples == len(samples)
+
+    @given(samples=st.lists(finite_floats, min_size=2, max_size=50))
+    def test_alpha_one_is_last_sample(self, samples):
+        avg = ExponentialAverage(1.0)
+        for sample in samples:
+            avg.add(sample)
+        assert avg.value == samples[-1]
+
+    @given(
+        samples=st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50),
+        alpha=alphas,
+    )
+    def test_nonnegative_inputs_nonnegative_average(self, samples, alpha):
+        avg = ExponentialAverage(alpha)
+        for sample in samples:
+            avg.add(sample)
+        assert avg.value >= 0.0
+
+
+class TestRateMeterProperties:
+    @given(
+        marks=st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=0, max_size=60)
+    )
+    def test_total_is_conserved(self, marks):
+        meter = RateMeter()
+        for weight in marks:
+            meter.mark(weight)
+        assert abs(meter.total - sum(marks)) < 1e-3
+
+    @given(
+        windows=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=100),   # marks in window
+                st.floats(min_value=0.1, max_value=10.0),  # window length
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_rate_never_negative_and_bounded(self, windows):
+        meter = RateMeter(alpha=1.0)
+        now = 0.0
+        meter.sample(now)
+        max_window_rate = 0.0
+        for count, length in windows:
+            for _ in range(count):
+                meter.mark()
+            now += length
+            rate = meter.sample(now)
+            max_window_rate = max(max_window_rate, count / length)
+            assert rate >= 0.0
+            assert rate <= max_window_rate + 1e-6
+
+    @given(length=st.floats(min_value=0.1, max_value=100.0), count=st.integers(0, 1000))
+    def test_single_window_exact_rate(self, length, count):
+        meter = RateMeter(alpha=1.0)
+        meter.sample(0.0)
+        for _ in range(count):
+            meter.mark()
+        assert abs(meter.sample(length) - count / length) < 1e-6 * max(1.0, count / length)

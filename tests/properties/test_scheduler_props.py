@@ -1,0 +1,67 @@
+"""Property-based tests for the timer scheduler."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.clock import VirtualClock
+from repro.sim.scheduler import Scheduler
+
+deadlines = st.lists(
+    st.floats(min_value=0.001, max_value=100.0, allow_nan=False),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestSchedulerProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(times=deadlines)
+    def test_all_timers_fire_exactly_once(self, times):
+        sched = Scheduler(VirtualClock())
+        fired = []
+        for deadline in times:
+            sched.call_at(deadline, fired.append, deadline)
+        sched.advance(max(times) + 1.0)
+        assert sorted(fired) == sorted(times)
+
+    @settings(max_examples=60, deadline=None)
+    @given(times=deadlines)
+    def test_firing_order_is_deadline_order(self, times):
+        sched = Scheduler(VirtualClock())
+        fired = []
+        for deadline in times:
+            sched.call_at(deadline, fired.append, deadline)
+        sched.advance(max(times) + 1.0)
+        assert fired == sorted(fired)
+
+    @settings(max_examples=60, deadline=None)
+    @given(times=deadlines, cut=st.floats(min_value=0.0, max_value=100.0))
+    def test_partial_advance_fires_only_due(self, times, cut):
+        sched = Scheduler(VirtualClock())
+        fired = []
+        for deadline in times:
+            sched.call_at(deadline, fired.append, deadline)
+        sched.advance(cut)
+        assert all(t <= cut for t in fired)
+        assert sorted(fired) == sorted(t for t in times if t <= cut)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        period=st.floats(min_value=0.1, max_value=5.0),
+        horizon=st.floats(min_value=0.0, max_value=50.0),
+    )
+    def test_periodic_fire_count(self, period, horizon):
+        sched = Scheduler(VirtualClock())
+        timer = sched.call_every(period, lambda: None)
+        sched.advance(horizon)
+        # Accumulated float deadlines may land either side of the horizon.
+        assert abs(timer.fired_count - horizon / period) <= 1.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(times=deadlines)
+    def test_clock_never_moves_backward(self, times):
+        sched = Scheduler(VirtualClock())
+        observed = []
+        for deadline in times:
+            sched.call_at(deadline, lambda: observed.append(sched.clock.now()))
+        sched.advance(max(times) + 1.0)
+        assert observed == sorted(observed)

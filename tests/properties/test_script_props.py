@@ -1,0 +1,88 @@
+"""Property-based tests for the script language front end."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ScriptError
+from repro.script.ast import Literal
+from repro.script.lexer import TokenKind, tokenize
+from repro.script.parser import parse
+
+identifiers = st.from_regex(r"[a-zA-Z_][a-zA-Z0-9_]{0,10}", fullmatch=True).filter(
+    lambda s: s not in {"on", "do", "end", "move", "to", "log", "call", "retype",
+                        "firedby", "from", "listenAt", "every", "completsIn", "coreOf"}
+)
+numbers = st.integers(min_value=0, max_value=10**6)
+safe_text = st.text(
+    alphabet=st.characters(blacklist_characters='"\'\\\n', min_codepoint=32, max_codepoint=126),
+    max_size=20,
+)
+
+
+class TestLexerProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(name=identifiers)
+    def test_identifier_roundtrip(self, name):
+        tokens = tokenize(name)
+        assert tokens[0].kind is TokenKind.IDENT
+        assert tokens[0].value == name
+
+    @settings(max_examples=60, deadline=None)
+    @given(value=numbers)
+    def test_number_roundtrip(self, value):
+        tokens = tokenize(str(value))
+        assert tokens[0].kind is TokenKind.NUMBER
+        assert int(tokens[0].value) == value
+
+    @settings(max_examples=60, deadline=None)
+    @given(text=safe_text)
+    def test_string_roundtrip(self, text):
+        tokens = tokenize(f'"{text}"')
+        assert tokens[0].kind is TokenKind.STRING
+        assert tokens[0].value == text
+
+    @settings(max_examples=60, deadline=None)
+    @given(name=identifiers, text=safe_text, value=numbers)
+    def test_token_stream_stable_under_whitespace(self, name, text, value):
+        compact = f'${name}=["{text}",{value}]'
+        spaced = f'  ${name}  =  [ "{text}" ,  {value} ]  '
+        compact_tokens = [(t.kind, t.value) for t in tokenize(compact)]
+        spaced_tokens = [(t.kind, t.value) for t in tokenize(spaced)]
+        assert compact_tokens == spaced_tokens
+
+
+class TestParserProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(name=identifiers, value=numbers)
+    def test_assignment_parses(self, name, value):
+        script = parse(f"${name} = {value}")
+        assert script.assignments[0].name == name
+        assert script.assignments[0].value == Literal(value)
+
+    @settings(max_examples=60, deadline=None)
+    @given(event=identifiers, threshold=numbers, var=identifiers)
+    def test_generated_rules_parse(self, event, threshold, var):
+        source = f"on {event}({threshold}) listenAt ${var} do log fired end"
+        rule = parse(source).rules[0]
+        assert rule.event == event
+        assert rule.event_args == (Literal(threshold),)
+
+    @settings(max_examples=60, deadline=None)
+    @given(junk=st.text(max_size=40))
+    def test_arbitrary_text_never_crashes_unexpectedly(self, junk):
+        """The front end either parses or raises a ScriptError — nothing else."""
+        try:
+            parse(junk)
+        except ScriptError:
+            pass
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        names=st.lists(identifiers, min_size=1, max_size=5, unique=True),
+        values=st.lists(numbers, min_size=5, max_size=5),
+    )
+    def test_many_assignments_all_recorded(self, names, values):
+        source = "\n".join(
+            f"${name} = {value}" for name, value in zip(names, values)
+        )
+        script = parse(source)
+        assert len(script.assignments) == len(names)

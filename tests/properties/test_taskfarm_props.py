@@ -1,0 +1,55 @@
+"""Property-based tests for the task-farm application."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.taskfarm import Farm
+from repro.cluster.cluster import Cluster
+
+
+class TestFarmProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        tasks=st.integers(min_value=0, max_value=40),
+        workers=st.integers(min_value=1, max_value=4),
+        batch=st.integers(min_value=1, max_value=6),
+    )
+    def test_every_task_completed_exactly_once(self, tasks, workers, batch):
+        cluster = Cluster(["hub"] + [f"w{i}" for i in range(workers)])
+        farm = Farm(cluster, "hub", [f"w{i}" for i in range(workers)], batch=batch)
+        farm.submit(payload_size=256, count=tasks)
+        farm.run_until_drained()
+        assert farm.queue.remaining() == 0
+        results = farm.queue.results()
+        assert len(results) == tasks
+        assert sorted(results) == list(range(tasks))
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        tasks=st.integers(min_value=1, max_value=30),
+        batch=st.integers(min_value=1, max_value=8),
+    )
+    def test_worker_counts_sum_to_tasks(self, tasks, batch):
+        cluster = Cluster(["hub", "w0", "w1"])
+        farm = Farm(cluster, "hub", ["w0", "w1"], batch=batch)
+        farm.submit(payload_size=128, count=tasks)
+        farm.run_until_drained()
+        assert sum(w.done_so_far() for w in farm.workers) == tasks
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        moves=st.lists(st.sampled_from(["hub", "w0", "w1"]), max_size=4),
+        tasks=st.integers(min_value=1, max_value=20),
+    )
+    def test_drains_despite_worker_migrations(self, moves, tasks):
+        """Moving workers around mid-run never loses or duplicates work."""
+        cluster = Cluster(["hub", "w0", "w1"])
+        farm = Farm(cluster, "hub", ["w0", "w1"], batch=3)
+        farm.submit(payload_size=128, count=tasks)
+        for index, destination in enumerate(moves):
+            farm.round()
+            worker = farm.workers[index % len(farm.workers)]
+            handle = cluster.stub_at(cluster.locate(worker), worker)
+            cluster.move(handle, destination)
+        farm.run_until_drained()
+        assert farm.queue.completed_count() == tasks
+        assert sum(w.done_so_far() for w in farm.workers) == tasks

@@ -1,0 +1,10 @@
+"""Helper actions auto-loaded by interpreter tests (module:function form)."""
+
+from __future__ import annotations
+
+RECORDED: list = []
+
+
+def record_event(ctx, event) -> None:
+    """A user-defined script action loaded on first ``call``."""
+    RECORDED.append(event)

@@ -1,0 +1,113 @@
+"""Tests for the script tokenizer."""
+
+import pytest
+
+from repro.errors import ScriptSyntaxError
+from repro.script.lexer import TokenKind, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source) if t.kind is not TokenKind.EOF]
+
+
+def values(source):
+    return [t.value for t in tokenize(source) if t.kind is not TokenKind.EOF]
+
+
+class TestTokens:
+    def test_idents(self):
+        assert kinds("on shutdown do end") == [TokenKind.IDENT] * 4
+
+    def test_variables(self):
+        tokens = tokenize("$core $targetCore")
+        assert tokens[0].kind is TokenKind.VARIABLE
+        assert tokens[0].value == "core"
+        assert tokens[1].value == "targetCore"
+
+    def test_args(self):
+        tokens = tokenize("%1 %23")
+        assert tokens[0].kind is TokenKind.ARG
+        assert tokens[0].value == "1"
+        assert tokens[1].value == "23"
+
+    def test_numbers(self):
+        assert values("3 3.5 -2") == ["3", "3.5", "-2"]
+        assert kinds("3 3.5 -2") == [TokenKind.NUMBER] * 3
+
+    def test_strings_double_and_single(self):
+        tokens = tokenize('"hello world" \'single\'')
+        assert tokens[0].kind is TokenKind.STRING
+        assert tokens[0].value == "hello world"
+        assert tokens[1].value == "single"
+
+    def test_string_escape(self):
+        assert tokenize(r'"say \"hi\""')[0].value == 'say "hi"'
+
+    def test_symbols(self):
+        assert values("= ( ) [ ] ,") == ["=", "(", ")", "[", "]", ","]
+        assert kinds("= ( ) [ ] ,") == [TokenKind.SYMBOL] * 6
+
+    def test_dotted_idents(self):
+        assert values("mypkg.actions:helper"[:13]) == ["mypkg.actions"]
+
+    def test_eof_token_present(self):
+        assert tokenize("")[-1].kind is TokenKind.EOF
+
+
+class TestStructure:
+    def test_comments_skipped(self):
+        source = "on shutdown # a comment\ndo end"
+        assert values(source) == ["on", "shutdown", "do", "end"]
+
+    def test_newlines_are_whitespace(self):
+        assert values("a\nb\n\nc") == ["a", "b", "c"]
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("ab\n  cd")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_paper_script_tokenizes(self):
+        source = """
+        $coreList = %1
+        on shutdown firedby $core listenAt $coreList do
+            move completsIn $core to $targetCore
+        end
+        on methodInvokeRate(3) from $comps[0] to $comps[1] do
+            move $comps[0] to coreOf $comps[1]
+        end
+        """
+        tokens = tokenize(source)
+        assert tokens[-1].kind is TokenKind.EOF
+        assert "methodInvokeRate" in [t.value for t in tokens]
+
+
+class TestErrors:
+    def test_bare_dollar(self):
+        with pytest.raises(ScriptSyntaxError, match="variable name"):
+            tokenize("$ = 1")
+
+    def test_bare_percent(self):
+        with pytest.raises(ScriptSyntaxError, match="argument number"):
+            tokenize("% x")
+
+    def test_unterminated_string(self):
+        with pytest.raises(ScriptSyntaxError, match="unterminated"):
+            tokenize('"never ends')
+
+    def test_string_across_newline(self):
+        with pytest.raises(ScriptSyntaxError):
+            tokenize('"broken\nstring"')
+
+    def test_unexpected_character(self):
+        with pytest.raises(ScriptSyntaxError, match="unexpected character"):
+            tokenize("a @ b")
+
+    def test_error_carries_location(self):
+        try:
+            tokenize("ok\n   @")
+        except ScriptSyntaxError as exc:
+            assert exc.line == 2
+            assert exc.column == 4
+        else:  # pragma: no cover
+            raise AssertionError("expected ScriptSyntaxError")

@@ -1,0 +1,174 @@
+"""Tests for the script parser."""
+
+import pytest
+
+from repro.errors import ScriptSyntaxError
+from repro.script.ast import (
+    ArgRef,
+    Assignment,
+    CallAction,
+    CompletsIn,
+    CoreOf,
+    Index,
+    ListExpr,
+    Literal,
+    LogAction,
+    MoveAction,
+    RetypeAction,
+    Rule,
+    VarRef,
+)
+from repro.script.parser import parse
+
+
+class TestAssignments:
+    def test_arg_assignment(self):
+        script = parse("$coreList = %1")
+        assert script.statements == (Assignment("coreList", ArgRef(1)),)
+
+    def test_literal_assignments(self):
+        script = parse('$a = "text"\n$b = 3\n$c = 2.5\n$d = bareword')
+        values = [s.value for s in script.assignments]
+        assert values == [Literal("text"), Literal(3), Literal(2.5), Literal("bareword")]
+
+    def test_list_literal(self):
+        script = parse("$l = [a, b, 3]")
+        assert script.statements[0].value == ListExpr(
+            (Literal("a"), Literal("b"), Literal(3))
+        )
+
+    def test_indexing(self):
+        script = parse("$x = $comps[1]")
+        assert script.statements[0].value == Index(VarRef("comps"), 1)
+
+
+class TestRules:
+    def test_minimal_rule(self):
+        rule = parse("on shutdown do end").rules[0]
+        assert rule.event == "shutdown"
+        assert rule.actions == ()
+
+    def test_event_args(self):
+        rule = parse("on methodInvokeRate(3) do end").rules[0]
+        assert rule.event_args == (Literal(3),)
+
+    def test_clauses(self):
+        rule = parse(
+            "on methodInvokeRate(3, '>=') from $a to $b listenAt $c every 2 do end"
+        ).rules[0]
+        assert rule.source == VarRef("a")
+        assert rule.target == VarRef("b")
+        assert rule.listen_at == VarRef("c")
+        assert rule.every == Literal(2)
+        assert rule.event_args == (Literal(3), Literal(">="))
+
+    def test_firedby_binds_variable(self):
+        rule = parse("on shutdown firedby $core do end").rules[0]
+        assert rule.fired_by == "core"
+
+    def test_move_action(self):
+        rule = parse("on shutdown do move $c to safe end").rules[0]
+        assert rule.actions == (MoveAction(VarRef("c"), Literal("safe")),)
+
+    def test_move_completsin_coreof(self):
+        rule = parse(
+            "on shutdown firedby $core do move completsIn $core to coreOf $anchor end"
+        ).rules[0]
+        action = rule.actions[0]
+        assert action == MoveAction(
+            CompletsIn(VarRef("core")), CoreOf(VarRef("anchor"))
+        )
+
+    def test_retype_action(self):
+        rule = parse("on shutdown do retype $r to pull end").rules[0]
+        assert rule.actions == (RetypeAction(VarRef("r"), "pull"),)
+
+    def test_log_action(self):
+        rule = parse('on shutdown do log "fired" end').rules[0]
+        assert rule.actions == (LogAction(Literal("fired")),)
+
+    def test_call_action(self):
+        rule = parse("on shutdown do call collectTrackers() end").rules[0]
+        assert rule.actions == (CallAction("collectTrackers", ()),)
+
+    def test_call_with_args(self):
+        rule = parse('on shutdown do call helper($a, "x", 3) end').rules[0]
+        assert rule.actions[0].args == (VarRef("a"), Literal("x"), Literal(3))
+
+    def test_assignment_inside_rule(self):
+        rule = parse("on shutdown do $t = safe move $c to $t end").rules[0]
+        assert len(rule.actions) == 2
+
+    def test_multiple_actions(self):
+        rule = parse(
+            'on shutdown do log "a" move $c to safe log "b" end'
+        ).rules[0]
+        assert len(rule.actions) == 3
+
+
+class TestPaperScript:
+    PAPER = """
+    $coreList = %1
+    $targetCore = %2
+    $comps = %3
+    on shutdown firedby $core
+      listenAt $coreList do
+        move completsIn $core to $targetCore
+    end
+    on methodInvokeRate(3)
+      from $comps[0] to $comps[1] do
+        move $comps[0] to coreOf $comps[1]
+    end
+    """
+
+    def test_parses_verbatim(self):
+        script = parse(self.PAPER)
+        assert len(script.assignments) == 3
+        assert len(script.rules) == 2
+
+    def test_reliability_rule_shape(self):
+        rule = parse(self.PAPER).rules[0]
+        assert rule.event == "shutdown"
+        assert rule.fired_by == "core"
+        assert rule.listen_at == VarRef("coreList")
+        assert rule.actions == (
+            MoveAction(CompletsIn(VarRef("core")), VarRef("targetCore")),
+        )
+
+    def test_performance_rule_shape(self):
+        rule = parse(self.PAPER).rules[1]
+        assert rule.event == "methodInvokeRate"
+        assert rule.event_args == (Literal(3),)
+        assert rule.source == Index(VarRef("comps"), 0)
+        assert rule.target == Index(VarRef("comps"), 1)
+        assert rule.actions == (
+            MoveAction(Index(VarRef("comps"), 0), CoreOf(Index(VarRef("comps"), 1))),
+        )
+
+
+class TestSyntaxErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "on shutdown do",                 # missing end
+            "on do end",                      # missing event name
+            "move $a to b",                   # action outside a rule
+            "on shutdown do move $a end",     # move without destination
+            "$x 5",                           # missing '='
+            "on shutdown firedby core do end",  # firedby needs a variable
+            "on shutdown do call foo end",    # call needs parentheses
+            "$x = $l[a]",                     # non-numeric index
+            "on e(1 do end",                  # unclosed parenthesis
+        ],
+    )
+    def test_rejected(self, source):
+        with pytest.raises(ScriptSyntaxError):
+            parse(source)
+
+    def test_error_location_reported(self):
+        try:
+            parse("on shutdown do\nbogus $x end")
+        except ScriptSyntaxError as exc:
+            assert exc.line == 2
+        else:  # pragma: no cover
+            raise AssertionError("expected ScriptSyntaxError")

@@ -1,0 +1,61 @@
+"""Tests for the script standard-library actions."""
+
+import pytest
+
+from repro.script.interpreter import ScriptEngine
+from repro.cluster.workload import Counter, Echo
+
+
+@pytest.fixture
+def engine(cluster3):
+    return ScriptEngine(cluster3, home="alpha")
+
+
+class TestCollectTrackers:
+    def test_collects_after_chain_shortening(self, cluster3, engine):
+        counter = Counter(0, _core=cluster3["alpha"])
+        cluster3.move_via_host(counter, "beta")
+        cluster3.move_via_host(counter, "gamma")
+        counter.increment()
+        engine.run('on completLoad(0, ">=") listenAt [alpha] do call collectTrackers() end')
+        cluster3.advance(1.0)
+        assert any("collected" in line for line in engine.log)
+
+
+class TestShutdownCore:
+    def test_cascading_shutdown(self, cluster3, engine):
+        """A rule can shut down another Core (cascade drill)."""
+        engine.run(
+            "on shutdown listenAt [beta] do call shutdownCore(gamma) end"
+        )
+        cluster3.shutdown_core("beta")
+        assert not cluster3["gamma"].is_running
+
+
+class TestColocate:
+    def test_colocate_moves_to_anchor_core(self, cluster3, engine):
+        mover = Counter(0, _core=cluster3["alpha"])
+        anchor_point = Echo("x", _core=cluster3["gamma"], _at="gamma")
+        engine._globals.update({"m": mover, "a": anchor_point})
+        engine.run("on completArrived listenAt [beta] do call colocate($m, $a) end")
+        trigger = Counter(0, _core=cluster3["alpha"])
+        cluster3.move(trigger, "beta")
+        assert cluster3.locate(mover) == "gamma"
+
+    def test_colocate_type_checked(self, cluster3, engine):
+        from repro.errors import ScriptRuntimeError
+        from repro.script.interpreter import ScriptContext
+        from repro.script.stdlib import _colocate
+
+        with pytest.raises(ScriptRuntimeError):
+            _colocate(ScriptContext(engine, {}, None), "a", "not-a-stub")
+
+
+class TestBindName:
+    def test_binds_at_home_core(self, cluster3, engine):
+        echo = Echo("svc", _core=cluster3["beta"], _at="beta")
+        engine._globals["e"] = echo
+        engine.run('on completArrived do call bindName("service", $e) end')
+        trigger = Counter(0, _core=cluster3["alpha"])
+        cluster3.move(trigger, "beta")
+        assert cluster3["alpha"].lookup("service").ping() == "svc"

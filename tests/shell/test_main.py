@@ -1,0 +1,35 @@
+"""Tests for the interactive shell entry point's demo cluster."""
+
+from repro.shell.__main__ import build_demo_cluster
+from repro.shell.shell import FarGoShell
+
+
+class TestDemoCluster:
+    def test_default_population(self):
+        cluster = build_demo_cluster(["hq", "edge1", "edge2"])
+        assert len(cluster.complets_at("hq")) == 2
+        assert len(cluster.complets_at("edge1")) == 2
+        assert cluster["hq"].naming.names() == ["client", "server"]
+
+    def test_single_core_topology(self):
+        cluster = build_demo_cluster(["solo"])
+        assert len(cluster.complets_at("solo")) == 4
+
+    def test_shell_drives_demo(self):
+        cluster = build_demo_cluster(["hq", "edge1"])
+        shell = FarGoShell(cluster, home="hq")
+        out = shell.execute("layout")
+        assert "Client" in out and "DataSource" in out
+        client_id = next(
+            cid for cid in cluster.complets_at("edge1") if "Client" in cid
+        )
+        assert "moved" in shell.execute(f"move {client_id} hq")
+
+    def test_loop_scriptable(self):
+        """The REPL is drivable with injected IO (no real terminal)."""
+        cluster = build_demo_cluster(["hq", "edge1"])
+        shell = FarGoShell(cluster, home="hq")
+        lines = iter(["cores", "exit"])
+        outputs = []
+        shell.loop(input_fn=lambda prompt: next(lines), print_fn=outputs.append)
+        assert any("hq" in str(o) for o in outputs)

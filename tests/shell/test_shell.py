@@ -1,0 +1,168 @@
+"""Tests for the FarGo administration shell."""
+
+import pytest
+
+from repro.shell.shell import FarGoShell, _parse_params
+from repro.cluster.workload import Client, Counter, Echo, Server
+from tests.anchors import Holder
+
+
+@pytest.fixture
+def shell(cluster3):
+    return FarGoShell(cluster3, home="alpha")
+
+
+class TestBasicCommands:
+    def test_cores(self, cluster3, shell):
+        out = shell.execute("cores")
+        assert "alpha" in out and "beta" in out and "gamma" in out
+        assert "up" in out
+
+    def test_cores_shows_down(self, cluster3, shell):
+        cluster3.shutdown_core("gamma")
+        assert "down" in shell.execute("cores")
+
+    def test_complets_lists_all(self, cluster3, shell):
+        Echo("x", _core=cluster3["alpha"])
+        Echo("y", _core=cluster3["beta"], _at="beta")
+        out = shell.execute("complets")
+        assert "alpha/c1:Echo" in out
+        assert "beta/c1:Echo" in out
+
+    def test_complets_filtered_by_core(self, cluster3, shell):
+        Echo("x", _core=cluster3["alpha"])
+        out = shell.execute("complets beta")
+        assert "alpha" not in out
+
+    def test_empty_complets(self, shell):
+        assert shell.execute("complets") == "(no complets)"
+
+    def test_layout_renders(self, cluster3, shell):
+        Echo("x", _core=cluster3["alpha"])
+        out = shell.execute("layout")
+        assert "FarGo layout" in out
+        assert "core alpha" in out
+
+    def test_help(self, shell):
+        out = shell.execute("help")
+        assert "move" in out and "script" in out
+
+    def test_empty_line(self, shell):
+        assert shell.execute("   ") == ""
+
+    def test_unknown_command(self, shell):
+        assert "unknown command" in shell.execute("frobnicate")
+
+    def test_bad_arguments_reported(self, shell):
+        assert "error" in shell.execute("move onlyone")
+
+
+class TestManipulation:
+    def test_move(self, cluster3, shell):
+        counter = Counter(0, _core=cluster3["alpha"])
+        cid = str(counter._fargo_target_id)
+        out = shell.execute(f"move {cid} beta")
+        assert "moved" in out
+        assert cluster3.locate(counter) == "beta"
+
+    def test_move_unknown_complet(self, shell):
+        assert "error" in shell.execute("move ghost/c9:Ghost beta")
+
+    def test_refs_and_retype(self, cluster3, shell):
+        echo = Echo("x", _core=cluster3["alpha"])
+        holder = Holder(echo, _core=cluster3["alpha"])
+        hid = str(holder._fargo_target_id)
+        eid = str(echo._fargo_target_id)
+        out = shell.execute(f"refs alpha {hid}")
+        assert "link" in out and eid in out
+        out = shell.execute(f"retype alpha {hid} {eid} pull")
+        assert "pull" in out
+        assert "pull" in shell.execute(f"refs alpha {hid}")
+
+    def test_shutdown(self, cluster3, shell):
+        out = shell.execute("shutdown gamma")
+        assert "shut down" in out
+        assert not cluster3["gamma"].is_running
+
+    def test_collect(self, cluster3, shell):
+        assert "collected" in shell.execute("collect")
+
+    def test_advance(self, cluster3, shell):
+        before = cluster3.now
+        out = shell.execute("advance 5")
+        assert out.startswith("t = ")
+        assert cluster3.now == pytest.approx(before + 5.0)
+
+
+class TestMonitoringCommands:
+    def test_profile(self, cluster3, shell):
+        Echo("x", _core=cluster3["beta"], _at="beta")
+        out = shell.execute("profile beta completLoad")
+        assert "= 1" in out
+
+    def test_profile_with_params(self, cluster3, shell):
+        out = shell.execute("profile alpha linkBytes peer=beta")
+        assert "linkBytes" in out
+
+    def test_watch(self, cluster3, shell):
+        out = shell.execute("watch beta completLoad > 2")
+        assert "watch #" in out
+        assert cluster3["beta"].monitor.active_watches() == 1
+
+    def test_services(self, cluster3, shell):
+        out = shell.execute("services beta")
+        assert "completLoad" in out
+        assert "invocationRate" in out
+
+    def test_feed_shows_movements(self, cluster3, shell):
+        counter = Counter(0, _core=cluster3["alpha"])
+        cluster3.move(counter, "beta")
+        out = shell.execute("feed")
+        assert "completArrived" in out
+
+    def test_feed_empty(self, shell):
+        assert shell.execute("feed") == "(no events)"
+
+
+class TestScriptCommand:
+    def test_inline_script(self, cluster3, shell):
+        out = shell.execute(
+            "script on shutdown firedby $core do move completsIn $core to alpha end"
+        )
+        assert "1 rules" in out
+        Echo("x", _core=cluster3["beta"], _at="beta")
+        cluster3.shutdown_core("beta")
+        assert cluster3.complets_at("alpha")
+
+    def test_script_from_file(self, cluster3, shell, tmp_path):
+        path = tmp_path / "layout.fgs"
+        path.write_text('on shutdown firedby $core do log $core end')
+        out = shell.execute(f"script @{path}")
+        assert "1 rules" in out
+        cluster3.shutdown_core("beta")
+        assert shell.engine.log == ["beta"]
+
+    def test_script_syntax_error_reported(self, shell):
+        assert "error" in shell.execute("script on do end")
+
+
+class TestParamParsing:
+    def test_parse_params(self):
+        assert _parse_params(["a=1", "b=x"]) == {"a": "1", "b": "x"}
+
+    def test_parse_params_rejects_bare(self):
+        with pytest.raises(ValueError):
+            _parse_params(["novalue"])
+
+
+class TestHistoryCommand:
+    def test_history_sparkline(self, cluster3, shell):
+        Echo("x", _core=cluster3["beta"], _at="beta")
+        shell.execute("history beta completLoad")  # starts the profile
+        shell.execute("advance 5")
+        out = shell.execute("history beta completLoad")
+        assert "completLoad@beta" in out
+        assert "[1 .. 1]" in out
+
+    def test_history_appears_in_help(self, shell):
+        assert "history" in shell.execute("help")

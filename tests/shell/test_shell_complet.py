@@ -1,0 +1,88 @@
+"""Tests for the mobile shell complet."""
+
+import pytest
+
+from repro.shell.complet import ShellComplet
+from repro.cluster.workload import Counter, Echo
+from tests.anchors import Holder
+
+
+@pytest.fixture
+def shell(cluster3):
+    return ShellComplet(_core=cluster3["alpha"])
+
+
+class TestBasicCommands:
+    def test_whereami(self, cluster3, shell):
+        assert shell.execute("whereami") == "alpha"
+
+    def test_complets_local_and_remote(self, cluster3, shell):
+        Echo("x", _core=cluster3["beta"], _at="beta")
+        assert "ShellComplet" in shell.execute("complets")
+        assert "Echo" in shell.execute("complets beta")
+
+    def test_snapshot(self, cluster3, shell):
+        Echo("x", _core=cluster3["beta"], _at="beta")
+        out = shell.execute("snapshot beta")
+        assert "core beta: 1 complets" in out
+
+    def test_move_searches_hosts(self, cluster3, shell):
+        counter = Counter(0, _core=cluster3["gamma"], _at="gamma")
+        cid = str(counter._fargo_target_id)
+        out = shell.execute(f"move {cid} beta")
+        assert "moved" in out
+        assert cluster3.locate(counter) == "beta"
+
+    def test_move_unknown(self, cluster3, shell):
+        assert "error" in shell.execute("move ghost/c1:X beta")
+
+    def test_refs_and_retype(self, cluster3, shell):
+        echo = Echo("x", _core=cluster3["beta"], _at="beta")
+        holder = Holder(echo, _core=cluster3["beta"], _at="beta")
+        hid = str(holder._fargo_target_id)
+        eid = str(echo._fargo_target_id)
+        assert "link" in shell.execute(f"refs beta {hid}")
+        assert "pull" in shell.execute(f"retype beta {hid} {eid} pull")
+
+    def test_profile(self, cluster3, shell):
+        Echo("x", _core=cluster3["beta"], _at="beta")
+        assert "completLoad@beta = 1" in shell.execute("profile beta completLoad")
+
+    def test_services(self, cluster3, shell):
+        assert "invocationRate" in shell.execute("services")
+
+    def test_collect(self, cluster3, shell):
+        assert "collected" in shell.execute("collect beta")
+
+    def test_errors_reported_not_raised(self, cluster3, shell):
+        assert "unknown command" in shell.execute("dance")
+        assert shell.execute("") == ""
+        assert "error" in shell.execute("profile beta")  # missing args
+
+
+class TestMobility:
+    def test_goto_moves_the_shell(self, cluster3, shell):
+        shell.execute("goto beta")
+        cluster3.drain()
+        assert cluster3.locate(shell) == "beta"
+        assert shell.execute("whereami") == "beta"
+
+    def test_history_travels_with_the_shell(self, cluster3, shell):
+        shell.execute("complets")
+        shell.execute("goto gamma")
+        cluster3.drain()
+        history = shell.get_history()
+        assert "complets" in history
+        assert "goto gamma" in history
+
+    def test_admin_from_new_location(self, cluster3, shell):
+        """After moving, commands run against the new hosting Core."""
+        Echo("x", _core=cluster3["gamma"], _at="gamma")
+        shell.execute("goto gamma")
+        cluster3.drain()
+        local = shell.execute("complets")
+        assert "Echo" in local and "ShellComplet" in local
+
+    def test_third_party_can_move_the_shell(self, cluster3, shell):
+        cluster3.move(shell, "beta")
+        assert shell.execute("whereami") == "beta"

@@ -1,0 +1,57 @@
+"""Tests for virtual and real clocks."""
+
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.clock import RealClock, VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now() == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(start=5.0).now() == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VirtualClock(start=-1.0)
+
+    def test_tick_advances(self):
+        clock = VirtualClock()
+        clock.tick(2.5)
+        clock.tick(0.5)
+        assert clock.now() == 3.0
+
+    def test_negative_tick_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VirtualClock().tick(-0.1)
+
+    def test_set_forward(self):
+        clock = VirtualClock()
+        clock.set(10.0)
+        assert clock.now() == 10.0
+
+    def test_set_backward_rejected(self):
+        clock = VirtualClock(start=5.0)
+        with pytest.raises(ConfigurationError):
+            clock.set(4.0)
+
+    def test_is_virtual(self):
+        assert VirtualClock().is_virtual
+
+
+class TestRealClock:
+    def test_moves_on_its_own(self):
+        clock = RealClock()
+        a = clock.now()
+        time.sleep(0.01)
+        assert clock.now() > a
+
+    def test_not_virtual(self):
+        assert not RealClock().is_virtual
+
+    def test_starts_near_zero(self):
+        assert RealClock().now() < 0.5

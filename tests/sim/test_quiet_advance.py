@@ -1,0 +1,83 @@
+"""Tests for quiet clock advancement (network-charge semantics)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.clock import RealClock, VirtualClock
+from repro.sim.scheduler import Scheduler
+
+
+@pytest.fixture
+def sched():
+    return Scheduler(VirtualClock())
+
+
+class TestQuietAdvance:
+    def test_moves_clock_without_firing(self, sched):
+        fired = []
+        sched.call_at(1.0, fired.append, "x")
+        sched.advance_quiet(5.0)
+        assert sched.clock.now() == 5.0
+        assert fired == []  # due, but deferred
+
+    def test_deferred_work_fires_on_next_advance(self, sched):
+        fired = []
+        sched.call_at(1.0, fired.append, "x")
+        sched.advance_quiet(5.0)
+        sched.advance(0.0)  # drain
+        assert fired == ["x"]
+
+    def test_negative_delta_rejected(self, sched):
+        with pytest.raises(ConfigurationError):
+            sched.advance_quiet(-0.5)
+
+    def test_real_clock_is_noop(self):
+        sched = Scheduler(RealClock())
+        sched.advance_quiet(100.0)  # must not raise or jump the clock
+        assert sched.clock.now() < 1.0
+
+    def test_quiet_inside_advance_extends_sweep(self, sched):
+        """A quiet charge during a timer callback extends the sweep so
+        later-due timers still fire in the same advance call."""
+        trace = []
+
+        def charging_callback():
+            trace.append(("charge", sched.clock.now()))
+            sched.advance_quiet(10.0)  # like a network transfer
+
+        sched.call_at(1.0, charging_callback)
+        sched.call_at(5.0, lambda: trace.append(("later", sched.clock.now())))
+        sched.advance(1.0)
+        assert trace[0] == ("charge", 1.0)
+        assert ("later", 11.0) in trace
+        assert sched.clock.now() == 11.0
+
+    def test_quiet_outside_advance_defers_until_drain(self, sched):
+        ticks = []
+        sched.call_every(1.0, lambda: ticks.append(sched.clock.now()))
+        sched.advance_quiet(3.5)
+        assert ticks == []
+        sched.advance(0.0)
+        # The three missed periods all fire during the drain.  The clock
+        # never runs backward, so each deferred firing observes the
+        # drain-time instant rather than its original deadline.
+        assert ticks == [3.5, 3.5, 3.5]
+
+
+class TestClusterDrain:
+    def test_drain_runs_due_continuations(self, cluster):
+        from tests.anchors import Probe
+        from repro.core.carrier import Carrier
+
+        probe = Probe(_core=cluster["alpha"])
+        Carrier.move(probe, "beta", "note", ("after-drain",))
+        # The continuation is scheduled but deferred:
+        anchor = cluster["beta"].repository.get(probe._fargo_target_id)
+        assert "after-drain" not in anchor.history
+        cluster.drain()
+        assert anchor.history[-1] == "after-drain"
+
+    def test_drain_is_idempotent(self, cluster):
+        cluster.drain()
+        cluster.drain()
+        assert cluster.now >= 0.0

@@ -1,0 +1,166 @@
+"""Tests for the virtual-time timer scheduler."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.clock import RealClock, VirtualClock
+from repro.sim.scheduler import Scheduler
+
+
+@pytest.fixture
+def sched():
+    return Scheduler(VirtualClock())
+
+
+class TestOneShotTimers:
+    def test_fires_at_deadline(self, sched):
+        fired = []
+        sched.call_at(5.0, fired.append, "x")
+        sched.advance(4.9)
+        assert fired == []
+        sched.advance(0.1)
+        assert fired == ["x"]
+
+    def test_call_after(self, sched):
+        fired = []
+        sched.advance(10.0)
+        sched.call_after(2.0, fired.append, "y")
+        sched.advance(2.0)
+        assert fired == ["y"]
+
+    def test_past_deadline_rejected(self, sched):
+        sched.advance(5.0)
+        with pytest.raises(ConfigurationError):
+            sched.call_at(4.0, lambda: None)
+
+    def test_negative_delay_rejected(self, sched):
+        with pytest.raises(ConfigurationError):
+            sched.call_after(-1.0, lambda: None)
+
+    def test_callback_observes_its_deadline(self, sched):
+        seen = []
+        sched.call_at(3.0, lambda: seen.append(sched.clock.now()))
+        sched.advance(10.0)
+        assert seen == [3.0]
+
+    def test_ordering_by_deadline(self, sched):
+        order = []
+        sched.call_at(2.0, order.append, "b")
+        sched.call_at(1.0, order.append, "a")
+        sched.call_at(3.0, order.append, "c")
+        sched.advance(5.0)
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_for_equal_deadlines(self, sched):
+        order = []
+        sched.call_at(1.0, order.append, 1)
+        sched.call_at(1.0, order.append, 2)
+        sched.advance(1.0)
+        assert order == [1, 2]
+
+    def test_cancel(self, sched):
+        fired = []
+        timer = sched.call_at(1.0, fired.append, "never")
+        timer.cancel()
+        sched.advance(2.0)
+        assert fired == []
+
+
+class TestPeriodicTimers:
+    def test_fires_every_period(self, sched):
+        fired = []
+        sched.call_every(1.0, lambda: fired.append(sched.clock.now()))
+        sched.advance(3.5)
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_first_delay_override(self, sched):
+        fired = []
+        sched.call_every(2.0, lambda: fired.append(sched.clock.now()), first_delay=0.5)
+        sched.advance(3.0)
+        assert fired == [0.5, 2.5]
+
+    def test_cancel_stops_future_firings(self, sched):
+        fired = []
+        timer = sched.call_every(1.0, fired.append, "t")
+        sched.advance(2.0)
+        timer.cancel()
+        sched.advance(5.0)
+        assert fired == ["t", "t"]
+
+    def test_invalid_period_rejected(self, sched):
+        with pytest.raises(ConfigurationError):
+            sched.call_every(0.0, lambda: None)
+
+    def test_fired_count(self, sched):
+        timer = sched.call_every(1.0, lambda: None)
+        sched.advance(4.0)
+        assert timer.fired_count == 4
+
+
+class TestReentrantAdvance:
+    def test_nested_advance_extends_sweep(self, sched):
+        """A callback that advances time (network transfer during a timer)
+        extends the sweep rather than recursing."""
+        trace = []
+
+        def callback():
+            trace.append(("fire", sched.clock.now()))
+            if len(trace) == 1:
+                sched.advance(5.0)  # nested: clock moves, timers deferred
+
+        sched.call_at(1.0, callback)
+        sched.call_at(2.0, lambda: trace.append(("late", sched.clock.now())))
+        sched.advance(1.0)
+        # The nested advance carried the clock to 6.0 and the 2.0 timer
+        # fired during the outer sweep's continuation.
+        assert trace[0] == ("fire", 1.0)
+        assert ("late", 6.0) in trace or ("late", 2.0) in trace
+        assert sched.clock.now() == 6.0
+
+    def test_timer_scheduling_from_callback(self, sched):
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                sched.call_after(1.0, chain, n + 1)
+
+        sched.call_after(1.0, chain, 1)
+        sched.advance(10.0)
+        assert fired == [1, 2, 3]
+
+
+class TestIntrospection:
+    def test_pending_counts_live_timers(self, sched):
+        t1 = sched.call_at(1.0, lambda: None)
+        sched.call_at(2.0, lambda: None)
+        assert sched.pending == 2
+        t1.cancel()
+        assert sched.pending == 1
+
+    def test_next_deadline(self, sched):
+        sched.call_at(5.0, lambda: None)
+        t = sched.call_at(3.0, lambda: None)
+        assert sched.next_deadline() == 3.0
+        t.cancel()
+        assert sched.next_deadline() == 5.0
+
+    def test_next_deadline_empty(self, sched):
+        assert sched.next_deadline() is None
+
+
+class TestRealClockDriving:
+    def test_advance_requires_virtual_clock(self):
+        sched = Scheduler(RealClock())
+        with pytest.raises(ConfigurationError):
+            sched.advance(1.0)
+
+    def test_fire_due_with_real_clock(self):
+        sched = Scheduler(RealClock())
+        fired = []
+        sched.call_after(0.0, fired.append, "now")
+        import time
+
+        time.sleep(0.01)
+        assert sched.fire_due() == 1
+        assert fired == ["now"]

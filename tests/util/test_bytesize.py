@@ -1,0 +1,45 @@
+"""Tests for payload sizing and human-readable rendering."""
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.util.bytesize import human_bytes, payload_size
+
+
+class TestPayloadSize:
+    def test_bytes_measured_directly(self):
+        assert payload_size(b"x" * 100) == 100
+        assert payload_size(bytearray(50)) == 50
+
+    def test_pickle_size_grows_with_content(self):
+        small = payload_size({"k": "v"})
+        large = payload_size({"k": "v" * 10_000})
+        assert large > small + 9_000
+
+    def test_matches_wire_format(self):
+        import pickle
+
+        obj = {"a": [1, 2, 3], "b": "text"}
+        assert payload_size(obj) == len(
+            pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+
+    def test_unpicklable_raises(self):
+        with pytest.raises(SerializationError):
+            payload_size(lambda: None)
+
+
+class TestHumanBytes:
+    @pytest.mark.parametrize(
+        ("size", "expected"),
+        [
+            (0, "0 B"),
+            (512, "512 B"),
+            (1024, "1.0 KB"),
+            (1536, "1.5 KB"),
+            (1024 * 1024, "1.0 MB"),
+            (5 * 1024 * 1024 * 1024, "5.0 GB"),
+        ],
+    )
+    def test_rendering(self, size, expected):
+        assert human_bytes(size) == expected

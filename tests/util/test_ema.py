@@ -1,0 +1,103 @@
+"""Tests for the exponential average and the rate meter."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.util.ema import ExponentialAverage, RateMeter
+
+
+class TestExponentialAverage:
+    def test_first_sample_initializes(self):
+        avg = ExponentialAverage(alpha=0.3)
+        assert avg.value == 0.0
+        assert avg.add(10.0) == 10.0
+        assert avg.value == 10.0
+
+    def test_weighting(self):
+        avg = ExponentialAverage(alpha=0.5)
+        avg.add(10.0)
+        assert avg.add(20.0) == pytest.approx(15.0)
+        assert avg.add(20.0) == pytest.approx(17.5)
+
+    def test_alpha_one_tracks_last_sample(self):
+        avg = ExponentialAverage(alpha=1.0)
+        avg.add(5.0)
+        avg.add(99.0)
+        assert avg.value == 99.0
+
+    def test_sample_count(self):
+        avg = ExponentialAverage()
+        for i in range(5):
+            avg.add(float(i))
+        assert avg.samples == 5
+
+    def test_reset(self):
+        avg = ExponentialAverage()
+        avg.add(3.0)
+        avg.reset()
+        assert avg.value == 0.0
+        assert avg.samples == 0
+
+    @pytest.mark.parametrize("alpha", [0.0, -0.1, 1.5])
+    def test_invalid_alpha_rejected(self, alpha):
+        with pytest.raises(ConfigurationError):
+            ExponentialAverage(alpha=alpha)
+
+    def test_converges_to_constant_input(self):
+        avg = ExponentialAverage(alpha=0.3)
+        avg.add(0.0)
+        for _ in range(100):
+            avg.add(7.0)
+        assert avg.value == pytest.approx(7.0, abs=1e-6)
+
+
+class TestRateMeter:
+    def test_first_sample_anchors_window(self):
+        meter = RateMeter()
+        meter.mark(5)
+        # The first sample cannot derive a rate: no prior window edge.
+        assert meter.sample(1.0) == 0.0
+
+    def test_rate_after_window(self):
+        meter = RateMeter(alpha=1.0)
+        meter.sample(0.0)
+        for _ in range(10):
+            meter.mark()
+        assert meter.sample(1.0) == pytest.approx(10.0)
+
+    def test_weighted_marks(self):
+        meter = RateMeter(alpha=1.0)
+        meter.sample(0.0)
+        meter.mark(100.0)
+        meter.mark(200.0)
+        assert meter.sample(2.0) == pytest.approx(150.0)
+
+    def test_total_is_cumulative(self):
+        meter = RateMeter()
+        meter.mark(2)
+        meter.sample(1.0)
+        meter.mark(3)
+        assert meter.total == 5.0
+
+    def test_zero_elapsed_keeps_rate(self):
+        meter = RateMeter(alpha=1.0)
+        meter.sample(0.0)
+        meter.mark(4)
+        rate = meter.sample(1.0)
+        assert meter.sample(1.0) == rate  # same instant: no new window
+
+    def test_idle_window_decays_rate(self):
+        meter = RateMeter(alpha=0.5)
+        meter.sample(0.0)
+        meter.mark(10)
+        high = meter.sample(1.0)
+        low = meter.sample(2.0)  # no marks in second window
+        assert low < high
+
+    def test_reset(self):
+        meter = RateMeter()
+        meter.sample(0.0)
+        meter.mark(5)
+        meter.sample(1.0)
+        meter.reset()
+        assert meter.rate == 0.0

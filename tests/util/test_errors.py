@@ -1,0 +1,81 @@
+"""Contract tests for the exception hierarchy (API stability)."""
+
+import inspect
+
+import pytest
+
+import repro.errors as errors
+from repro.errors import (
+    CompletBoundaryError,
+    CompletError,
+    ConfigurationError,
+    CoreDownError,
+    CoreError,
+    CoreUnreachableError,
+    DanglingReferenceError,
+    FarGoError,
+    MonitoringError,
+    MovementDeniedError,
+    NameNotFoundError,
+    NamingError,
+    RelocationError,
+    ScriptError,
+    ScriptRuntimeError,
+    ScriptSyntaxError,
+    SerializationError,
+    StampResolutionError,
+    UnknownActionError,
+)
+
+
+class TestHierarchy:
+    def test_every_error_derives_from_fargo_error(self):
+        for _name, obj in inspect.getmembers(errors, inspect.isclass):
+            if issubclass(obj, BaseException):
+                assert issubclass(obj, FarGoError), obj
+
+    @pytest.mark.parametrize(
+        ("child", "parent"),
+        [
+            (CompletBoundaryError, CompletError),
+            (DanglingReferenceError, CompletError),
+            (StampResolutionError, RelocationError),
+            (MovementDeniedError, RelocationError),
+            (CoreDownError, CoreError),
+            (CoreUnreachableError, CoreError),
+            (NameNotFoundError, NamingError),
+            (ScriptSyntaxError, ScriptError),
+            (ScriptRuntimeError, ScriptError),
+            (UnknownActionError, ScriptRuntimeError),
+        ],
+    )
+    def test_family_relationships(self, child, parent):
+        assert issubclass(child, parent)
+
+    def test_catch_all_idiom(self):
+        """Applications can catch the whole family with one clause."""
+        try:
+            raise StampResolutionError("no printer")
+        except FarGoError as exc:
+            assert "printer" in str(exc)
+
+    def test_disjoint_families(self):
+        assert not issubclass(CoreError, CompletError)
+        assert not issubclass(MonitoringError, ScriptError)
+        assert not issubclass(SerializationError, RelocationError)
+
+
+class TestScriptSyntaxError:
+    def test_location_in_message(self):
+        exc = ScriptSyntaxError("bad token", line=3, column=7)
+        assert "line 3" in str(exc)
+        assert "column 7" in str(exc)
+        assert exc.line == 3
+        assert exc.column == 7
+
+    def test_location_optional(self):
+        exc = ScriptSyntaxError("just a message")
+        assert str(exc) == "just a message"
+
+    def test_configuration_error_standalone(self):
+        assert issubclass(ConfigurationError, FarGoError)

@@ -1,0 +1,78 @@
+"""Tests for identifier generation and display forms."""
+
+import threading
+
+from repro.util.ids import CompletId, IdGenerator, TrackerId
+
+
+class TestIdGenerator:
+    def test_monotonic(self):
+        gen = IdGenerator()
+        values = [gen.next() for _ in range(100)]
+        assert values == sorted(values)
+        assert len(set(values)) == 100
+
+    def test_start_offset(self):
+        gen = IdGenerator(start=42)
+        assert gen.next() == 42
+        assert gen.next() == 43
+
+    def test_thread_safety(self):
+        gen = IdGenerator()
+        results: list[int] = []
+        lock = threading.Lock()
+
+        def worker():
+            local = [gen.next() for _ in range(500)]
+            with lock:
+                results.extend(local)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(results) == 4000
+        assert len(set(results)) == 4000
+
+
+class TestCompletId:
+    def test_str_with_type(self):
+        cid = CompletId("technion", 3, "Message")
+        assert str(cid) == "technion/c3:Message"
+
+    def test_str_without_type(self):
+        cid = CompletId("technion", 3)
+        assert str(cid) == "technion/c3"
+
+    def test_short_form(self):
+        cid = CompletId("acadia", 7, "Printer")
+        assert cid.short() == "Printer#7@acadia"
+
+    def test_short_form_untyped(self):
+        assert CompletId("x", 1).short() == "complet#1@x"
+
+    def test_equality_and_hash(self):
+        a = CompletId("c", 1, "T")
+        b = CompletId("c", 1, "T")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != CompletId("c", 2, "T")
+
+    def test_immutable(self):
+        cid = CompletId("c", 1, "T")
+        try:
+            cid.serial = 5  # type: ignore[misc]
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised
+
+
+class TestTrackerId:
+    def test_str(self):
+        assert str(TrackerId("alpha", 9)) == "alpha/t9"
+
+    def test_equality(self):
+        assert TrackerId("a", 1) == TrackerId("a", 1)
+        assert TrackerId("a", 1) != TrackerId("b", 1)

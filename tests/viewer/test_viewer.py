@@ -1,0 +1,150 @@
+"""Tests for the layout monitor (the Figure 4 stand-in)."""
+
+import pytest
+
+from repro.viewer.render import render_events, render_layout, render_references
+from repro.viewer.viewer import LayoutMonitor
+from repro.cluster.workload import Counter, Echo
+from tests.anchors import Holder
+
+
+@pytest.fixture
+def monitor(cluster3):
+    mon = LayoutMonitor(cluster3, home="alpha")
+    mon.watch_all()
+    return mon
+
+
+class TestSnapshotsAndRendering:
+    def test_render_shows_all_cores(self, cluster3, monitor):
+        out = monitor.render()
+        for name in ("alpha", "beta", "gamma"):
+            assert f"core {name}" in out
+
+    def test_render_shows_complets_and_names(self, cluster3, monitor):
+        echo = Echo("x", _core=cluster3["alpha"])
+        cluster3["alpha"].bind("svc", echo)
+        out = monitor.render()
+        assert "alpha/c1:Echo" in out
+        assert "svc" in out
+
+    def test_render_empty_core(self, cluster3, monitor):
+        assert "(empty)" in monitor.render()
+
+    def test_snapshot_excludes_dead_cores(self, cluster3, monitor):
+        cluster3.shutdown_core("gamma")
+        names = [s["core"] for s in monitor.snapshots()]
+        assert names == ["alpha", "beta"]
+
+    def test_render_layout_function(self):
+        out = render_layout(
+            [
+                {
+                    "core": "x",
+                    "complets": [{"id": "x/c1:T", "type": "T", "short": "T#1@x"}],
+                    "names": [],
+                    "tracker_count": 1,
+                    "active_profiles": 0,
+                }
+            ]
+        )
+        assert "core x" in out and "x/c1:T" in out
+
+    def test_render_references_table(self):
+        rows = [
+            {"target": "a/c1:T", "type": "link", "invocations": 3, "bytes": 2048, "local": False}
+        ]
+        out = render_references("b/c1:H", rows)
+        assert "a/c1:T" in out and "link" in out and "2.0 KB" in out
+
+    def test_render_references_empty(self):
+        assert "(none)" in render_references("x", [])
+
+    def test_render_events_limit(self):
+        out = render_events([f"e{i}" for i in range(30)], limit=5)
+        assert out.splitlines() == ["e25", "e26", "e27", "e28", "e29"]
+
+
+class TestLiveTracking:
+    def test_feed_records_movement(self, cluster3, monitor):
+        counter = Counter(0, _core=cluster3["alpha"])
+        cluster3.move(counter, "beta")
+        feed = monitor.render_feed()
+        assert "completArrived" in feed
+        assert "completDeparted" in feed
+
+    def test_feed_records_retype(self, cluster3, monitor):
+        from repro.complet.relocators import Pull
+        from repro.core.core import Core
+
+        echo = Echo("x", _core=cluster3["alpha"])
+        Core.get_meta_ref(echo).set_relocator(Pull())
+        assert "referenceRetyped" in monitor.render_feed()
+
+    def test_feed_records_shutdown(self, cluster3, monitor):
+        cluster3.shutdown_core("gamma")
+        assert "coreShutdown" in monitor.render_feed()
+
+    def test_connect_idempotent(self, cluster3, monitor):
+        monitor.connect("beta")
+        counter = Counter(0, _core=cluster3["alpha"])
+        cluster3.move(counter, "beta")
+        arrived = [line for line in monitor.feed if "completArrived" in line]
+        assert len(arrived) == 1  # not duplicated by the second connect
+
+    def test_disconnect_stops_feed(self, cluster3, monitor):
+        monitor.disconnect()
+        counter = Counter(0, _core=cluster3["alpha"])
+        cluster3.move(counter, "beta")
+        assert monitor.feed == []
+
+
+class TestManipulation:
+    def test_move_complet(self, cluster3, monitor):
+        counter = Counter(0, _core=cluster3["beta"], _at="beta")
+        monitor.move_complet("beta", str(counter._fargo_target_id), "gamma")
+        assert cluster3.locate(counter) == "gamma"
+
+    def test_references_panel(self, cluster3, monitor):
+        echo = Echo("x", _core=cluster3["alpha"])
+        holder = Holder(echo, _core=cluster3["alpha"])
+        out = monitor.references("alpha", str(holder._fargo_target_id))
+        assert "link" in out
+
+    def test_retype_reference(self, cluster3, monitor):
+        echo = Echo("x", _core=cluster3["alpha"])
+        holder = Holder(echo, _core=cluster3["alpha"])
+        monitor.retype_reference(
+            "alpha",
+            str(holder._fargo_target_id),
+            str(echo._fargo_target_id),
+            "duplicate",
+        )
+        out = monitor.references("alpha", str(holder._fargo_target_id))
+        assert "duplicate" in out
+
+    def test_profile_reads_remote(self, cluster3, monitor):
+        Echo("x", _core=cluster3["gamma"], _at="gamma")
+        assert monitor.profile("gamma", "completLoad") == 1.0
+
+
+class TestLinksPanel:
+    def test_render_links_shows_configuration(self, cluster3, monitor):
+        cluster3.set_link("alpha", "beta", bandwidth=250_000.0, latency=0.05)
+        out = monitor.render_links()
+        assert "alpha" in out and "beta" in out
+        assert "250 KB/s" in out
+        assert "50.0 ms" in out
+
+    def test_render_links_shows_traffic_and_state(self, cluster3, monitor):
+        echo = Echo("x", _core=cluster3["alpha"])
+        cluster3.move(echo, "beta")
+        cluster3.set_link("alpha", "gamma", up=False)
+        out = monitor.render_links()
+        assert "DOWN" in out
+        assert "B" in out  # some observed bytes rendered
+
+    def test_render_links_skips_dead_cores(self, cluster3, monitor):
+        cluster3.shutdown_core("gamma")
+        out = monitor.render_links()
+        assert "gamma" not in out
