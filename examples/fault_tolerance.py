@@ -1,0 +1,90 @@
+"""Fault-tolerant movement: aborts, scripted retries, and RPC retry policies.
+
+A move that hits a network failure never half-completes: the abortable
+two-phase protocol runs ``abort_departure``, keeps the group hosted at
+the sender, and publishes a ``moveFailed`` event.  This example shows the
+two ways an administrator turns that guarantee into self-healing layout:
+
+1. a *script rule* (``on moveFailed do call retryMove(...) end``) that
+   re-issues the failed move after a delay — long enough for the injected
+   outage to heal;
+2. a cluster-wide :class:`~repro.net.retry.RetryPolicy` whose exponential
+   backoff sweeps virtual time forward, so a *single* ``move`` call rides
+   through a transient outage without ever surfacing the failure.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+from repro import Cluster
+from repro.cluster.failures import FailureInjector
+from repro.cluster.workload import Counter
+from repro.core.events import CALL_RETRIED, MOVE_FAILED
+from repro.errors import CoreUnreachableError
+from repro.net.retry import RetryPolicy
+from repro.script import ScriptEngine
+
+RETRY_SCRIPT = """\
+on moveFailed do
+  call retryMove(6)
+end
+"""
+
+
+def scripted_retry() -> None:
+    print("=== scenario 1: moveFailed + scripted retry ===")
+    cluster = Cluster(["a", "b"])
+    engine = ScriptEngine(cluster, home="a")
+    engine.run(RETRY_SCRIPT)
+    cluster["a"].events.subscribe(MOVE_FAILED, lambda e: print(f"  event: {e}"))
+
+    inject = FailureInjector(cluster)
+    inject.outage_at(1.0, "a", "b", 5.0)  # link down from t=1 to t=6
+
+    counter = Counter(10, _core=cluster["a"])
+    cluster.advance(2.0)  # into the outage
+
+    print(f"t={cluster.now:.1f}: moving counter a -> b into a cut link ...")
+    try:
+        cluster.move(counter, "b")
+    except CoreUnreachableError as exc:
+        print(f"  move aborted cleanly: {exc}")
+    print(f"  counter still at {cluster.locate(counter)}, "
+          f"value intact: {counter.read()}")
+
+    cluster.advance(6.0)  # heal at t=6, scheduled retry at t=8
+    print(f"t={cluster.now:.1f}: after heal, counter is at "
+          f"{cluster.locate(counter)}")
+    for line in engine.log:
+        print(f"  script log: {line}")
+
+
+def policy_retry() -> None:
+    print("\n=== scenario 2: cluster-wide RetryPolicy ===")
+    cluster = Cluster(
+        ["a", "b"],
+        retry_policy=RetryPolicy(max_attempts=4, base_delay=0.5, multiplier=2.0),
+    )
+    cluster["a"].events.subscribe(
+        CALL_RETRIED,
+        lambda e: print(f"  retrying {e.data['kind']} -> {e.data['destination']} "
+                        f"(attempt {e.data['attempt']}, backoff {e.data['delay']}s)"),
+    )
+    inject = FailureInjector(cluster)
+    counter = Counter(99, _core=cluster["a"])
+    cluster.set_link("a", "b", up=False)
+    inject.restore_link_at(1.2, "a", "b")  # heals during the third backoff
+
+    print("moving counter a -> b through a transient outage ...")
+    cluster.move(counter, "b")  # no exception: the backoff outlives the outage
+    print(f"  moved on attempt {cluster['a'].movement.moves_sent}; counter at "
+          f"{cluster.locate(counter)}, value {counter.read()}, "
+          f"aborts: {cluster['a'].movement.moves_aborted}")
+
+
+def main() -> None:
+    scripted_retry()
+    policy_retry()
+
+
+if __name__ == "__main__":
+    main()

@@ -8,6 +8,7 @@ from repro.complet.anchor import Anchor
 from repro.complet.stub import Stub
 from repro.core.core import Core
 from repro.errors import CoreNotFoundError
+from repro.net.retry import RetryPolicy
 from repro.net.simnet import NetworkStats, SimNetwork
 from repro.sim.clock import Clock, VirtualClock
 from repro.sim.scheduler import Scheduler
@@ -31,6 +32,8 @@ class Cluster:
         eager_pointer_updates: bool = True,
         use_location_registry: bool = False,
         profile_cache_ttl: float = 1.0,
+        retry_policy: RetryPolicy | None = None,
+        rpc_timeout: float | None = None,
     ) -> None:
         self.scheduler = Scheduler(clock if clock is not None else VirtualClock())
         self.network = SimNetwork(
@@ -41,6 +44,8 @@ class Cluster:
         self._eager_pointer_updates = eager_pointer_updates
         self._use_location_registry = use_location_registry
         self._profile_cache_ttl = profile_cache_ttl
+        self._retry_policy = retry_policy
+        self._rpc_timeout = rpc_timeout
         self.cores: dict[str, Core] = {}
         for name in names:
             self.add_core(name)
@@ -52,6 +57,8 @@ class Cluster:
         core_kwargs.setdefault("eager_pointer_updates", self._eager_pointer_updates)
         core_kwargs.setdefault("use_location_registry", self._use_location_registry)
         core_kwargs.setdefault("profile_cache_ttl", self._profile_cache_ttl)
+        core_kwargs.setdefault("retry_policy", self._retry_policy)
+        core_kwargs.setdefault("rpc_timeout", self._rpc_timeout)
         core = Core(name, self.network, self.scheduler, **core_kwargs)
         self.cores[name] = core
         return core

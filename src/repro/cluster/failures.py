@@ -59,6 +59,19 @@ class FailureInjector:
             lambda: self.cluster.set_link(a, b, up=True),
         )
 
+    def outage_at(self, time: float, a: str, b: str, duration: float) -> tuple[Timer, Timer]:
+        """Cut the a<->b link at ``time``, restore it ``duration`` later.
+
+        The shape every retry/abort scenario needs: a transient outage
+        that a :class:`~repro.net.retry.RetryPolicy` can ride through —
+        or, without one, that aborts the interaction at ``time`` and lets
+        a later retry succeed.
+        """
+        return (
+            self.cut_link_at(time, a, b),
+            self.restore_link_at(time + duration, a, b),
+        )
+
     def shutdown_core_at(self, time: float, name: str) -> Timer:
         """Graceful shutdown: the Core fires ``coreShutdown`` first."""
         return self._at(

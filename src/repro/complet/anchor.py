@@ -114,6 +114,14 @@ class Anchor:
     def pre_departure(self, destination: str) -> None:
         """Called at the sending Core before this complet is marshaled."""
 
+    def abort_departure(self, destination: str) -> None:
+        """Called at the sending Core when a move fails after ``pre_departure``.
+
+        The move never committed: this complet stays hosted where it is,
+        every tracker is untouched, and ``post_departure`` will *not*
+        run.  Override to undo whatever ``pre_departure`` prepared
+        (flush buffers reopened, leases re-acquired, ...)."""
+
     def pre_arrival(self) -> None:
         """Called at the receiving Core right after unmarshaling this anchor,
         before the complet is wired into the Core's repository."""

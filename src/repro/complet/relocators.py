@@ -19,6 +19,15 @@ the extension mechanism of §3.3.
 
 Relocators must be picklable: they travel inside wire tokens so the
 reference keeps its semantics after materialization at the destination.
+
+Failure semantics: relocator hooks run during the *planning and
+marshaling* phases of a move, before anything leaves the sending Core.
+An exception raised from a hook — or a send failure afterwards — aborts
+the move before commit: every planned mover (pulls and the root alike)
+stays hosted where it was, duplicates registered during planning are
+discarded unmaterialized, and the movement unit runs the anchors'
+``abort_departure`` callbacks.  Hooks therefore never need their own
+compensation logic for the in-group complets.
 """
 
 from __future__ import annotations

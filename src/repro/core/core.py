@@ -17,7 +17,7 @@ from repro.complet.continuation import Continuation
 from repro.complet.metaref import MetaRef
 from repro.complet.relocators import relocator_from_name
 from repro.complet.stub import Stub, stub_class_for
-from repro.core.events import CORE_SHUTDOWN, EventBus
+from repro.core.events import CALL_RETRIED, CORE_SHUTDOWN, ONEWAY_FAILED, EventBus
 from repro.core.invocation import InvocationUnit
 from repro.core.locator import LocationRegistry
 from repro.core.movement import MovementUnit
@@ -27,8 +27,9 @@ from repro.core.repository import Repository
 from repro.errors import CompletError, CoreDownError, NotAStubError
 from repro.monitor.events import MonitorEventEngine
 from repro.monitor.profiler import Profiler
-from repro.net.messages import MessageKind
+from repro.net.messages import Envelope, MessageKind
 from repro.net.peer import PeerInterface
+from repro.net.retry import RetryPolicy
 from repro.net.simnet import SimNetwork
 from repro.sim.scheduler import Scheduler
 
@@ -48,6 +49,8 @@ class Core:
         eager_pointer_updates: bool = True,
         use_location_registry: bool = False,
         profile_cache_ttl: float = 1.0,
+        retry_policy: RetryPolicy | None = None,
+        rpc_timeout: float | None = None,
     ) -> None:
         self.name = name
         self.scheduler = scheduler
@@ -56,9 +59,15 @@ class Core:
         #: Resolve references through the home-based location registry
         #: (the paper's future-work naming scheme) before chain walking.
         self.use_location_registry = use_location_registry
+        #: Default retry policy for this Core's outgoing cross-Core calls.
+        self.retry_policy = retry_policy
         self.is_running = True
 
         self.peer = PeerInterface(name, network)
+        if retry_policy is not None:
+            self.peer.configure_retry(retry_policy)
+        if rpc_timeout is not None:
+            self.peer.configure_timeout(rpc_timeout)
         self.repository = Repository(self)
         self.events = EventBus(self)
         self.profiler = Profiler(self, cache_ttl=profile_cache_ttl)
@@ -73,6 +82,41 @@ class Core:
         self.peer.register_raw(MessageKind.PROFILE_PROBE, self._handle_probe)
         self.peer.register(MessageKind.PROFILE_QUERY, self._handle_profile_query)
         self.peer.register(MessageKind.ADMIN_QUERY, self._handle_admin)
+        self.peer.endpoint.on_oneway_error = self._on_oneway_error
+        self.peer.endpoint.on_retry = self._on_call_retried
+
+    # -- fault-tolerance events ------------------------------------------------------
+
+    def _on_oneway_error(self, envelope: Envelope, error: BaseException) -> None:
+        """A one-way message failed in one of this Core's handlers."""
+        if envelope.kind is MessageKind.EVENT_NOTIFY:
+            # Do not publish an event about a failed event delivery:
+            # two Cores with broken listeners would ping-pong forever.
+            return
+        self.events.publish(
+            ONEWAY_FAILED,
+            kind=envelope.kind.value,
+            source=envelope.src,
+            error=repr(error),
+        )
+
+    def _on_call_retried(
+        self,
+        dst: str,
+        kind: MessageKind,
+        attempt: int,
+        delay: float,
+        error: BaseException,
+    ) -> None:
+        """An outgoing call failed and is about to be retried."""
+        self.events.publish(
+            CALL_RETRIED,
+            destination=dst,
+            kind=kind.value,
+            attempt=attempt,
+            delay=delay,
+            error=repr(error),
+        )
 
     # -- Core API: instantiation ---------------------------------------------------------
 

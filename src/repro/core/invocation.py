@@ -8,6 +8,13 @@ passing.  Remote calls are forwarded along the tracker chain; the reply
 carries the address of the tracker colocated with the target, and every
 tracker on the chain re-points directly at it on the way back — the
 paper's chain shortening.
+
+Fault tolerance: a forward that hits a reachability failure (after the
+RPC layer's own retries, if the Core carries a
+:class:`~repro.net.retry.RetryPolicy`) *re-locates* the target — through
+the location registry when enabled, else by re-walking the tracker
+chain — and retries once against the recovered address, so a complet
+that moved away while a hop was unreachable is found again.
 """
 
 from __future__ import annotations
@@ -20,7 +27,12 @@ from repro.complet.anchor import current_complet, execution_context
 from repro.complet.marshal import InvocationMarshaler
 from repro.complet.stub import Stub
 from repro.complet.tracker import Tracker, TrackerAddress
-from repro.errors import CoreError, DanglingReferenceError, NoSuchMethodError
+from repro.errors import (
+    CompletError,
+    CoreError,
+    DanglingReferenceError,
+    NoSuchMethodError,
+)
 from repro.net.messages import MessageKind
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -70,9 +82,10 @@ class InvocationUnit:
         try:
             reply = self._forward(tracker.next_hop, request)
         except CoreError:
-            # A hop on the chain is gone.  With the location registry
-            # (the paper's future-work naming scheme) the reference can
-            # recover: ask the target's home Core and go direct.
+            # A hop on the chain is gone (the RPC layer already spent its
+            # retries).  Re-locate the target and go direct: through the
+            # location registry (the paper's future-work naming scheme)
+            # when enabled, else by re-walking the tracker chain.
             recovered = self._recover_route(tracker)
             if recovered is None:
                 raise
@@ -86,13 +99,26 @@ class InvocationUnit:
         return self.core.peer.request_raw(address.core, MessageKind.INVOKE, frame)
 
     def _recover_route(self, tracker: Tracker) -> TrackerAddress | None:
-        if not self.core.use_location_registry:
+        failed = tracker.next_hop
+        if self.core.use_location_registry:
+            try:
+                registered = self.core.locator.resolve(tracker.target_id)
+            except CoreError:
+                registered = None
+            if registered is not None and registered != failed:
+                self.core.references.shorten(tracker, registered)
+                return registered
             return None
-        registered = self.core.locator.resolve(tracker.target_id)
-        if registered is None or registered == tracker.next_hop:
+        # No registry: re-walk the chain.  This only helps when the chain
+        # no longer runs through the failed hop (it was shortened, or the
+        # failure happened downstream of a live forwarder).
+        try:
+            final = self.core.references.resolve_final(tracker)
+        except (CoreError, CompletError):
             return None
-        self.core.references.shorten(tracker, registered)
-        return registered
+        if final != failed:
+            return final
+        return None
 
     def _handle_invoke(self, src: str, raw: bytes) -> bytes:
         serial, request = pickle.loads(raw)

@@ -13,10 +13,22 @@ The receiving side pre-registers the sender's trackers as remote
 pointers, installs the arrivals between their ``pre_arrival`` and
 ``post_arrival`` callbacks, fires ``completArrived`` events, and invokes
 the continuation, if one travelled along.
+
+Sending is an *abortable two-phase protocol*: phase one runs the
+``pre_departure`` hooks and marshals the group, phase two ships the
+stream and — only once the destination's reply commits the move —
+re-points trackers and releases the complets.  Any failure before the
+reply (marshaling, an unreachable or timed-out destination after the
+RPC layer's retries, a denial at the destination) triggers
+``abort_departure``: every group member's :meth:`Anchor.abort_departure`
+hook runs, the group stays hosted and invocable, trackers are left
+untouched, and a ``moveFailed`` event tells the monitoring and scripting
+layers — then the original error is re-raised to the caller.
 """
 
 from __future__ import annotations
 
+import logging
 from typing import TYPE_CHECKING
 
 from repro.complet.anchor import Anchor, execution_context
@@ -29,6 +41,7 @@ from repro.complet.marshal import (
     MovementUnmarshaler,
 )
 from repro.complet.stub import Stub
+from repro.core.events import MOVE_FAILED
 from repro.errors import CompletError, MovementDeniedError
 from repro.net.messages import MessageKind
 from repro.net.serializer import PLAIN
@@ -36,6 +49,13 @@ from repro.util.ids import CompletId
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.core import Core
+
+logger = logging.getLogger(__name__)
+
+#: Bound on MOVE_REQUEST forwarding along tracker chains.  Two stale
+#: trackers claiming each other's complet would otherwise bounce a
+#: request forever.
+MAX_FORWARD_HOPS = 16
 
 
 class MovementUnit:
@@ -49,6 +69,8 @@ class MovementUnit:
         #: Group moves sent / received by this Core (for the benchmarks).
         self.moves_sent = 0
         self.moves_received = 0
+        #: Moves that ran abort_departure after a phase-two failure.
+        self.moves_aborted = 0
 
     # -- public entry point -----------------------------------------------------------
 
@@ -97,11 +119,15 @@ class MovementUnit:
         for mover in plan.movers.values():
             with execution_context(self.core, mover.complet_id):
                 mover.pre_departure(destination)
-        payload = MovementMarshaler(self.core, plan).payload(continuation)
-
-        raw_reply = self.core.peer.request_raw(
-            destination, MessageKind.MOVE_COMPLET, PLAIN.dumps(payload)
-        )
+        try:
+            payload = MovementMarshaler(self.core, plan).payload(continuation)
+            raw_reply = self.core.peer.request_raw(
+                destination, MessageKind.MOVE_COMPLET, PLAIN.dumps(payload)
+            )
+        except Exception as exc:
+            # Phase two never committed: undo phase one and keep hosting.
+            self._abort_departure(plan, anchor, destination, exc)
+            raise
         addresses: dict[CompletId, object] = PLAIN.loads(raw_reply)  # type: ignore[assignment]
         self.moves_sent += 1
 
@@ -120,6 +146,36 @@ class MovementUnit:
             )
         for stub in plan.remote_pulls:
             self._forward_request(stub, destination, None)
+
+    def _abort_departure(
+        self, plan: MovementPlan, root: Anchor, destination: str, error: BaseException
+    ) -> None:
+        """Undo phase one of a move that failed before the commit reply.
+
+        Every group member's ``abort_departure`` hook runs (failures are
+        isolated and logged — the abort itself must not die half-way),
+        nothing is released and no tracker is re-pointed, and a
+        ``moveFailed`` event is published so layout scripts can react
+        (``on moveFailed ... do call retryMove(...) end``).
+        """
+        for complet_id, mover in plan.movers.items():
+            try:
+                with execution_context(self.core, complet_id):
+                    mover.abort_departure(destination)
+            except Exception:  # noqa: BLE001 - abort hooks are isolated
+                logger.warning(
+                    "abort_departure of %s failed", complet_id, exc_info=True
+                )
+        self.moves_aborted += 1
+        self.core.events.publish(
+            MOVE_FAILED,
+            complet=str(root.complet_id),
+            type=root.complet_id.type_name,
+            destination=destination,
+            reason=type(error).__name__,
+            detail=str(error),
+            group=[str(cid) for cid in plan.movers],
+        )
 
     def _forward_request(
         self,
@@ -147,19 +203,25 @@ class MovementUnit:
         )
 
     def _request_body(
-        self, target_id: CompletId, destination: str, continuation: Continuation | None
+        self,
+        target_id: CompletId,
+        destination: str,
+        continuation: Continuation | None,
+        hops: int = 0,
     ) -> tuple:
         """Encode a forwarded move request.
 
         Continuation arguments may contain complet references, so they are
         marshaled with the invocation marshaler rather than pickled raw.
+        ``hops`` counts tracker-chain forwards so a cycle of stale
+        trackers cannot bounce the request forever.
         """
         if continuation is None:
-            return (target_id, destination, None, None)
+            return (target_id, destination, None, None, hops)
         args_bytes = self.core.invocation.marshaler.dumps(
             (continuation.args, continuation.kwargs)
         )
-        return (target_id, destination, continuation.method, args_bytes)
+        return (target_id, destination, continuation.method, args_bytes, hops)
 
     # -- receiving side ------------------------------------------------------------------
 
@@ -223,21 +285,24 @@ class MovementUnit:
         return PLAIN.dumps(addresses)
 
     def _run_continuation(self, root: Anchor, method, continuation: Continuation) -> None:
-        import logging
-
         if not self.core.repository.hosts(root.complet_id):
             return  # the complet moved on before the continuation fired
         try:
             with execution_context(self.core, root.complet_id):
                 method(*continuation.args, **continuation.kwargs)
         except Exception:  # noqa: BLE001 - continuations run detached
-            logging.getLogger(__name__).warning(
+            logger.warning(
                 "continuation %s of %s failed", continuation.method,
                 root.complet_id, exc_info=True,
             )
 
     def _handle_move_request(self, src: str, body: object):
-        target_id, destination, method, args_bytes = body  # type: ignore[misc]
+        target_id, destination, method, args_bytes, hops = body  # type: ignore[misc]
+        if hops > MAX_FORWARD_HOPS:
+            raise CompletError(
+                f"move request for {target_id} forwarded more than "
+                f"{MAX_FORWARD_HOPS} times; stale-tracker cycle suspected"
+            )
         continuation: Continuation | None = None
         if method is not None:
             args, kwargs = self.core.invocation.marshaler.loads(args_bytes)  # type: ignore[misc]
@@ -259,7 +324,7 @@ class MovementUnit:
         self.core.peer.request(
             host,
             MessageKind.MOVE_REQUEST,
-            self._request_body(target_id, destination, continuation),
+            self._request_body(target_id, destination, continuation, hops + 1),
         )
         return None
 

@@ -100,6 +100,18 @@ class CoreUnreachableError(CoreError):
     """The target Core cannot be reached (link down or network partition)."""
 
 
+class DeadlineExceededError(CoreError):
+    """A cross-Core call did not complete within its timeout.
+
+    Raised by :meth:`repro.net.rpc.RpcEndpoint.call` when the round trip
+    took longer (in virtual time) than the deadline configured for the
+    message kind.  The reply — if one eventually arrived — is discarded,
+    exactly as a timed-out RMI call discards a late answer.  Note that
+    the remote handler may still have executed: retrying a call after
+    this error gives at-least-once semantics.
+    """
+
+
 class DuplicateCoreError(CoreError):
     """A Core with the same name is already registered in the cluster."""
 

@@ -10,6 +10,7 @@ they reach this layer.
 from __future__ import annotations
 
 from repro.net.messages import MessageKind
+from repro.net.retry import RetryPolicy
 from repro.net.rpc import RpcEndpoint, RpcHandler
 from repro.net.serializer import PLAIN, Serializer
 from repro.net.simnet import SimNetwork
@@ -23,6 +24,20 @@ class PeerInterface:
         self.network = network
         self.endpoint = RpcEndpoint(core_name, network)
 
+    # -- fault-tolerance configuration ----------------------------------------
+
+    def configure_retry(
+        self, policy: RetryPolicy | None, kind: MessageKind | None = None
+    ) -> None:
+        """Retry policy for outgoing requests of ``kind`` (default: all)."""
+        self.endpoint.set_retry_policy(policy, kind)
+
+    def configure_timeout(
+        self, seconds: float | None, kind: MessageKind | None = None
+    ) -> None:
+        """Round-trip deadline for outgoing requests of ``kind`` (default: all)."""
+        self.endpoint.set_timeout(seconds, kind)
+
     # -- outgoing -------------------------------------------------------------
 
     def request(
@@ -33,22 +48,33 @@ class PeerInterface:
         *,
         serializer: Serializer = PLAIN,
         reply_serializer: Serializer | None = None,
+        timeout: float | None = None,
+        retry: RetryPolicy | None = None,
     ) -> object:
         """Serialize ``body``, send it, and deserialize the reply.
 
         ``serializer`` encodes the request; ``reply_serializer`` (default:
         the same) decodes the reply.  Movement and invocation use
         asymmetric pairs because tokens are resolved against different
-        Cores on each side.
+        Cores on each side.  ``timeout`` and ``retry`` override the
+        endpoint's per-kind configuration for this one request.
         """
         payload = serializer.dumps(body)
-        reply = self.endpoint.call(dst, kind, payload)
+        reply = self.endpoint.call(dst, kind, payload, timeout=timeout, retry=retry)
         decoder = reply_serializer if reply_serializer is not None else serializer
         return decoder.loads(reply)
 
-    def request_raw(self, dst: str, kind: MessageKind, payload: bytes) -> bytes:
+    def request_raw(
+        self,
+        dst: str,
+        kind: MessageKind,
+        payload: bytes,
+        *,
+        timeout: float | None = None,
+        retry: RetryPolicy | None = None,
+    ) -> bytes:
         """Send pre-encoded bytes and return raw reply bytes."""
-        return self.endpoint.call(dst, kind, payload)
+        return self.endpoint.call(dst, kind, payload, timeout=timeout, retry=retry)
 
     def notify(
         self,

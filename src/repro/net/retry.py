@@ -1,0 +1,138 @@
+"""Retry policies for cross-Core interactions.
+
+A :class:`RetryPolicy` bounds how stubbornly one cross-Core call fights a
+degrading environment: at most ``max_attempts`` tries, exponentially
+backed off, optionally under a total virtual-time ``deadline``.  Backoff
+is *jitter-free* and sleeps on the simulation scheduler, so a failure
+scenario replays deterministically — and, crucially, the backoff sweep
+fires due timers, which is how a retry can observe an injected link heal
+or Core revival scheduled by :class:`repro.cluster.failures.FailureInjector`.
+
+Only *reachability* errors are retried by default
+(:class:`~repro.errors.CoreUnreachableError`,
+:class:`~repro.errors.CoreDownError`): those are raised before the
+destination handler ran, so a retry is always safe.
+:class:`~repro.errors.DeadlineExceededError` is raised *after* the
+handler executed — retrying it means at-least-once semantics — so it is
+only retried when explicitly listed in ``retry_on``.
+
+Caveat: a retry that begins *inside* a timer callback cannot observe
+other timers firing — the scheduler extends the outer sweep instead of
+recursing — so only the passage of time is visible there.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, CoreDownError, CoreUnreachableError
+from repro.sim.scheduler import Scheduler
+
+#: Errors raised before the remote handler ran; always safe to retry.
+REACHABILITY_ERRORS: tuple[type[BaseException], ...] = (
+    CoreUnreachableError,
+    CoreDownError,
+)
+
+#: ``on_retry(attempt, delay, error)`` — notified before each backoff sleep.
+RetryObserver = Callable[[int, float, BaseException], None]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deterministic bounded-retry policy for one cross-Core call.
+
+    ``max_attempts`` counts the first try; ``base_delay`` is the backoff
+    before the second attempt, multiplied by ``multiplier`` per further
+    attempt and capped at ``max_delay``.  ``deadline`` bounds the total
+    virtual time spent (measured from the first attempt); a retry whose
+    backoff would overshoot the deadline is not taken.  ``retry_on``
+    lists the exception types worth retrying.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.5
+    multiplier: float = 2.0
+    max_delay: float = 30.0
+    deadline: float | None = None
+    retry_on: tuple[type[BaseException], ...] = field(default=REACHABILITY_ERRORS)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be at least 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0.0:
+            raise ConfigurationError(
+                f"base_delay must be non-negative, got {self.base_delay}"
+            )
+        if self.multiplier < 1.0:
+            raise ConfigurationError(
+                f"multiplier must be at least 1, got {self.multiplier}"
+            )
+        if self.max_delay < 0.0:
+            raise ConfigurationError(
+                f"max_delay must be non-negative, got {self.max_delay}"
+            )
+        if self.deadline is not None and self.deadline <= 0.0:
+            raise ConfigurationError(
+                f"deadline must be positive, got {self.deadline}"
+            )
+
+    def backoff(self, retry_index: int) -> float:
+        """Seconds to wait before retry number ``retry_index`` (1-based)."""
+        return min(self.base_delay * self.multiplier ** (retry_index - 1), self.max_delay)
+
+    def delays(self) -> list[float]:
+        """The full jitter-free backoff schedule (``max_attempts - 1`` sleeps)."""
+        return [self.backoff(i) for i in range(1, self.max_attempts)]
+
+    def run(
+        self,
+        scheduler: Scheduler,
+        fn: Callable[[], object],
+        *,
+        on_retry: RetryObserver | None = None,
+    ) -> object:
+        """Call ``fn`` under this policy; re-raise its last error when spent.
+
+        Between attempts the scheduler sweeps virtual time forward by the
+        backoff delay, firing due timers — injected heals and revivals
+        included — so the environment the retry sees is the environment
+        at the retried instant.
+        """
+        clock = scheduler.clock
+        started = clock.now()
+        attempt = 1
+        while True:
+            try:
+                return fn()
+            except self.retry_on as exc:
+                if attempt >= self.max_attempts:
+                    raise
+                delay = self.backoff(attempt)
+                if (
+                    self.deadline is not None
+                    and clock.now() + delay - started > self.deadline
+                ):
+                    raise
+                if on_retry is not None:
+                    on_retry(attempt, delay, exc)
+                self._sleep(scheduler, delay)
+                attempt += 1
+
+    @staticmethod
+    def _sleep(scheduler: Scheduler, delay: float) -> None:
+        if delay <= 0.0:
+            return
+        if scheduler.clock.is_virtual:
+            scheduler.advance(delay)
+        else:  # pragma: no cover - real-clock deployments
+            time.sleep(delay)
+            scheduler.fire_due()
+
+
+#: Single-attempt policy: the pre-retry behaviour, spelled explicitly.
+NO_RETRY = RetryPolicy(max_attempts=1)

@@ -6,20 +6,37 @@ bytes (the Core layer decides how each payload is serialized, because
 invocation and movement payloads need complet-aware hooks).  Exceptions
 raised by a handler are serialized into the reply frame and re-raised
 *by value* at the caller — the same semantics a remote exception has in
-RMI.
+RMI — chained to a :class:`~repro.errors.RemoteInvocationError` naming
+the remote Core so the remote/local boundary stays visible.
+
+Fault tolerance: every call may carry a per-kind (or per-call) timeout —
+a round trip whose virtual time exceeds it raises
+:class:`~repro.errors.DeadlineExceededError` — and a per-kind (or
+per-call) :class:`~repro.net.retry.RetryPolicy` that re-sends after
+reachability failures, backing off on the simulation scheduler.  One-way
+messages are genuinely one-way: a receiving handler's failure is caught
+at the receiving boundary, logged, and reported through
+:attr:`RpcEndpoint.on_oneway_error` instead of travelling back.
 """
 
 from __future__ import annotations
 
+import logging
 import pickle
 from collections.abc import Callable
 
-from repro.errors import RemoteInvocationError, TransportError
+from repro.errors import DeadlineExceededError, RemoteInvocationError, TransportError
 from repro.net.messages import STATUS_ERROR, STATUS_OK, Envelope, MessageKind
+from repro.net.retry import RetryObserver, RetryPolicy
 from repro.net.simnet import SimNetwork
+
+logger = logging.getLogger(__name__)
 
 #: A handler consumes (source core name, payload bytes) and returns reply bytes.
 RpcHandler = Callable[[str, bytes], bytes]
+
+#: Envelope header marking fire-and-forget traffic.
+ONEWAY_HEADER = "oneway"
 
 
 def _encode_frame(status: str, body: object) -> bytes:
@@ -38,7 +55,49 @@ class RpcEndpoint:
         self.name = name
         self.network = network
         self._handlers: dict[MessageKind, RpcHandler] = {}
+        #: Round-trip deadline per kind, overriding :attr:`default_timeout`.
+        self._timeouts: dict[MessageKind, float] = {}
+        #: Retry policy per kind, overriding :attr:`default_retry`.
+        self._retries: dict[MessageKind, RetryPolicy] = {}
+        self.default_timeout: float | None = None
+        self.default_retry: RetryPolicy | None = None
+        #: Called as ``(envelope, error)`` when a one-way handler fails here.
+        self.on_oneway_error: Callable[[Envelope, BaseException], None] | None = None
+        #: Called as ``(dst, kind, attempt, delay, error)`` before a retry sleep.
+        self.on_retry: Callable[[str, MessageKind, int, float, BaseException], None] | None = None
         network.register(name, self._dispatch)
+
+    # -- configuration --------------------------------------------------------
+
+    def set_timeout(self, seconds: float | None, kind: MessageKind | None = None) -> None:
+        """Set the round-trip deadline for ``kind`` (or the default)."""
+        if seconds is not None and seconds <= 0.0:
+            raise TransportError(f"timeout must be positive, got {seconds}")
+        if kind is None:
+            self.default_timeout = seconds
+        elif seconds is None:
+            self._timeouts.pop(kind, None)
+        else:
+            self._timeouts[kind] = seconds
+
+    def set_retry_policy(
+        self, policy: RetryPolicy | None, kind: MessageKind | None = None
+    ) -> None:
+        """Set the retry policy for ``kind`` (or the default for all kinds)."""
+        if kind is None:
+            self.default_retry = policy
+        elif policy is None:
+            self._retries.pop(kind, None)
+        else:
+            self._retries[kind] = policy
+
+    def timeout_for(self, kind: MessageKind) -> float | None:
+        return self._timeouts.get(kind, self.default_timeout)
+
+    def retry_for(self, kind: MessageKind) -> RetryPolicy | None:
+        return self._retries.get(kind, self.default_retry)
+
+    # -- sending --------------------------------------------------------------
 
     def register(self, kind: MessageKind, handler: RpcHandler) -> None:
         """Install the handler for ``kind``; one handler per kind."""
@@ -46,26 +105,84 @@ class RpcEndpoint:
             raise TransportError(f"{self.name!r} already handles {kind.value!r}")
         self._handlers[kind] = handler
 
-    def call(self, dst: str, kind: MessageKind, payload: bytes) -> bytes:
+    def call(
+        self,
+        dst: str,
+        kind: MessageKind,
+        payload: bytes,
+        *,
+        timeout: float | None = None,
+        retry: RetryPolicy | None = None,
+    ) -> bytes:
         """Send a request and return the reply payload.
 
-        Remote handler exceptions are re-raised here.  An exception that
-        cannot itself be serialized arrives as :class:`RemoteInvocationError`
-        carrying its repr.
+        Remote handler exceptions are re-raised here, chained to a
+        :class:`RemoteInvocationError` naming the remote Core.  An
+        exception that cannot itself be serialized arrives as a bare
+        :class:`RemoteInvocationError` carrying its repr.  ``timeout``
+        and ``retry`` override the per-kind configuration for this call.
         """
-        envelope = Envelope(src=self.name, dst=dst, kind=kind, payload=payload)
-        frame = self.network.send(envelope)
+        limit = timeout if timeout is not None else self.timeout_for(kind)
+        policy = retry if retry is not None else self.retry_for(kind)
+        if policy is None or policy.max_attempts <= 1:
+            frame = self._attempt(dst, kind, payload, limit)
+        else:
+            frame = policy.run(
+                self.network.scheduler,
+                lambda: self._attempt(dst, kind, payload, limit),
+                on_retry=self._retry_observer(dst, kind),
+            )
+        assert isinstance(frame, bytes)
         status, body = _decode_frame(frame)
         if status == STATUS_OK:
             assert isinstance(body, bytes)
             return body
         if isinstance(body, BaseException):
-            raise body
+            raise body from RemoteInvocationError(
+                f"raised remotely at Core {dst!r} handling {kind.value!r}"
+            )
         raise RemoteInvocationError(f"remote error at {dst!r}: {body}")
 
-    def post(self, dst: str, kind: MessageKind, payload: bytes) -> None:
-        """Send a one-way message; the handler's reply (if any) is dropped."""
+    def _attempt(
+        self, dst: str, kind: MessageKind, payload: bytes, limit: float | None
+    ) -> bytes:
         envelope = Envelope(src=self.name, dst=dst, kind=kind, payload=payload)
+        clock = self.network.scheduler.clock
+        started = clock.now()
+        frame = self.network.send(envelope)
+        elapsed = clock.now() - started
+        if limit is not None and elapsed > limit:
+            raise DeadlineExceededError(
+                f"{kind.value!r} call from {self.name!r} to {dst!r} took "
+                f"{elapsed:.3f}s, deadline was {limit:.3f}s"
+            )
+        return frame
+
+    def _retry_observer(self, dst: str, kind: MessageKind) -> RetryObserver | None:
+        if self.on_retry is None:
+            return None
+        hook = self.on_retry
+
+        def observe(attempt: int, delay: float, error: BaseException) -> None:
+            hook(dst, kind, attempt, delay, error)
+
+        return observe
+
+    def post(self, dst: str, kind: MessageKind, payload: bytes) -> None:
+        """Send a one-way message; the handler's reply (if any) is dropped.
+
+        One-way means one-way: failures inside the *receiving* handler
+        never propagate back here (they are logged and reported at the
+        receiving boundary).  Reachability failures still raise, because
+        they happen on the sending side.
+        """
+        envelope = Envelope(
+            src=self.name,
+            dst=dst,
+            kind=kind,
+            payload=payload,
+            headers={ONEWAY_HEADER: "1"},
+        )
         self.network.post(envelope)
 
     def close(self) -> None:
@@ -80,18 +197,33 @@ class RpcEndpoint:
             error = TransportError(
                 f"node {self.name!r} has no handler for {envelope.kind.value!r}"
             )
-            return _encode_frame(STATUS_ERROR, error)
+            return self._error_frame(envelope, error)
         try:
             reply = handler(envelope.src, envelope.payload)
         except BaseException as exc:  # noqa: BLE001 - crossing by value
-            return _encode_frame(STATUS_ERROR, _portable_exception(exc))
+            return self._error_frame(envelope, exc)
         if not isinstance(reply, bytes):
             error = TransportError(
                 f"handler for {envelope.kind.value!r} at {self.name!r} returned "
                 f"{type(reply).__name__}, expected bytes"
             )
-            return _encode_frame(STATUS_ERROR, error)
+            return self._error_frame(envelope, error)
         return _encode_frame(STATUS_OK, reply)
+
+    def _error_frame(self, envelope: Envelope, exc: BaseException) -> bytes:
+        if envelope.headers.get(ONEWAY_HEADER) == "1":
+            # The sender is not listening; absorb the failure here.
+            logger.warning(
+                "one-way %s from %r failed at %r: %r",
+                envelope.kind.value,
+                envelope.src,
+                self.name,
+                exc,
+            )
+            if self.on_oneway_error is not None:
+                self.on_oneway_error(envelope, exc)
+            return _encode_frame(STATUS_OK, b"")
+        return _encode_frame(STATUS_ERROR, _portable_exception(exc))
 
 
 def _portable_exception(exc: BaseException) -> object:

@@ -16,6 +16,7 @@ the network can be split into partitions.
 from __future__ import annotations
 
 import itertools
+import logging
 from collections import Counter, deque
 from collections.abc import Callable
 from dataclasses import dataclass, field
@@ -29,6 +30,8 @@ from repro.errors import (
 )
 from repro.net.messages import Envelope, MessageKind
 from repro.sim.scheduler import Scheduler
+
+logger = logging.getLogger(__name__)
 
 #: Handler installed by each node: consumes an envelope, returns reply bytes.
 NodeHandler = Callable[[Envelope], bytes]
@@ -172,7 +175,13 @@ class SimNetwork:
                 link.up = up
 
     def partition(self, *groups: set[str]) -> None:
-        """Split the network: traffic flows only within each group."""
+        """Split the network: traffic flows only within each group.
+
+        Nodes *not* listed in any group form an implicit group of their
+        own: they can still reach each other, but not any grouped node.
+        (Think of the groups as islands that broke off the mainland —
+        whatever was not named stays on the mainland together.)
+        """
         self._partition_of = {}
         for index, group in enumerate(groups):
             for name in group:
@@ -211,9 +220,22 @@ class SimNetwork:
         return reply
 
     def post(self, envelope: Envelope) -> None:
-        """Deliver ``envelope`` one-way; any reply bytes are discarded."""
+        """Deliver ``envelope`` one-way; any reply bytes are discarded.
+
+        One-way means one-way: an exception inside the *receiving*
+        handler is caught at the receiving boundary and logged — the
+        sender already moved on, so nothing propagates back to it.
+        Reachability failures (raised before delivery) still surface at
+        the sender, exactly like a failed network write.
+        """
         self._deliver(envelope)
-        self._handlers[envelope.dst](envelope)
+        try:
+            self._handlers[envelope.dst](envelope)
+        except Exception:  # noqa: BLE001 - receiving-boundary isolation
+            logger.warning(
+                "one-way %s handler at %r failed", envelope.kind.value, envelope.dst,
+                exc_info=True,
+            )
 
     def _deliver(self, envelope: Envelope) -> None:
         envelope.msg_id = next(self._msg_ids)

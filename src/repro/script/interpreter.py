@@ -31,9 +31,12 @@ from repro.complet.relocators import relocator_from_name
 from repro.complet.stub import Stub
 from repro.core.core import Core
 from repro.core.events import (
+    CALL_RETRIED,
     COMPLET_ARRIVED,
     COMPLET_DEPARTED,
     CORE_SHUTDOWN,
+    MOVE_FAILED,
+    ONEWAY_FAILED,
     REFERENCE_RETYPED,
     Event,
 )
@@ -71,6 +74,9 @@ CORE_EVENTS = {
     "completArrived": COMPLET_ARRIVED,
     "completDeparted": COMPLET_DEPARTED,
     "referenceRetyped": REFERENCE_RETYPED,
+    "moveFailed": MOVE_FAILED,
+    "callRetried": CALL_RETRIED,
+    "onewayFailed": ONEWAY_FAILED,
 }
 
 #: Script-facing aliases of profiling services.

@@ -8,13 +8,16 @@ loaded on demand from a ``module:function`` name.
 
 from __future__ import annotations
 
+import logging
 from typing import TYPE_CHECKING
 
 from repro.complet.stub import Stub
-from repro.errors import ScriptRuntimeError
+from repro.errors import FarGoError, ScriptRuntimeError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.script.interpreter import ScriptContext, ScriptEngine
+
+logger = logging.getLogger(__name__)
 
 
 def register_stdlib(engine: "ScriptEngine") -> None:
@@ -22,6 +25,7 @@ def register_stdlib(engine: "ScriptEngine") -> None:
     engine.register_action("shutdownCore", _shutdown_core)
     engine.register_action("colocate", _colocate)
     engine.register_action("bindName", _bind_name)
+    engine.register_action("retryMove", _retry_move)
 
 
 def _collect_trackers(ctx: "ScriptContext") -> None:
@@ -48,3 +52,40 @@ def _bind_name(ctx: "ScriptContext", name: object, stub: object) -> None:
     if not isinstance(stub, Stub):
         raise ScriptRuntimeError("bindName expects a complet reference")
     ctx.engine.core.bind(str(name), stub, replace=True)
+
+
+def _retry_move(
+    ctx: "ScriptContext", delay: object = 0, destination: object = None
+) -> None:
+    """``call retryMove([delaySeconds[, destination]])`` — re-issue a failed move.
+
+    Only meaningful inside an ``on moveFailed`` rule: the complet and the
+    original destination are read from the firing event.  With a positive
+    ``delay`` the retry is scheduled that many virtual seconds later —
+    long enough, typically, for a transient outage to heal.  An explicit
+    ``destination`` overrides the one from the event (retry elsewhere).
+    A retry that fails again publishes another ``moveFailed``, so a rule
+    combining ``retryMove`` with a delay keeps trying until it lands.
+    """
+    event = ctx.event
+    if event is None or "complet" not in event.data:
+        raise ScriptRuntimeError(
+            "retryMove only works inside an 'on moveFailed' rule"
+        )
+    complet = str(event.data["complet"])
+    target = str(destination) if destination is not None else str(event.data["destination"])
+    engine = ctx.engine
+
+    def fire() -> None:
+        try:
+            engine._move_one(complet, target)
+            engine.log.append(f"retried move of {complet} to {target}")
+        except FarGoError as exc:
+            engine.log.append(f"retryMove of {complet} to {target} failed: {exc}")
+            logger.warning("retryMove of %s to %s failed", complet, target, exc_info=True)
+
+    seconds = float(delay) if isinstance(delay, (int, float)) else 0.0
+    if seconds > 0:
+        engine.core.scheduler.call_after(seconds, fire)
+    else:
+        fire()

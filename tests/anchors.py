@@ -21,6 +21,9 @@ class Probe_(Anchor):
     def pre_departure(self, destination: str) -> None:
         self.history.append(f"pre_departure:{destination}")
 
+    def abort_departure(self, destination: str) -> None:
+        self.history.append(f"abort_departure:{destination}")
+
     def pre_arrival(self) -> None:
         self.history.append("pre_arrival")
 

@@ -80,6 +80,67 @@ class TestPartitionBehaviour:
         assert counter.read() == 7  # state intact after aborted move
 
 
+class TestPartitionSemantics:
+    def test_ungrouped_nodes_form_an_implicit_group(self):
+        """Nodes not named in any partition group stay mutually reachable
+        but cannot reach grouped nodes — the 'mainland' semantics."""
+        cluster = Cluster(["a", "b", "c", "d"])
+        echo_c = Echo("on-c", _core=cluster["b"], _at="c")
+        cluster.partition({"a"})  # b, c, d are the implicit mainland
+        assert echo_c.ping() == "on-c"  # b -> c still flows
+        assert cluster.stub_at("d", echo_c).ping() == "on-c"  # d -> c too
+        from repro.errors import CoreUnreachableError
+
+        with pytest.raises(CoreUnreachableError):
+            cluster["a"].admin("b", "complets")  # a is off the mainland
+
+    def test_island_cannot_reach_the_mainland(self):
+        cluster = Cluster(["a", "b", "c"])
+        echo = Echo("on-b", _core=cluster["a"], _at="b")
+        cluster.partition({"a"})
+        from repro.errors import CoreUnreachableError
+
+        with pytest.raises(CoreUnreachableError):
+            echo.ping()  # a -> b crosses the island boundary
+        # The mainland (b, c) is internally intact.
+        assert cluster.stub_at("c", echo).ping() == "on-b"
+
+
+class TestScriptedMoveRetry:
+    def test_move_failed_rule_retries_after_heal(self):
+        """The acceptance scenario: a move hits a cut link and aborts; the
+        scripting layer observes ``moveFailed`` and re-issues the move
+        after the outage heals; the retried move succeeds."""
+        from repro.core.events import MOVE_FAILED
+
+        cluster = Cluster(["a", "b"])
+        engine = ScriptEngine(cluster, home="a")
+        engine.run("on moveFailed do call retryMove(6) end")
+        events = []
+        cluster["a"].events.subscribe(MOVE_FAILED, events.append)
+        inject = FailureInjector(cluster)
+        inject.outage_at(1.0, "a", "b", 5.0)  # cut at t=1, heal at t=6
+        counter = Counter(10, _core=cluster["a"])
+        counter.increment()
+
+        cluster.advance(2.0)  # into the outage
+        from repro.errors import CoreUnreachableError
+
+        with pytest.raises(CoreUnreachableError):
+            cluster.move(counter, "b")
+        # The abort kept the group consistent and observable.
+        assert cluster.locate(counter) == "a"
+        assert counter.read() == 11
+        assert events and events[0].data["destination"] == "b"
+        rule = engine.active_rules[0]
+        assert rule.fired_count == 1  # the script saw the failure
+
+        cluster.advance(6.0)  # past the heal and the scheduled retry
+        assert cluster.locate(counter) == "b"
+        assert counter.increment() == 12
+        assert any("retried move" in line for line in engine.log)
+
+
 class TestDegradedLinks:
     def test_transfer_times_grow_after_degradation(self):
         cluster = Cluster(["a", "b"])
