@@ -14,7 +14,11 @@ RPC layer's own retries, if the Core carries a
 :class:`~repro.net.retry.RetryPolicy`) *re-locates* the target — through
 the location registry when enabled, else by re-walking the tracker
 chain — and retries once against the recovered address, so a complet
-that moved away while a hop was unreachable is found again.
+that moved away while a hop was unreachable is found again.  Only
+reachability errors (raised before the remote handler ran) take this
+path; a :class:`~repro.errors.DeadlineExceededError` propagates to the
+caller, because the handler may well have executed and a transparent
+retry would silently duplicate non-idempotent work.
 """
 
 from __future__ import annotations
@@ -34,6 +38,7 @@ from repro.errors import (
     NoSuchMethodError,
 )
 from repro.net.messages import MessageKind
+from repro.net.retry import REACHABILITY_ERRORS
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.core import Core
@@ -81,11 +86,15 @@ class InvocationUnit:
             )
         try:
             reply = self._forward(tracker.next_hop, request)
-        except CoreError:
+        except REACHABILITY_ERRORS:
             # A hop on the chain is gone (the RPC layer already spent its
             # retries).  Re-locate the target and go direct: through the
             # location registry (the paper's future-work naming scheme)
-            # when enabled, else by re-walking the tracker chain.
+            # when enabled, else by re-walking the tracker chain.  Only
+            # reachability failures qualify: they are raised before the
+            # remote handler ran, so the retry cannot duplicate work.  A
+            # timeout (DeadlineExceededError) is indeterminate — the call
+            # may have executed — and propagates to the caller instead.
             recovered = self._recover_route(tracker)
             if recovered is None:
                 raise

@@ -18,8 +18,8 @@ Sending is an *abortable two-phase protocol*: phase one runs the
 ``pre_departure`` hooks and marshals the group, phase two ships the
 stream and — only once the destination's reply commits the move —
 re-points trackers and releases the complets.  Any failure before the
-reply (marshaling, an unreachable or timed-out destination after the
-RPC layer's retries, a denial at the destination) triggers
+reply (marshaling, an unreachable destination after the RPC layer's
+retries, a denial at the destination) triggers
 ``abort_departure``: every group member's :meth:`Anchor.abort_departure`
 hook runs, the group stays hosted and invocable, trackers are left
 untouched, and a ``moveFailed`` event tells the monitoring and scripting
@@ -44,6 +44,7 @@ from repro.complet.stub import Stub
 from repro.core.events import MOVE_FAILED
 from repro.errors import CompletError, MovementDeniedError
 from repro.net.messages import MessageKind
+from repro.net.rpc import NO_DEADLINE
 from repro.net.serializer import PLAIN
 from repro.util.ids import CompletId
 
@@ -121,8 +122,16 @@ class MovementUnit:
                 mover.pre_departure(destination)
         try:
             payload = MovementMarshaler(self.core, plan).payload(continuation)
+            # The commit request is deadline-exempt: once the destination's
+            # reply is in hand the group is installed *there*, so a timeout
+            # raised here would abort the departure while the arrivals stay
+            # live — the same complets hosted on two Cores.  Reachability
+            # failures are raised before the handler runs and abort safely.
             raw_reply = self.core.peer.request_raw(
-                destination, MessageKind.MOVE_COMPLET, PLAIN.dumps(payload)
+                destination,
+                MessageKind.MOVE_COMPLET,
+                PLAIN.dumps(payload),
+                timeout=NO_DEADLINE,
             )
         except Exception as exc:
             # Phase two never committed: undo phase one and keep hosting.
@@ -298,10 +307,10 @@ class MovementUnit:
 
     def _handle_move_request(self, src: str, body: object):
         target_id, destination, method, args_bytes, hops = body  # type: ignore[misc]
-        if hops > MAX_FORWARD_HOPS:
+        if hops >= MAX_FORWARD_HOPS:
             raise CompletError(
-                f"move request for {target_id} forwarded more than "
-                f"{MAX_FORWARD_HOPS} times; stale-tracker cycle suspected"
+                f"move request for {target_id} reached the forward bound of "
+                f"{MAX_FORWARD_HOPS} hops; stale-tracker cycle suspected"
             )
         continuation: Continuation | None = None
         if method is not None:

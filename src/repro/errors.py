@@ -108,7 +108,10 @@ class DeadlineExceededError(CoreError):
     message kind.  The reply — if one eventually arrived — is discarded,
     exactly as a timed-out RMI call discards a late answer.  Note that
     the remote handler may still have executed: retrying a call after
-    this error gives at-least-once semantics.
+    this error gives at-least-once semantics.  Movement commit traffic
+    (``MOVE_COMPLET``) is sent deadline-exempt so this indeterminacy can
+    never split a move between a committed arrival and an aborted
+    departure.
     """
 
 

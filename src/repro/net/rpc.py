@@ -38,6 +38,13 @@ RpcHandler = Callable[[str, bytes], bytes]
 #: Envelope header marking fire-and-forget traffic.
 ONEWAY_HEADER = "oneway"
 
+#: Pass as ``timeout=`` to exempt one call from any configured deadline.
+#: Commit traffic (``MOVE_COMPLET``) uses this: in the synchronous
+#: network a reply in hand means the destination already committed, so a
+#: deadline firing after the fact could only produce inconsistent
+#: outcomes, never cancel the remote effect.
+NO_DEADLINE = float("inf")
+
 
 def _encode_frame(status: str, body: object) -> bytes:
     return pickle.dumps((status, body), protocol=pickle.HIGHEST_PROTOCOL)

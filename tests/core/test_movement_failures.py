@@ -7,7 +7,13 @@ from repro.cluster.failures import FailureInjector
 from repro.cluster.workload import Counter, Echo
 from repro.core.core import Core
 from repro.core.events import CALL_RETRIED, MOVE_FAILED
-from repro.errors import CompletError, CoreDownError, CoreUnreachableError
+from repro.core.movement import MAX_FORWARD_HOPS
+from repro.errors import (
+    CompletError,
+    CoreDownError,
+    CoreUnreachableError,
+    DeadlineExceededError,
+)
 from repro.net.retry import RetryPolicy
 
 from tests.anchors import Holder, Probe
@@ -132,6 +138,36 @@ class TestMovesUnderRetryPolicy:
         assert cluster["a"].movement.moves_aborted == 1
 
 
+class TestMoveDeadlineExemption:
+    def test_slow_move_commits_instead_of_split_brain(self):
+        """A cluster-wide rpc timeout must never abort a committed move.
+
+        The MOVE_COMPLET round trip blows the deadline, but by the time
+        the reply is back the destination has installed the group — so
+        the sender must commit too, not abort into a state where the
+        same complet is live on both Cores.
+        """
+        cluster = Cluster(["a", "b"], rpc_timeout=1.0)
+        echo = Echo("x", _core=cluster["a"])
+        cluster.set_link("a", "b", latency=2.0)
+        cluster.move(echo, "b")  # slower than the deadline, still commits
+        cluster.set_link("a", "b", latency=0.01)  # fast again for the probes
+        assert cluster.locate(echo) == "b"
+        assert not cluster["a"].repository.hosts(echo._fargo_target_id)
+        assert cluster["b"].repository.hosts(echo._fargo_target_id)
+        assert cluster["a"].movement.moves_aborted == 0
+        assert cluster["a"].movement.moves_sent == 1
+        assert cluster["b"].movement.moves_received == 1
+
+    def test_other_traffic_still_honours_the_deadline(self):
+        cluster = Cluster(["a", "b"], rpc_timeout=1.0)
+        echo = Echo("x", _core=cluster["a"])
+        cluster.move(echo, "b")
+        cluster.set_link("a", "b", latency=2.0)
+        with pytest.raises(DeadlineExceededError):
+            echo.ping()
+
+
 class TestForwardHopBound:
     def test_stale_tracker_cycle_is_detected(self):
         """A stale local tracker would bounce MOVE_REQUESTs forever."""
@@ -141,8 +177,23 @@ class TestForwardHopBound:
         # Corrupt Core b: drop the complet but leave its tracker claiming
         # the complet is local.  Requests routed there now chase a ghost.
         cluster["b"].repository.release(echo._fargo_target_id)
-        with pytest.raises(CompletError, match="forwarded more than"):
+        with pytest.raises(CompletError, match="stale-tracker cycle"):
             cluster["a"].move(echo, "c")
+
+    def test_bound_is_inclusive(self):
+        """A request that already took MAX_FORWARD_HOPS forwards is rejected."""
+        cluster = Cluster(["a", "b"])
+        echo = Echo("x", _core=cluster["a"])
+        body = (echo._fargo_target_id, "b", None, None, MAX_FORWARD_HOPS)
+        with pytest.raises(CompletError, match="stale-tracker cycle"):
+            cluster["a"].movement._handle_move_request("b", body)
+
+    def test_last_permitted_hop_still_moves(self):
+        cluster = Cluster(["a", "b"])
+        echo = Echo("x", _core=cluster["a"])
+        body = (echo._fargo_target_id, "b", None, None, MAX_FORWARD_HOPS - 1)
+        cluster["a"].movement._handle_move_request("b", body)
+        assert cluster.locate(echo) == "b"
 
 
 class TestInvocationRelocation:
@@ -169,6 +220,19 @@ class TestInvocationRelocation:
         cluster.network.set_node_down("b")
         with pytest.raises(CoreDownError):
             echo.ping()
+
+    def test_timed_out_invocation_is_not_transparently_retried(self):
+        """A timeout is indeterminate: the handler may have executed, so
+        re-locating and retrying would silently duplicate the call."""
+        cluster, echo = self._scattered_cluster(
+            rpc_timeout=1.0, use_location_registry=True
+        )
+        cluster.set_link("a", "b", latency=2.0)  # the forward hop is now slow
+        with pytest.raises(DeadlineExceededError):
+            echo.ping()
+        # The call did reach c exactly once; a transparent registry-based
+        # retry would have executed it a second time and hidden the error.
+        assert cluster["c"].repository.get(echo._fargo_target_id).calls == 1
 
     def test_rpc_retries_carry_an_invocation_across_an_outage(self):
         cluster = Cluster(
