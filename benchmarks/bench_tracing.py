@@ -1,0 +1,82 @@
+"""Experiment O1 — observability overhead of the tracing layer.
+
+The tracing design promises a pay-for-what-you-use fast path: with
+tracing disabled (the default) every instrumented call site reduces to
+one attribute read and one branch, so a cluster built without
+``tracing=True`` should invoke at the same speed as the seed runtime.
+Measured here:
+
+- a remote stub call with tracing disabled (the default, the claim);
+- the same call with tracing enabled and spans recorded;
+- the same call with tracing enabled through a two-hop tracker chain,
+  which stresses span creation on every forwarding Core.
+"""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.workload import Counter
+from benchmarks.conftest import print_table
+
+
+def _rig(tracing: bool):
+    cluster = Cluster(["n1", "n2"], tracing=tracing)
+    counter = Counter(0, _core=cluster["n1"])
+    cluster.move(counter, "n2")
+    cluster.clear_spans()
+    return cluster, counter
+
+
+@pytest.fixture
+def rig_off():
+    return _rig(False)
+
+
+@pytest.fixture
+def rig_on():
+    return _rig(True)
+
+
+def test_remote_call_tracing_off(benchmark, rig_off):
+    """The claimed near-zero cost: instrumented sites on the fast path."""
+    _cluster, counter = rig_off
+    benchmark(counter.increment)
+
+
+def test_remote_call_tracing_on(benchmark, rig_on):
+    """Full span recording on both Cores of the round trip."""
+    _cluster, counter = rig_on
+    benchmark(counter.increment)
+
+
+def test_chained_call_tracing_on(benchmark):
+    """Span recording across a forwarding hop (three Cores in one trace)."""
+    cluster = Cluster(["n1", "n2", "n3"], tracing=True)
+    counter = Counter(0, _core=cluster["n1"])
+    handle = counter  # reference stays at n1 while the target walks away
+    cluster.move(counter, "n2")
+    cluster.move(counter, "n3")
+    benchmark(handle.increment)
+
+
+def test_overhead_summary(benchmark, rig_off):
+    """One-row comparison table: disabled vs enabled, same workload."""
+    import timeit
+
+    cluster_off, counter_off = rig_off
+    cluster_on, counter_on = _rig(True)
+    n = 200
+    t_off = timeit.timeit(counter_off.increment, number=n) / n
+    t_on = timeit.timeit(counter_on.increment, number=n) / n
+    print_table(
+        "O1  tracing overhead per remote invocation",
+        ["variant", "us/call", "spans"],
+        [
+            ("tracing off", t_off * 1e6, len(cluster_off.spans())),
+            ("tracing on", t_on * 1e6, len(cluster_on.spans())),
+        ],
+    )
+    benchmark(counter_off.increment)
+    # The off-path must not record anything; the on-path must.
+    assert len(cluster_off.spans()) == 0
+    assert len(cluster_on.spans()) > 0

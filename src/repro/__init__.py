@@ -28,14 +28,32 @@ Quickstart (the paper's Figure 3)::
 from repro.complet.anchor import Anchor, current_complet, current_core
 from repro.complet.metaref import MetaRef
 from repro.complet.relocators import Duplicate, Link, Pull, Relocator, Stamp
-from repro.complet.stub import Stub, compile_complet
+from repro.complet.stub import (
+    Stub,
+    compile_complet,
+    stub_core,
+    stub_meta,
+    stub_target_id,
+    stub_tracker,
+)
 from repro.complet.continuation import Continuation
+from repro.core.admin import CoreAdmin
 from repro.core.carrier import Carrier
 from repro.core.core import Core
 from repro.core.events import Event
 from repro.cluster.cluster import Cluster
 from repro.cluster.failures import FailureInjector
 from repro.cluster.topology import configure_star, configure_uniform, configure_wan
+from repro.metrics import MetricsRegistry, merge_snapshots
+from repro.monitor.profiler import ProfilingSession
+from repro.trace import (
+    Span,
+    SpanContext,
+    Trace,
+    Tracer,
+    assemble_traces,
+    chrome_trace_json,
+)
 from repro import errors
 
 __version__ = "1.0.0"
@@ -46,15 +64,24 @@ __all__ = [
     "Cluster",
     "Continuation",
     "Core",
+    "CoreAdmin",
     "Duplicate",
     "Event",
     "FailureInjector",
     "Link",
     "MetaRef",
+    "MetricsRegistry",
+    "ProfilingSession",
     "Pull",
     "Relocator",
+    "Span",
+    "SpanContext",
     "Stamp",
     "Stub",
+    "Trace",
+    "Tracer",
+    "assemble_traces",
+    "chrome_trace_json",
     "compile_complet",
     "configure_star",
     "configure_uniform",
@@ -62,5 +89,10 @@ __all__ = [
     "current_complet",
     "current_core",
     "errors",
+    "merge_snapshots",
+    "stub_core",
+    "stub_meta",
+    "stub_target_id",
+    "stub_tracker",
     "__version__",
 ]

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.complet.anchor import Anchor
-from repro.complet.stub import Stub, compile_complet
+from repro.complet.stub import Stub, compile_complet, stub_target_id
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cluster.cluster import Cluster
@@ -141,10 +141,10 @@ class Farm:
         bandwidth_threshold: float = 500_000.0,
         interval: float = 1.0,
     ) -> None:
-        queue_id = str(self.queue._fargo_target_id)
+        queue_id = str(stub_target_id(self.queue))
         for worker in self.workers:
             home = self.cluster.core(self.cluster.locate(worker))
-            worker_id = str(worker._fargo_target_id)
+            worker_id = str(stub_target_id(worker))
             event_name = f"farm:{worker_id}"
 
             def relocate(event, worker=worker) -> None:

@@ -5,13 +5,17 @@ from __future__ import annotations
 from collections.abc import Iterable, Iterator
 
 from repro.complet.anchor import Anchor
-from repro.complet.stub import Stub
+from repro.complet.stub import Stub, stub_core, stub_target_id, stub_tracker
+from repro.core.admin import CoreAdmin
 from repro.core.core import Core
 from repro.errors import CoreNotFoundError
+from repro.metrics.registry import merge_snapshots
 from repro.net.retry import RetryPolicy
 from repro.net.simnet import NetworkStats, SimNetwork
 from repro.sim.clock import Clock, VirtualClock
 from repro.sim.scheduler import Scheduler
+from repro.trace.export import Trace, assemble_traces, chrome_trace_json
+from repro.trace.tracer import Span
 
 
 class Cluster:
@@ -34,6 +38,7 @@ class Cluster:
         profile_cache_ttl: float = 1.0,
         retry_policy: RetryPolicy | None = None,
         rpc_timeout: float | None = None,
+        tracing: bool = False,
     ) -> None:
         self.scheduler = Scheduler(clock if clock is not None else VirtualClock())
         self.network = SimNetwork(
@@ -46,6 +51,7 @@ class Cluster:
         self._profile_cache_ttl = profile_cache_ttl
         self._retry_policy = retry_policy
         self._rpc_timeout = rpc_timeout
+        self._tracing = tracing
         self.cores: dict[str, Core] = {}
         for name in names:
             self.add_core(name)
@@ -59,6 +65,7 @@ class Cluster:
         core_kwargs.setdefault("profile_cache_ttl", self._profile_cache_ttl)
         core_kwargs.setdefault("retry_policy", self._retry_policy)
         core_kwargs.setdefault("rpc_timeout", self._rpc_timeout)
+        core_kwargs.setdefault("tracing", self._tracing)
         core = Core(name, self.network, self.scheduler, **core_kwargs)
         self.cores[name] = core
         return core
@@ -123,7 +130,7 @@ class Cluster:
 
     def move(self, stub: Stub, destination: str) -> None:
         """Move the complet behind ``stub`` to Core ``destination``."""
-        core = stub._fargo_core
+        core = stub_core(stub)
         assert core is not None
         core.move(stub, destination)
 
@@ -135,10 +142,11 @@ class Cluster:
         host itself leaves every other Core's tracker untouched — the
         way genuine tracker chains form (Figure 2).
         """
-        host = self._find_host(stub._fargo_target_id)
+        target_id = stub_target_id(stub)
+        host = self._find_host(target_id)
         if host is None:
-            raise CoreNotFoundError(f"no running Core hosts {stub._fargo_target_id}")
-        self.core(host).move(stub._fargo_target_id, destination)
+            raise CoreNotFoundError(f"no running Core hosts {target_id}")
+        self.core(host).move(target_id, destination)
 
     def locate(self, stub: Stub) -> str:
         """Name of the Core currently hosting ``stub``'s complet.
@@ -147,12 +155,13 @@ class Cluster:
         shut down (references die with their Core; the harness can still
         answer the question).
         """
-        core = stub._fargo_core
+        core = stub_core(stub)
         if core is not None and core.is_running:
-            return core.references.locate(stub._fargo_tracker)
-        host = self._find_host(stub._fargo_target_id)
+            return core.references.locate(stub_tracker(stub))
+        target_id = stub_target_id(stub)
+        host = self._find_host(target_id)
         if host is None:
-            raise CoreNotFoundError(f"no running Core hosts {stub._fargo_target_id}")
+            raise CoreNotFoundError(f"no running Core hosts {target_id}")
         return host
 
     def stub_at(self, core_name: str, stub: Stub) -> Stub:
@@ -166,14 +175,14 @@ class Cluster:
         from repro.complet.relocators import Link
         from repro.complet.tokens import RefToken
 
-        target_id = stub._fargo_target_id
+        target_id = stub_target_id(stub)
         via = self.core(core_name)
         if via.repository.hosts(target_id):
             return via.references.stub_for_local(target_id)
         host = self._find_host(target_id)
         if host is None:
             raise CoreNotFoundError(f"no running Core hosts {target_id}")
-        anchor_ref = stub._fargo_tracker.anchor_ref
+        anchor_ref = stub_tracker(stub).anchor_ref
         address = self.core(host).repository.tracker_for(target_id, anchor_ref).address
         token = RefToken(target_id, anchor_ref, address, Link())
         return via.references.materialize(token)
@@ -202,6 +211,51 @@ class Cluster:
             total += collected
             if collected == 0:
                 return total
+
+    # -- administration ------------------------------------------------------------------------
+
+    def admin(self, target: str, *, via: str | None = None) -> CoreAdmin:
+        """A typed administration handle for Core ``target``.
+
+        ``via`` names the Core issuing the queries (the administrator's
+        seat); it defaults to the target itself, in which case the
+        operations run locally.
+        """
+        via_core = self.core(via) if via is not None else self.core(target)
+        return CoreAdmin(via_core, target)
+
+    # -- observability -------------------------------------------------------------------------
+
+    def set_tracing(self, enabled: bool) -> None:
+        """Toggle span recording on every Core (including ones added later)."""
+        self._tracing = enabled
+        for core in self.cores.values():
+            core.tracer.enabled = enabled
+
+    def spans(self) -> list[Span]:
+        """Every finished span of every Core, ordered by start time."""
+        collected: list[Span] = []
+        for core in self.cores.values():
+            collected.extend(core.tracer.spans())
+        collected.sort(key=lambda span: (span.start, span.span_id))
+        return collected
+
+    def traces(self) -> dict[str, Trace]:
+        """Cluster-wide span trees, keyed by trace id."""
+        return assemble_traces(self.spans())
+
+    def clear_spans(self) -> None:
+        for core in self.cores.values():
+            core.tracer.clear()
+
+    def chrome_trace_json(self, *, indent: int | None = None) -> str:
+        """All spans in Chrome ``trace_event`` JSON (about://tracing)."""
+        return chrome_trace_json(self.spans(), indent=indent)
+
+    def metrics_snapshot(self) -> dict:
+        """Per-Core metrics snapshots plus the cluster-wide aggregate."""
+        per_core = [core.metrics.snapshot() for core in self.cores.values()]
+        return {"cores": per_core, "cluster": merge_snapshots(per_core)}
 
     # -- accounting -----------------------------------------------------------------------------
 

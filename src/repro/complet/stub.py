@@ -133,6 +133,45 @@ class Stub:
         )
 
 
+# -- public accessors ------------------------------------------------------
+#
+# The runtime attributes of a stub are ``_fargo``-prefixed to keep the
+# mirrored anchor interface collision-free, which makes them *private to
+# this package*.  Other layers (cluster, scripts, apps) read them through
+# these accessors instead of reaching into the prefix namespace.
+
+
+def stub_core(stub: Stub) -> "Core | None":
+    """The Core a reference is wired to (None for an unwired stub)."""
+    _require_stub(stub, "stub_core")
+    return stub._fargo_core
+
+
+def stub_tracker(stub: Stub) -> Tracker:
+    """The Core-local tracker a reference delegates to."""
+    _require_stub(stub, "stub_tracker")
+    return stub._fargo_tracker
+
+
+def stub_meta(stub: Stub) -> MetaRef:
+    """The meta reference (relocator, statistics) of a reference."""
+    _require_stub(stub, "stub_meta")
+    return stub._fargo_meta
+
+
+def stub_target_id(stub: Stub) -> CompletId:
+    """The complet id a reference points at."""
+    _require_stub(stub, "stub_target_id")
+    return stub._fargo_target_id
+
+
+def _require_stub(value: object, accessor: str) -> None:
+    if not isinstance(value, Stub):
+        raise CompletError(
+            f"{accessor} expects a complet reference, got {type(value).__name__}"
+        )
+
+
 _STUB_CACHE: dict[type[Anchor], type[Stub]] = {}
 
 

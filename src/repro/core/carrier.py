@@ -12,7 +12,7 @@ complet code never needs to hold an explicit Core reference to move.
 from __future__ import annotations
 
 from repro.complet.anchor import Anchor, current_core
-from repro.complet.stub import Stub
+from repro.complet.stub import Stub, stub_core
 from repro.errors import CompletError
 from repro.util.ids import CompletId
 
@@ -37,7 +37,7 @@ class Carrier:
         """
         core = None
         if isinstance(target, Stub):
-            core = target._fargo_core
+            core = stub_core(target)
         if core is None:
             core = current_core()
         if core is None:

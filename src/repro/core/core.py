@@ -16,7 +16,7 @@ from repro.complet.anchor import Anchor, qualified_class_ref, resolve_class_ref
 from repro.complet.continuation import Continuation
 from repro.complet.metaref import MetaRef
 from repro.complet.relocators import relocator_from_name
-from repro.complet.stub import Stub, stub_class_for
+from repro.complet.stub import Stub, stub_class_for, stub_core, stub_meta, stub_target_id, stub_tracker
 from repro.core.events import CALL_RETRIED, CORE_SHUTDOWN, ONEWAY_FAILED, EventBus
 from repro.core.invocation import InvocationUnit
 from repro.core.locator import LocationRegistry
@@ -25,6 +25,7 @@ from repro.core.naming import NamingService
 from repro.core.references import ReferenceHandler
 from repro.core.repository import Repository
 from repro.errors import CompletError, CoreDownError, NotAStubError
+from repro.metrics.registry import MetricsRegistry
 from repro.monitor.events import MonitorEventEngine
 from repro.monitor.profiler import Profiler
 from repro.net.messages import Envelope, MessageKind
@@ -32,9 +33,22 @@ from repro.net.peer import PeerInterface
 from repro.net.retry import RetryPolicy
 from repro.net.simnet import SimNetwork
 from repro.sim.scheduler import Scheduler
+from repro.trace.tracer import Tracer
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.monitor.profiler import ProfilingSession
     from repro.util.ids import CompletId
+
+
+def _warn_profile_shim(name: str) -> None:
+    import warnings
+
+    warnings.warn(
+        f"Core.{name}() is deprecated; use the session handle from "
+        "Core.profile() instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 class Core:
@@ -51,6 +65,7 @@ class Core:
         profile_cache_ttl: float = 1.0,
         retry_policy: RetryPolicy | None = None,
         rpc_timeout: float | None = None,
+        tracing: bool = False,
     ) -> None:
         self.name = name
         self.scheduler = scheduler
@@ -68,6 +83,12 @@ class Core:
             self.peer.configure_retry(retry_policy)
         if rpc_timeout is not None:
             self.peer.configure_timeout(rpc_timeout)
+        #: Observability: span recorder + unified metrics, shared with the
+        #: RPC endpoint so every cross-Core envelope carries trace context.
+        self.tracer = Tracer(name, scheduler.clock, enabled=tracing)
+        self.metrics = MetricsRegistry(name)
+        self.peer.endpoint.tracer = self.tracer
+        self.peer.endpoint.metrics = self.metrics
         self.repository = Repository(self)
         self.events = EventBus(self)
         self.profiler = Profiler(self, cache_ttl=profile_cache_ttl)
@@ -165,7 +186,7 @@ class Core:
             raise NotAStubError(
                 f"get_meta_ref expects a complet reference, got {type(stub).__name__}"
             )
-        return stub._fargo_meta
+        return stub_meta(stub)
 
     def retype_reference(self, stub: Stub, relocator_name: str) -> None:
         """Change a reference's relocation type by name (shell/scripts)."""
@@ -189,7 +210,7 @@ class Core:
                 f"new_reference expects a complet reference, got {type(stub).__name__}"
             )
         return type(stub)._fargo_from_tracker(
-            stub._fargo_core, stub._fargo_tracker, Link()
+            stub_core(stub), stub_tracker(stub), Link()
         )
 
     # -- Core API: movement -------------------------------------------------------------------
@@ -222,13 +243,26 @@ class Core:
     def profile_instant(self, service: str, **params) -> float:
         return self.profiler.instant(service, **params)
 
+    def profile(self, service: str, interval: float = 1.0, **params) -> "ProfilingSession":
+        """Open a continuous-monitoring session (preferred API).
+
+        Use as a context manager — ``with core.profile("coreCPU") as s:
+        ... s.value`` — or call ``s.stop()`` explicitly.  Supersedes the
+        :meth:`profile_start`/:meth:`profile_stop` pair.
+        """
+        return self.profiler.session(service, interval=interval, **params)
+
     def profile_start(self, service: str, interval: float = 1.0, **params) -> tuple:
+        """Deprecated: use :meth:`profile` (returns a session handle)."""
+        _warn_profile_shim("profile_start")
         return self.profiler.start(service, interval=interval, **params)
 
     def profile_get(self, service: str, **params) -> float:
         return self.profiler.get(service, **params)
 
     def profile_stop(self, service: str, **params) -> None:
+        """Deprecated: use the session handle from :meth:`profile`."""
+        _warn_profile_shim("profile_stop")
         self.profiler.stop(service, **params)
 
     # -- lifecycle -----------------------------------------------------------------------------------
@@ -334,6 +368,16 @@ class Core:
             )
         if operation == "profile_history":
             return self.profiler.history(kwargs["service"], **kwargs.get("params", {}))
+        if operation == "metrics":
+            return self.metrics.snapshot()
+        if operation == "spans":
+            return [span.to_dict() for span in self.tracer.spans()]
+        if operation == "set_tracing":
+            self.tracer.enabled = bool(kwargs["enabled"])
+            return None
+        if operation == "clear_spans":
+            self.tracer.clear()
+            return None
         raise CompletError(f"unknown admin operation {operation!r}")
 
     def _outgoing_stubs(self, complet_id_str: str) -> list[Stub]:
@@ -350,10 +394,10 @@ class Core:
         """Describe a hosted complet's outgoing references (viewer/shell)."""
         rows = []
         for stub in self._outgoing_stubs(complet_id_str):
-            meta = stub._fargo_meta
+            meta = stub_meta(stub)
             rows.append(
                 {
-                    "target": str(stub._fargo_target_id),
+                    "target": str(stub_target_id(stub)),
                     "type": meta.type_name,
                     "invocations": meta.invocation_count,
                     "bytes": meta.bytes_transferred,
@@ -365,8 +409,8 @@ class Core:
     def _admin_retype(self, complet_id_str: str, target: str, type_name: str) -> bool:
         """Retype a hosted complet's outgoing reference by target id."""
         for stub in self._outgoing_stubs(complet_id_str):
-            if str(stub._fargo_target_id) == target:
-                stub._fargo_meta.set_relocator(relocator_from_name(type_name))
+            if str(stub_target_id(stub)) == target:
+                stub_meta(stub).set_relocator(relocator_from_name(type_name))
                 return True
         raise CompletError(
             f"complet {complet_id_str!r} has no reference to {target!r}"

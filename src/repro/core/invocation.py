@@ -29,7 +29,7 @@ from typing import TYPE_CHECKING
 
 from repro.complet.anchor import current_complet, execution_context
 from repro.complet.marshal import InvocationMarshaler
-from repro.complet.stub import Stub
+from repro.complet.stub import Stub, stub_meta, stub_tracker
 from repro.complet.tracker import Tracker, TrackerAddress
 from repro.errors import (
     CompletError,
@@ -51,15 +51,36 @@ class InvocationUnit:
         self.core = core
         self.marshaler = InvocationMarshaler(core)
         core.peer.register_raw(MessageKind.INVOKE, self._handle_invoke)
-        #: Invocations executed on this Core (targets hosted here).
-        self.executed = 0
-        #: Invocations this Core forwarded along a tracker chain.
-        self.forwarded = 0
+        # Counts live in the unified metrics registry (bound once here);
+        # the attributes below remain readable as plain ints.
+        self._executed = core.metrics.counter("invocation.executed")
+        self._forwarded = core.metrics.counter("invocation.forwarded")
+
+    @property
+    def executed(self) -> int:
+        """Invocations executed on this Core (targets hosted here)."""
+        return int(self._executed.value)
+
+    @property
+    def forwarded(self) -> int:
+        """Invocations this Core forwarded along a tracker chain."""
+        return int(self._forwarded.value)
 
     # -- caller side ----------------------------------------------------------------
 
     def invoke_stub(self, stub: Stub, method: str, args: tuple, kwargs: dict) -> object:
-        tracker = stub._fargo_tracker
+        tracer = self.core.tracer
+        if tracer.enabled:
+            with tracer.span(
+                f"invoke:{method}",
+                category="invoke",
+                target=str(stub_tracker(stub).target_id),
+            ):
+                return self._invoke_stub(stub, method, args, kwargs)
+        return self._invoke_stub(stub, method, args, kwargs)
+
+    def _invoke_stub(self, stub: Stub, method: str, args: tuple, kwargs: dict) -> object:
+        tracker = stub_tracker(stub)
         source = current_complet()
         request = self.marshaler.dumps((method, args, kwargs))
         self.core.profiler.note_invocation(source, tracker.target_id, len(request))
@@ -67,7 +88,7 @@ class InvocationUnit:
         self.core.profiler.note_result_bytes(
             source, tracker.target_id, len(result_bytes)
         )
-        stub._fargo_meta.record_invocation(len(request) + len(result_bytes))
+        stub_meta(stub).record_invocation(len(request) + len(result_bytes))
         return self.marshaler.loads(result_bytes)
 
     # -- routing ----------------------------------------------------------------------
@@ -138,7 +159,7 @@ class InvocationUnit:
             )
         if not tracker.is_local:
             tracker.forwarded_invocations += 1
-            self.forwarded += 1
+            self._forwarded.inc()
         result_bytes, final = self._route(tracker, request)
         return pickle.dumps((result_bytes, final))
 
@@ -148,6 +169,19 @@ class InvocationUnit:
         anchor = tracker.local_anchor
         assert anchor is not None
         method, args, kwargs = self.marshaler.loads(request)  # type: ignore[misc]
+        tracer = self.core.tracer
+        if tracer.enabled:
+            with tracer.span(
+                f"exec:{method}",
+                category="exec",
+                complet=anchor.complet_id.short(),
+            ):
+                return self._execute_call(tracker, anchor, method, args, kwargs)
+        return self._execute_call(tracker, anchor, method, args, kwargs)
+
+    def _execute_call(
+        self, tracker: Tracker, anchor, method: str, args: tuple, kwargs: dict
+    ) -> bytes:
         self._check_invocable(type(anchor), method)
         attribute = getattr_static(type(anchor), method)
         with execution_context(self.core, anchor.complet_id):
@@ -156,7 +190,7 @@ class InvocationUnit:
             else:
                 result = getattr(anchor, method)(*args, **kwargs)
         tracker.served_invocations += 1
-        self.executed += 1
+        self._executed.inc()
         self.core.profiler.note_served(anchor.complet_id)
         return self.marshaler.dumps(result)
 

@@ -40,8 +40,8 @@ from repro.complet.marshal import (
     MovementPlan,
     MovementUnmarshaler,
 )
-from repro.complet.stub import Stub
-from repro.core.events import MOVE_FAILED
+from repro.complet.stub import Stub, stub_target_id, stub_tracker
+from repro.core.events import MOVE_COMPLETED, MOVE_FAILED
 from repro.errors import CompletError, MovementDeniedError
 from repro.net.messages import MessageKind
 from repro.net.rpc import NO_DEADLINE
@@ -67,11 +67,26 @@ class MovementUnit:
         core.peer.register_raw(MessageKind.MOVE_COMPLET, self._handle_move_complet)
         core.peer.register(MessageKind.MOVE_REQUEST, self._handle_move_request)
         core.peer.register(MessageKind.CLONE_REQUEST, self._handle_clone_request)
-        #: Group moves sent / received by this Core (for the benchmarks).
-        self.moves_sent = 0
-        self.moves_received = 0
-        #: Moves that ran abort_departure after a phase-two failure.
-        self.moves_aborted = 0
+        # Counts live in the unified metrics registry (bound once here);
+        # the attributes below remain readable as plain ints.
+        self._moves_sent = core.metrics.counter("movement.moves_sent")
+        self._moves_received = core.metrics.counter("movement.moves_received")
+        self._moves_aborted = core.metrics.counter("movement.moves_aborted")
+
+    @property
+    def moves_sent(self) -> int:
+        """Group moves sent by this Core (for the benchmarks)."""
+        return int(self._moves_sent.value)
+
+    @property
+    def moves_received(self) -> int:
+        """Group moves received by this Core."""
+        return int(self._moves_received.value)
+
+    @property
+    def moves_aborted(self) -> int:
+        """Moves that ran abort_departure after a phase-two failure."""
+        return int(self._moves_aborted.value)
 
     # -- public entry point -----------------------------------------------------------
 
@@ -87,6 +102,19 @@ class MovementUnit:
         complet id.  If the complet is not hosted here, the request is
         forwarded to its current host, so any Core can initiate any move.
         """
+        tracer = self.core.tracer
+        if tracer.enabled:
+            with tracer.span("move", category="move", destination=destination):
+                self._move(target, destination, continuation)
+        else:
+            self._move(target, destination, continuation)
+
+    def _move(
+        self,
+        target: Stub | Anchor | CompletId,
+        destination: str,
+        continuation: Continuation | None,
+    ) -> None:
         anchor = self._resolve_local(target)
         if anchor is None:
             self._forward_request(target, destination, continuation)
@@ -97,7 +125,7 @@ class MovementUnit:
 
     def _resolve_local(self, target: Stub | Anchor | CompletId) -> Anchor | None:
         if isinstance(target, Stub):
-            tracker = target._fargo_tracker
+            tracker = stub_tracker(target)
             return tracker.local_anchor
         if isinstance(target, Anchor):
             if not target.is_installed or not self.core.repository.hosts(
@@ -114,6 +142,21 @@ class MovementUnit:
     # -- sending side ------------------------------------------------------------------
 
     def _move_local(
+        self, anchor: Anchor, destination: str, continuation: Continuation | None
+    ) -> None:
+        tracer = self.core.tracer
+        if tracer.enabled:
+            with tracer.span(
+                "move:twophase",
+                category="move",
+                complet=anchor.complet_id.short(),
+                destination=destination,
+            ):
+                self._move_twophase(anchor, destination, continuation)
+        else:
+            self._move_twophase(anchor, destination, continuation)
+
+    def _move_twophase(
         self, anchor: Anchor, destination: str, continuation: Continuation | None
     ) -> None:
         plan = MovementPlan(self.core, anchor)
@@ -138,7 +181,7 @@ class MovementUnit:
             self._abort_departure(plan, anchor, destination, exc)
             raise
         addresses: dict[CompletId, object] = PLAIN.loads(raw_reply)  # type: ignore[assignment]
-        self.moves_sent += 1
+        self._moves_sent.inc()
 
         for complet_id, mover in plan.movers.items():
             tracker = self.core.repository.existing_tracker(complet_id)
@@ -153,6 +196,13 @@ class MovementUnit:
                 type=complet_id.type_name,
                 destination=destination,
             )
+        self.core.events.publish(
+            MOVE_COMPLETED,
+            complet=str(anchor.complet_id),
+            type=anchor.complet_id.type_name,
+            destination=destination,
+            group=[str(cid) for cid in plan.movers],
+        )
         for stub in plan.remote_pulls:
             self._forward_request(stub, destination, None)
 
@@ -175,7 +225,7 @@ class MovementUnit:
                 logger.warning(
                     "abort_departure of %s failed", complet_id, exc_info=True
                 )
-        self.moves_aborted += 1
+        self._moves_aborted.inc()
         self.core.events.publish(
             MOVE_FAILED,
             complet=str(root.complet_id),
@@ -193,8 +243,8 @@ class MovementUnit:
         continuation: Continuation | None,
     ) -> None:
         if isinstance(target, Stub):
-            target_id = target._fargo_target_id
-            host = self.core.references.locate(target._fargo_tracker)
+            target_id = stub_target_id(target)
+            host = self.core.references.locate(stub_tracker(target))
         elif isinstance(target, CompletId):
             tracker = self.core.repository.existing_tracker(target)
             if tracker is None:
@@ -275,7 +325,7 @@ class MovementUnit:
                 type=anchor.complet_id.type_name,
                 source=payload.source_core,
             )
-        self.moves_received += 1
+        self._moves_received.inc()
 
         if result.continuation is not None and result.movers:
             root = next(iter(result.movers.values()))
@@ -341,9 +391,9 @@ class MovementUnit:
 
     def fetch_remote_clone(self, stub: Stub) -> CloneEntry:
         """Ask the Core hosting ``stub``'s target for a marshaled copy."""
-        host = self.core.references.locate(stub._fargo_tracker)
+        host = self.core.references.locate(stub_tracker(stub))
         entry = self.core.peer.request(
-            host, MessageKind.CLONE_REQUEST, stub._fargo_target_id
+            host, MessageKind.CLONE_REQUEST, stub_target_id(stub)
         )
         assert isinstance(entry, CloneEntry)
         return entry

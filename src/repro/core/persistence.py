@@ -27,7 +27,7 @@ from typing import TYPE_CHECKING
 
 from repro.complet.anchor import Anchor
 from repro.complet.marshal import CloneEntry, marshal_clone
-from repro.complet.stub import Stub
+from repro.complet.stub import Stub, stub_target_id
 from repro.errors import CompletError
 from repro.net.serializer import PLAIN
 from repro.util.ids import CompletId
@@ -103,10 +103,10 @@ def restore(core: "Core", snapshot_: Snapshot, *, keep_identity: bool = False) -
 
 def _resolve_hosted(core: "Core", target: Stub | Anchor) -> Anchor:
     if isinstance(target, Stub):
-        anchor = core.repository.get(target._fargo_target_id)
+        anchor = core.repository.get(stub_target_id(target))
         if anchor is None:
             raise CompletError(
-                f"complet {target._fargo_target_id} is not hosted at "
+                f"complet {stub_target_id(target)} is not hosted at "
                 f"{core.name!r}; snapshot it where it lives"
             )
         return anchor

@@ -1,0 +1,21 @@
+"""Unified metrics: counters, gauges, histograms (see registry.py)."""
+
+from repro.metrics.registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+    qualified_name,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "merge_snapshots",
+    "qualified_name",
+]

@@ -1,0 +1,233 @@
+"""The unified metrics registry.
+
+Before this layer existed, every unit kept its own ad-hoc counters
+(``InvocationUnit.executed``, ``MovementUnit.moves_sent``,
+``Profiler.cache_hits``, ...).  They now all live in one per-Core
+:class:`MetricsRegistry` of named, optionally labelled instruments:
+
+- :class:`Counter` — monotonically increasing count (``inc``);
+- :class:`Gauge` — a point-in-time value (``set``);
+- :class:`Histogram` — a distribution (``observe``), keeping count, sum,
+  min, max, and fixed-boundary bucket counts.
+
+Instruments are identified by ``(name, labels)``; asking for the same
+pair twice returns the same instrument, so hot paths bind an instrument
+once at construction and pay only the increment afterwards.  The
+cluster aggregates registries Core by Core
+(:meth:`repro.cluster.cluster.Cluster.metrics_snapshot`).
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+
+
+#: Default histogram boundaries: half-decade steps over the virtual-time
+#: ranges the simulator produces (10 µs .. 100 s).
+DEFAULT_BUCKETS = (
+    1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2,
+    0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0,
+)
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted(labels.items()))
+
+
+def qualified_name(name: str, labels: dict) -> str:
+    """Display form: ``name{k=v,...}`` (Prometheus-style)."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: dict) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """A point-in-time value."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: dict) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, amount: float) -> None:
+        self.value += amount
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """A distribution with fixed bucket boundaries.
+
+    ``bucket_counts[i]`` counts observations ``<= bounds[i]``; the last
+    slot counts overflows.  Cumulative views are derived on snapshot.
+    """
+
+    __slots__ = ("name", "labels", "bounds", "bucket_counts", "count", "total", "min", "max")
+
+    def __init__(
+        self, name: str, labels: dict, bounds: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self.bounds = tuple(bounds)
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "buckets": {
+                f"le_{bound:g}": count
+                for bound, count in zip(self.bounds, self.bucket_counts)
+                if count
+            },
+            "overflow": self.bucket_counts[-1],
+        }
+
+
+class MetricsRegistry:
+    """One Core's instrument table."""
+
+    def __init__(self, core_name: str = "") -> None:
+        self.core_name = core_name
+        self._counters: dict[tuple, Counter] = {}
+        self._gauges: dict[tuple, Gauge] = {}
+        self._histograms: dict[tuple, Histogram] = {}
+
+    # -- get-or-create ---------------------------------------------------------
+
+    def counter(self, name: str, **labels) -> Counter:
+        key = (name, _label_key(labels))
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter(name, labels)
+        return instrument
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        key = (name, _label_key(labels))
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge(name, labels)
+        return instrument
+
+    def histogram(
+        self, name: str, *, buckets: tuple[float, ...] = DEFAULT_BUCKETS, **labels
+    ) -> Histogram:
+        key = (name, _label_key(labels))
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram(name, labels, buckets)
+        return instrument
+
+    # -- reading ---------------------------------------------------------------
+
+    def counter_value(self, name: str, **labels) -> float:
+        """Current value of a counter (0 if never touched)."""
+        instrument = self._counters.get((name, _label_key(labels)))
+        return instrument.value if instrument is not None else 0.0
+
+    def counters_named(self, name: str) -> dict[tuple, Counter]:
+        """Every labelled variant of one counter name."""
+        return {
+            key[1]: instrument
+            for key, instrument in self._counters.items()
+            if key[0] == name
+        }
+
+    def snapshot(self) -> dict:
+        """Plain-data dump of every instrument, qualified-name keyed."""
+        return {
+            "core": self.core_name,
+            "counters": {
+                qualified_name(c.name, c.labels): c.snapshot()
+                for c in self._counters.values()
+            },
+            "gauges": {
+                qualified_name(g.name, g.labels): g.snapshot()
+                for g in self._gauges.values()
+            },
+            "histograms": {
+                qualified_name(h.name, h.labels): h.snapshot()
+                for h in self._histograms.values()
+            },
+        }
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        return json.dumps(self.snapshot(), indent=indent, default=repr)
+
+
+def merge_snapshots(snapshots: list[dict]) -> dict:
+    """Fold per-Core snapshots into one cluster view.
+
+    Counters sum; gauges keep per-Core values (summing a gauge is rarely
+    meaningful); histogram counts/sums merge, bounds permitting.
+    """
+    merged: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+    for snap in snapshots:
+        core = snap.get("core", "")
+        for name, value in snap.get("counters", {}).items():
+            merged["counters"][name] = merged["counters"].get(name, 0.0) + value
+        for name, value in snap.get("gauges", {}).items():
+            merged["gauges"][f"{name}@{core}"] = value
+        for name, hist in snap.get("histograms", {}).items():
+            slot = merged["histograms"].get(name)
+            if slot is None:
+                merged["histograms"][name] = dict(hist)
+            else:
+                slot["count"] += hist["count"]
+                slot["sum"] += hist["sum"]
+                slot["min"] = min(
+                    (m for m in (slot["min"], hist["min"]) if m is not None),
+                    default=None,
+                )
+                slot["max"] = max(
+                    (m for m in (slot["max"], hist["max"]) if m is not None),
+                    default=None,
+                )
+                slot["mean"] = slot["sum"] / slot["count"] if slot["count"] else 0.0
+    return merged

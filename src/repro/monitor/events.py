@@ -152,8 +152,31 @@ class MonitorEventEngine:
         if not should_fire:
             return
         watch.fired_count += 1
+        self.core.metrics.counter(
+            "monitor.watch_fires", service=watch.spec.service
+        ).inc()
+        event_name = watch.spec.resolved_event_name()
+        tracer = self.core.tracer
+        if tracer.enabled:
+            # A threshold crossing starts its own causal tree: whatever
+            # the crossing triggers (script rules, moves, notifications)
+            # becomes one trace rooted at this watch fire — even when the
+            # sample was taken while unrelated traced work was active.
+            with tracer.span(
+                f"watch:{event_name}",
+                category="watch",
+                root=True,
+                service=watch.spec.service,
+                value=value,
+                threshold=watch.spec.threshold,
+            ):
+                self._fire(watch, event_name, value)
+        else:
+            self._fire(watch, event_name, value)
+
+    def _fire(self, watch: _Watch, event_name: str, value: float) -> None:
         self.core.events.publish(
-            watch.spec.resolved_event_name(),
+            event_name,
             service=watch.spec.service,
             value=value,
             threshold=watch.spec.threshold,

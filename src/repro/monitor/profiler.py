@@ -81,6 +81,64 @@ def _key(service: str, params: dict) -> tuple:
     return (service, tuple(sorted(params.items())))
 
 
+class ProfilingSession:
+    """A handle on one continuous profile (the preferred interface).
+
+    Obtained from :meth:`Profiler.session` (or ``core.profile(...)``).
+    Reads the running average via :attr:`value`, the raw sample history
+    via :meth:`history`, and releases its reference on :meth:`stop` —
+    automatically when used as a context manager.  Stopping twice is a
+    no-op, so sessions are safe to close defensively.
+    """
+
+    __slots__ = ("profiler", "service", "params", "key", "_open")
+
+    def __init__(
+        self,
+        profiler: "Profiler",
+        service: str,
+        *,
+        interval: float = 1.0,
+        alpha: float | None = None,
+        **params,
+    ) -> None:
+        self.profiler = profiler
+        self.service = service
+        self.params = dict(params)
+        self.key = profiler.start(service, interval=interval, alpha=alpha, **params)
+        self._open = True
+
+    @property
+    def value(self) -> float:
+        """The current exponential average of the profiled quantity."""
+        return self.profiler.get(self.service, **self.params)
+
+    @property
+    def active(self) -> bool:
+        return self._open
+
+    def history(self) -> list[tuple[float, float]]:
+        """Recent ``(time, raw sample)`` pairs, oldest first."""
+        return self.profiler.history(self.service, **self.params)
+
+    def stop(self) -> None:
+        """Release this session's reference (idempotent)."""
+        if not self._open:
+            return
+        self._open = False
+        self.profiler.stop(self.service, **self.params)
+
+    def __enter__(self) -> "ProfilingSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:
+        state = "open" if self._open else "stopped"
+        return f"<ProfilingSession {self.service} {self.params or ''} ({state})>"
+
+
 class Profiler:
     """One Core's profiling unit."""
 
@@ -91,9 +149,10 @@ class Profiler:
         self._profiles: dict[tuple, ContinuousProfile] = {}
         self._cache: dict[tuple, tuple[float, float]] = {}
         self._listener_ids = 0
-        #: Evaluation counts per service (shows what the cache avoided).
-        self.evaluations: Counter = Counter()
-        self.cache_hits = 0
+        # Counters live in the Core's unified metrics registry; the
+        # instruments are bound here once, per-service lazily below.
+        self._cache_hit_counter = core.metrics.counter("profiler.cache_hits")
+        self._evaluation_counters: dict[str, object] = {}
         # Application-profiling meters, fed by the invocation unit.
         self._invocation_meters: dict[tuple[str, str], RateMeter] = {}
         self._byte_meters: dict[tuple[str, str], RateMeter] = {}
@@ -139,15 +198,41 @@ class Profiler:
         if use_cache:
             cached = self._cache.get(key)
             if cached is not None and now - cached[0] <= self.cache_ttl:
-                self.cache_hits += 1
+                self._cache_hit_counter.inc()
                 return cached[1]
         value = self._evaluate(definition, params)
         self._cache[key] = (now, value)
         return value
 
     def _evaluate(self, definition: ServiceDef, params: dict) -> float:
-        self.evaluations[definition.name] += 1
+        counter = self._evaluation_counters.get(definition.name)
+        if counter is None:
+            counter = self._evaluation_counters[definition.name] = (
+                self.core.metrics.counter(
+                    "profiler.evaluations", service=definition.name
+                )
+            )
+        counter.inc()  # type: ignore[attr-defined]
         return float(definition.fn(self.core, params))
+
+    @property
+    def evaluations(self) -> Counter:
+        """Evaluation counts per service (shows what the cache avoided).
+
+        A read-only view over the ``profiler.evaluations`` counters in
+        the Core's metrics registry.
+        """
+        counts: Counter = Counter()
+        for labels, counter in self.core.metrics.counters_named(
+            "profiler.evaluations"
+        ).items():
+            counts[dict(labels)["service"]] = int(counter.value)
+        return counts
+
+    @property
+    def cache_hits(self) -> int:
+        """Instant reads served from the TTL cache (registry-backed)."""
+        return int(self._cache_hit_counter.value)
 
     # -- continuous interface ------------------------------------------------------------
 
@@ -183,6 +268,19 @@ class Profiler:
         profile.timer = self.core.scheduler.call_every(interval, self._sample, key)
         self._profiles[key] = profile
         return key
+
+    def session(
+        self,
+        service: str,
+        *,
+        interval: float = 1.0,
+        alpha: float | None = None,
+        **params,
+    ) -> ProfilingSession:
+        """Begin (or join) continuous profiling, returning a session handle."""
+        return ProfilingSession(
+            self, service, interval=interval, alpha=alpha, **params
+        )
 
     def get(self, service: str, **params) -> float:
         """Current average of a continuous profile."""

@@ -70,3 +70,9 @@ class Envelope:
 #: Statuses for reply frames produced by the RPC layer.
 STATUS_OK = "ok"
 STATUS_ERROR = "error"
+
+#: Envelope headers carrying the distributed-tracing context.  Every
+#: cross-Core interaction of a traced operation carries these, which is
+#: how one logical operation yields one span tree spanning Cores.
+TRACE_ID_HEADER = "trace-id"
+SPAN_ID_HEADER = "span-id"

@@ -17,6 +17,16 @@ reachability failures, backing off on the simulation scheduler.  One-way
 messages are genuinely one-way: a receiving handler's failure is caught
 at the receiving boundary, logged, and reported through
 :attr:`RpcEndpoint.on_oneway_error` instead of travelling back.
+
+Observability: the endpoint carries an optional
+:class:`~repro.trace.tracer.Tracer` and
+:class:`~repro.metrics.registry.MetricsRegistry` (the owning Core
+attaches its own).  With tracing enabled, every request opens a client
+span, injects the trace context into the envelope headers, and the
+receiving endpoint opens a matching server span parented on it — which
+is how one logical operation becomes one span tree across Cores.  The
+registry records per-kind call counts, retries, and round-trip virtual
+durations regardless of tracing.
 """
 
 from __future__ import annotations
@@ -24,11 +34,17 @@ from __future__ import annotations
 import logging
 import pickle
 from collections.abc import Callable
+from typing import TYPE_CHECKING
 
 from repro.errors import DeadlineExceededError, RemoteInvocationError, TransportError
 from repro.net.messages import STATUS_ERROR, STATUS_OK, Envelope, MessageKind
 from repro.net.retry import RetryObserver, RetryPolicy
 from repro.net.simnet import SimNetwork
+from repro.trace.tracer import context_from_headers
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.metrics.registry import MetricsRegistry
+    from repro.trace.tracer import Tracer
 
 logger = logging.getLogger(__name__)
 
@@ -61,6 +77,12 @@ class RpcEndpoint:
     def __init__(self, name: str, network: SimNetwork) -> None:
         self.name = name
         self.network = network
+        #: Observability hooks, attached by the owning Core (optional).
+        self.tracer: "Tracer | None" = None
+        self.metrics: "MetricsRegistry | None" = None
+        #: Per-kind (calls counter, duration histogram), bound lazily so
+        #: the per-call cost is one dict lookup.
+        self._instruments: dict[MessageKind, tuple] = {}
         self._handlers: dict[MessageKind, RpcHandler] = {}
         #: Round-trip deadline per kind, overriding :attr:`default_timeout`.
         self._timeouts: dict[MessageKind, float] = {}
@@ -129,8 +151,24 @@ class RpcEndpoint:
         :class:`RemoteInvocationError` carrying its repr.  ``timeout``
         and ``retry`` override the per-kind configuration for this call.
         """
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            with tracer.span(f"rpc:{kind.value}", category="rpc", dst=dst):
+                return self._call(dst, kind, payload, timeout=timeout, retry=retry)
+        return self._call(dst, kind, payload, timeout=timeout, retry=retry)
+
+    def _call(
+        self,
+        dst: str,
+        kind: MessageKind,
+        payload: bytes,
+        *,
+        timeout: float | None,
+        retry: RetryPolicy | None,
+    ) -> bytes:
         limit = timeout if timeout is not None else self.timeout_for(kind)
         policy = retry if retry is not None else self.retry_for(kind)
+        started = self.network.scheduler.clock.now()
         if policy is None or policy.max_attempts <= 1:
             frame = self._attempt(dst, kind, payload, limit)
         else:
@@ -139,6 +177,10 @@ class RpcEndpoint:
                 lambda: self._attempt(dst, kind, payload, limit),
                 on_retry=self._retry_observer(dst, kind),
             )
+        if self.metrics is not None:
+            calls, durations = self._instruments_for(kind)
+            calls.inc()
+            durations.observe(self.network.scheduler.clock.now() - started)
         assert isinstance(frame, bytes)
         status, body = _decode_frame(frame)
         if status == STATUS_OK:
@@ -150,10 +192,24 @@ class RpcEndpoint:
             )
         raise RemoteInvocationError(f"remote error at {dst!r}: {body}")
 
+    def _instruments_for(self, kind: MessageKind) -> tuple:
+        pair = self._instruments.get(kind)
+        if pair is None:
+            assert self.metrics is not None
+            pair = (
+                self.metrics.counter("rpc.calls", kind=kind.value),
+                self.metrics.histogram("rpc.duration", kind=kind.value),
+            )
+            self._instruments[kind] = pair
+        return pair
+
     def _attempt(
         self, dst: str, kind: MessageKind, payload: bytes, limit: float | None
     ) -> bytes:
         envelope = Envelope(src=self.name, dst=dst, kind=kind, payload=payload)
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            envelope.headers.update(tracer.context_headers())
         clock = self.network.scheduler.clock
         started = clock.now()
         frame = self.network.send(envelope)
@@ -166,12 +222,22 @@ class RpcEndpoint:
         return frame
 
     def _retry_observer(self, dst: str, kind: MessageKind) -> RetryObserver | None:
-        if self.on_retry is None:
-            return None
         hook = self.on_retry
+        tracer = self.tracer
+        metrics = self.metrics
+        if hook is None and metrics is None and (tracer is None or not tracer.enabled):
+            return None
 
         def observe(attempt: int, delay: float, error: BaseException) -> None:
-            hook(dst, kind, attempt, delay, error)
+            if metrics is not None:
+                metrics.counter("rpc.retries", kind=kind.value).inc()
+            if tracer is not None and tracer.enabled:
+                current = tracer.current
+                if current is not None:
+                    current.set_attribute("attempt", attempt)
+                    current.set_attribute("retry_error", repr(error))
+            if hook is not None:
+                hook(dst, kind, attempt, delay, error)
 
         return observe
 
@@ -183,13 +249,15 @@ class RpcEndpoint:
         receiving boundary).  Reachability failures still raise, because
         they happen on the sending side.
         """
+        headers = {ONEWAY_HEADER: "1"}
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            headers.update(tracer.context_headers())
         envelope = Envelope(
-            src=self.name,
-            dst=dst,
-            kind=kind,
-            payload=payload,
-            headers={ONEWAY_HEADER: "1"},
+            src=self.name, dst=dst, kind=kind, payload=payload, headers=headers
         )
+        if self.metrics is not None:
+            self.metrics.counter("rpc.posts", kind=kind.value).inc()
         self.network.post(envelope)
 
     def close(self) -> None:
@@ -199,6 +267,20 @@ class RpcEndpoint:
     # -- receiving ------------------------------------------------------------
 
     def _dispatch(self, envelope: Envelope) -> bytes:
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            parent = context_from_headers(envelope.headers)
+            if parent is not None:
+                with tracer.span(
+                    f"recv:{envelope.kind.value}",
+                    category="recv",
+                    parent=parent,
+                    src=envelope.src,
+                ):
+                    return self._handle(envelope)
+        return self._handle(envelope)
+
+    def _handle(self, envelope: Envelope) -> bytes:
         handler = self._handlers.get(envelope.kind)
         if handler is None:
             error = TransportError(

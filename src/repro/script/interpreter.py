@@ -28,13 +28,14 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
 from repro.complet.relocators import relocator_from_name
-from repro.complet.stub import Stub
+from repro.complet.stub import Stub, stub_core, stub_target_id
 from repro.core.core import Core
 from repro.core.events import (
     CALL_RETRIED,
     COMPLET_ARRIVED,
     COMPLET_DEPARTED,
     CORE_SHUTDOWN,
+    MOVE_COMPLETED,
     MOVE_FAILED,
     ONEWAY_FAILED,
     REFERENCE_RETYPED,
@@ -75,6 +76,7 @@ CORE_EVENTS = {
     "completDeparted": COMPLET_DEPARTED,
     "referenceRetyped": REFERENCE_RETYPED,
     "moveFailed": MOVE_FAILED,
+    "moveCompleted": MOVE_COMPLETED,
     "callRetried": CALL_RETRIED,
     "onewayFailed": ONEWAY_FAILED,
 }
@@ -396,6 +398,19 @@ class ScriptEngine:
 
     def _fire(self, rule: Rule, active: _ActiveRule, event: Event) -> None:
         active.fired_count += 1
+        tracer = self.core.tracer
+        if tracer.enabled:
+            # The rule's actions run under one script span, so whatever
+            # they trigger (moves, retypes, calls) stays in the trace of
+            # the event that fired the rule.
+            with tracer.span(
+                f"script:{rule.event}", category="script", trigger=event.name
+            ):
+                self._run_rule(rule, event)
+        else:
+            self._run_rule(rule, event)
+
+    def _run_rule(self, rule: Rule, event: Event) -> None:
         env = dict(self._globals)
         if rule.fired_by is not None:
             env[rule.fired_by] = event.data.get("core", event.origin)
@@ -448,7 +463,7 @@ class ScriptEngine:
 
     def _move_one(self, target: object, destination: str) -> None:
         if isinstance(target, Stub):
-            core = target._fargo_core or self.core
+            core = stub_core(target) or self.core
             core.move(target, destination)
             return
         if isinstance(target, str):
@@ -513,5 +528,5 @@ class ScriptEngine:
 
 def _as_complet_id(value: object) -> str:
     if isinstance(value, Stub):
-        return str(value._fargo_target_id)
+        return str(stub_target_id(value))
     return str(value)

@@ -19,6 +19,12 @@ interactive REPL on top).  Commands::
     shutdown <core>                         graceful Core shutdown
     advance <seconds>                       advance virtual time
     script <<< ... >>>  or  script @file    run a layout script
+    trace on|off|clear                      toggle / reset span recording
+    trace [list]                            one line per recorded trace
+    trace show <trace-id>                   span tree of one trace
+    trace timeline <trace-id>               text flame chart of one trace
+    trace export <file>                     Chrome trace_event JSON
+    metrics [<core>]                        metrics (cluster-wide by default)
     help                                    this text
 """
 
@@ -27,8 +33,15 @@ from __future__ import annotations
 import shlex
 from typing import TYPE_CHECKING, Callable
 
+from repro.core.admin import CoreAdmin
 from repro.errors import FarGoError
 from repro.script.interpreter import ScriptEngine
+from repro.viewer.traceview import (
+    render_metrics,
+    render_trace,
+    render_trace_timeline,
+    render_traces_summary,
+)
 from repro.viewer.viewer import LayoutMonitor
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -63,8 +76,14 @@ class FarGoShell:
             "shutdown": self._cmd_shutdown,
             "advance": self._cmd_advance,
             "script": self._cmd_script,
+            "trace": self._cmd_trace,
+            "metrics": self._cmd_metrics,
             "help": self._cmd_help,
         }
+
+    def admin(self, core_name: str) -> CoreAdmin:
+        """Typed admin handle for ``core_name``, issued from the home Core."""
+        return CoreAdmin(self.core, core_name)
 
     # -- dispatch ----------------------------------------------------------------------
 
@@ -136,7 +155,7 @@ class FarGoShell:
         host = self._host_of(complet_id)
         if host is None:
             return f"error: no running Core hosts {complet_id!r}"
-        self.core.admin(host, "move", complet=complet_id, destination=destination)
+        self.admin(host).move(complet_id, destination)
         return f"moved {complet_id} from {host} to {destination}"
 
     def _cmd_refs(self, args: list[str]) -> str:
@@ -163,23 +182,17 @@ class FarGoShell:
         self.core.admin(
             core_name, "profile_start", service=service, params=params
         )
-        samples = self.core.admin(
-            core_name, "profile_history", service=service, params=params
-        )
+        samples = self.admin(core_name).profile_history(service, **params)
         return f"{service}@{core_name}: {render_sparkline(samples)}"
 
     def _cmd_watch(self, args: list[str]) -> str:
         core_name, service, op, threshold = args[0], args[1], args[2], float(args[3])
         params = _parse_params(args[4:])
-        watch_id = self.core.admin(
-            core_name, "watch", service=service, op=op, threshold=threshold,
-            params=params,
-        )
+        watch_id = self.admin(core_name).watch(service, op, threshold, **params)
         return f"watch #{watch_id} installed at {core_name}"
 
     def _cmd_services(self, args: list[str]) -> str:
-        services = self.core.admin(args[0], "services")
-        return "\n".join(services)
+        return "\n".join(self.admin(args[0]).services())
 
     def _cmd_collect(self, args: list[str]) -> str:
         return f"collected {self.cluster.collect_all_trackers()} trackers"
@@ -207,6 +220,43 @@ class FarGoShell:
 
     def _cmd_script(self, args: list[str]) -> str:  # pragma: no cover - routed raw
         return self._cmd_script_raw(" ".join(args))
+
+    def _cmd_trace(self, args: list[str]) -> str:
+        sub = args[0] if args else "list"
+        if sub == "on":
+            self.cluster.set_tracing(True)
+            return "tracing enabled on all Cores"
+        if sub == "off":
+            self.cluster.set_tracing(False)
+            return "tracing disabled on all Cores"
+        if sub == "clear":
+            self.cluster.clear_spans()
+            return "spans cleared"
+        if sub == "list":
+            return render_traces_summary(self.cluster.traces())
+        if sub == "show":
+            trace = self.cluster.traces().get(args[1])
+            if trace is None:
+                return f"error: no trace {args[1]!r}"
+            return render_trace(trace)
+        if sub == "timeline":
+            trace = self.cluster.traces().get(args[1])
+            if trace is None:
+                return f"error: no trace {args[1]!r}"
+            return render_trace_timeline(trace)
+        if sub == "export":
+            path = args[1]
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(self.cluster.chrome_trace_json(indent=2))
+            return f"wrote {len(self.cluster.spans())} spans to {path}"
+        return f"error: unknown trace subcommand {sub!r} (try 'help')"
+
+    def _cmd_metrics(self, args: list[str]) -> str:
+        if args:
+            snapshot = self.admin(args[0]).metrics()
+            return render_metrics(snapshot, title=f"metrics of {args[0]}")
+        snapshot = self.cluster.metrics_snapshot()["cluster"]
+        return render_metrics(snapshot, title="cluster metrics")
 
     def _cmd_help(self, args: list[str]) -> str:
         return _HELP.strip("\n")

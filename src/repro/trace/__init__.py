@@ -1,0 +1,31 @@
+"""Distributed tracing over the virtual clock (see tracer.py)."""
+
+from repro.trace.export import (
+    Trace,
+    assemble_traces,
+    chrome_trace,
+    chrome_trace_json,
+    spans_to_json,
+    traces_to_json,
+)
+from repro.trace.tracer import (
+    NO_SPAN,
+    Span,
+    SpanContext,
+    Tracer,
+    context_from_headers,
+)
+
+__all__ = [
+    "NO_SPAN",
+    "context_from_headers",
+    "Span",
+    "SpanContext",
+    "Trace",
+    "Tracer",
+    "assemble_traces",
+    "chrome_trace",
+    "chrome_trace_json",
+    "spans_to_json",
+    "traces_to_json",
+]

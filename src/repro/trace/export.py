@@ -1,0 +1,154 @@
+"""Trace assembly and exporters.
+
+Spans are recorded per Core; this module stitches them back into traces
+(one :class:`Trace` per trace id, with parent links resolved into a
+tree) and exports them:
+
+- :func:`traces_to_json` — plain JSON, one object per trace;
+- :func:`chrome_trace` — the Chrome ``trace_event`` format (load the
+  file in ``chrome://tracing`` or Perfetto).  Virtual seconds map to
+  microseconds, each Core becomes one named "process".
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.trace.tracer import Span
+
+
+@dataclass(slots=True)
+class Trace:
+    """One assembled trace: every span sharing a trace id."""
+
+    trace_id: str
+    spans: list[Span]
+    #: Spans with no parent (or whose parent was not recorded).
+    roots: list[Span] = field(default_factory=list)
+    #: span id -> children, each sorted by start time.
+    children: dict[str, list[Span]] = field(default_factory=dict)
+
+    @property
+    def start(self) -> float:
+        return min(s.start for s in self.spans)
+
+    @property
+    def end(self) -> float:
+        return max(s.end if s.end is not None else s.start for s in self.spans)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def cores(self) -> list[str]:
+        return sorted({s.core for s in self.spans})
+
+    def walk(self):
+        """Yield ``(depth, span)`` in tree (pre-)order."""
+        def visit(span: Span, depth: int):
+            yield depth, span
+            for child in self.children.get(span.span_id, []):
+                yield from visit(child, depth + 1)
+
+        for root in self.roots:
+            yield from visit(root, 0)
+
+    def is_connected(self) -> bool:
+        """True when every span hangs off a single root."""
+        return len(self.roots) == 1 and len(list(self.walk())) == len(self.spans)
+
+
+def assemble_traces(spans: list[Span]) -> dict[str, Trace]:
+    """Group spans by trace id and resolve parent links into trees."""
+    by_trace: dict[str, list[Span]] = {}
+    for span in spans:
+        by_trace.setdefault(span.trace_id, []).append(span)
+    traces: dict[str, Trace] = {}
+    for trace_id, members in by_trace.items():
+        members.sort(key=lambda s: (s.start, s.span_id))
+        known = {s.span_id for s in members}
+        trace = Trace(trace_id, members)
+        for span in members:
+            if span.parent_id is None or span.parent_id not in known:
+                trace.roots.append(span)
+            else:
+                trace.children.setdefault(span.parent_id, []).append(span)
+        traces[trace_id] = trace
+    return traces
+
+
+# -- JSON -------------------------------------------------------------------
+
+
+def spans_to_json(spans: list[Span], *, indent: int | None = None) -> str:
+    """Every span as one JSON object (the raw, lossless export)."""
+    return json.dumps([s.to_dict() for s in spans], indent=indent, default=repr)
+
+
+def traces_to_json(spans: list[Span], *, indent: int | None = None) -> str:
+    """Assembled traces as JSON: id, bounds, and the span list."""
+    traces = assemble_traces(spans)
+    payload = [
+        {
+            "trace_id": trace.trace_id,
+            "start": trace.start,
+            "end": trace.end,
+            "cores": trace.cores(),
+            "spans": [s.to_dict() for s in trace.spans],
+        }
+        for trace in sorted(traces.values(), key=lambda t: t.start)
+    ]
+    return json.dumps(payload, indent=indent, default=repr)
+
+
+# -- Chrome trace_event -----------------------------------------------------
+
+
+def chrome_trace(spans: list[Span]) -> dict:
+    """Spans as a Chrome ``trace_event`` document (complete 'X' events).
+
+    Virtual seconds are exported as microseconds (the format's unit).
+    Each Core maps to one pid, named through a process_name metadata
+    event; the trace id rides along in each event's ``args``.
+    """
+    pids: dict[str, int] = {}
+    events: list[dict] = []
+    for span in spans:
+        pid = pids.get(span.core)
+        if pid is None:
+            pid = pids[span.core] = len(pids) + 1
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": f"Core {span.core}"},
+                }
+            )
+        end = span.end if span.end is not None else span.start
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.category,
+                "ph": "X",
+                "ts": span.start * 1e6,
+                "dur": (end - span.start) * 1e6,
+                "pid": pid,
+                "tid": 0,
+                "args": {
+                    "trace_id": span.trace_id,
+                    "span_id": span.span_id,
+                    "parent_id": span.parent_id,
+                    "error": span.error,
+                    **span.attributes,
+                },
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def chrome_trace_json(spans: list[Span], *, indent: int | None = None) -> str:
+    """The Chrome document serialized (non-JSON attribute values repr'd)."""
+    return json.dumps(chrome_trace(spans), indent=indent, default=repr)

@@ -1,0 +1,274 @@
+"""Distributed tracing: causally linked spans over the virtual clock.
+
+One logical operation in FarGo — a stub invocation crossing a tracker
+chain, a threshold watch firing a scripted group move — touches several
+Cores.  Each Core owns a :class:`Tracer` that records the work done
+*here* as :class:`Span`\\ s; the trace context (trace id + parent span
+id) travels inside every cross-Core :class:`~repro.net.messages.Envelope`
+header, so the spans of all participating Cores stitch into one tree
+under one trace id.  Timestamps come from the simulation clock, which
+means durations measure *virtual* time: exactly the quantity the layout
+policies reason about.
+
+Tracing is off by default and designed to cost one attribute check per
+call site when disabled (:data:`NO_SPAN` is returned instead of a real
+span).  Enable it per Core (``core.tracer.enabled = True``) or cluster
+wide (``Cluster(..., tracing=True)`` / ``cluster.set_tracing(True)``).
+
+Because every cross-Core interaction in the simulator is a synchronous
+nested call, the active-span context is a simple per-tracer stack — the
+calls nest, so the stack does too.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.net.messages import SPAN_ID_HEADER, TRACE_ID_HEADER
+from repro.sim.clock import Clock
+
+#: Spans kept per Core; older spans fall off (bounded memory).
+SPAN_CAPACITY = 4096
+
+
+@dataclass(frozen=True, slots=True)
+class SpanContext:
+    """The part of a span that travels across Cores: ids only."""
+
+    trace_id: str
+    span_id: str
+
+
+@dataclass(slots=True)
+class Span:
+    """One timed unit of work at one Core.
+
+    ``parent_id`` is the span id of the causally enclosing span — which
+    may live at another Core; the tree is assembled cluster-wide by
+    :func:`repro.trace.export.assemble_traces`.  ``end`` stays ``None``
+    while the span is open.
+    """
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: str | None
+    core: str
+    start: float
+    end: float | None = None
+    category: str = "span"
+    attributes: dict = field(default_factory=dict)
+    error: str | None = None
+
+    @property
+    def duration(self) -> float:
+        return (self.end if self.end is not None else self.start) - self.start
+
+    @property
+    def context(self) -> SpanContext:
+        return SpanContext(self.trace_id, self.span_id)
+
+    def set_attribute(self, key: str, value: object) -> None:
+        self.attributes[key] = value
+
+    def set_error(self, error: BaseException | str) -> None:
+        self.error = error if isinstance(error, str) else repr(error)
+
+    def to_dict(self) -> dict:
+        """Plain-data form (admin replies, JSON export)."""
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "core": self.core,
+            "start": self.start,
+            "end": self.end,
+            "category": self.category,
+            "attributes": dict(self.attributes),
+            "error": self.error,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}@{self.core} [{self.start:.3f}..{self.end}]"
+            f" trace={self.trace_id}"
+        )
+
+
+def context_from_headers(headers: dict) -> SpanContext | None:
+    """Rebuild the sender's trace context from envelope headers."""
+    trace_id = headers.get(TRACE_ID_HEADER)
+    span_id = headers.get(SPAN_ID_HEADER)
+    if trace_id and span_id:
+        return SpanContext(trace_id, span_id)
+    return None
+
+
+class _NoopSpan:
+    """Shared do-nothing span: the disabled-tracing fast path.
+
+    Usable both as a span (``set_attribute``) and as a context manager,
+    so call sites never branch beyond the initial enabled check.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+    def set_attribute(self, key: str, value: object) -> None:
+        return None
+
+    def set_error(self, error: BaseException | str) -> None:
+        return None
+
+
+#: The singleton no-op span returned whenever tracing is disabled.
+NO_SPAN = _NoopSpan()
+
+
+class _ActiveSpan:
+    """Context manager binding one real span to its tracer's stack."""
+
+    __slots__ = ("tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self.tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc is not None and self.span.error is None:
+            self.span.set_error(exc)
+        self.tracer.finish(self.span)
+        return None
+
+
+class Tracer:
+    """One Core's span recorder.
+
+    Spans are recorded locally into a bounded buffer; the cluster (or an
+    admin query) aggregates them.  ``enabled`` may be toggled at any
+    time — in-flight spans finish normally.
+    """
+
+    def __init__(
+        self,
+        core_name: str,
+        clock: Clock,
+        *,
+        enabled: bool = False,
+        capacity: int = SPAN_CAPACITY,
+    ) -> None:
+        self.core_name = core_name
+        self.clock = clock
+        self.enabled = enabled
+        self.finished: deque[Span] = deque(maxlen=capacity)
+        self._stack: list[Span] = []
+        self._ids = itertools.count(1)
+
+    # -- context ---------------------------------------------------------------
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span, or None outside any traced work."""
+        return self._stack[-1] if self._stack else None
+
+    def context_headers(self) -> dict[str, str]:
+        """Wire headers carrying the current trace context (may be empty)."""
+        current = self.current
+        if current is None:
+            return {}
+        return {TRACE_ID_HEADER: current.trace_id, SPAN_ID_HEADER: current.span_id}
+
+    # -- span lifecycle --------------------------------------------------------
+
+    def span(
+        self,
+        name: str,
+        *,
+        category: str = "span",
+        parent: SpanContext | None = None,
+        root: bool = False,
+        **attributes,
+    ) -> _ActiveSpan | _NoopSpan:
+        """Open a span as a context manager.
+
+        The parent is, in order: an explicit ``parent`` context (the
+        receiving side of a cross-Core message), the tracer's current
+        span, or none (a fresh trace).  ``root=True`` forces a fresh
+        trace even under an active span — threshold watches use it, so a
+        crossing observed during unrelated traced work still starts its
+        own causal tree.
+        """
+        if not self.enabled:
+            return NO_SPAN
+        span = self.start_span(
+            name, category=category, parent=parent, root=root, **attributes
+        )
+        return _ActiveSpan(self, span)
+
+    def start_span(
+        self,
+        name: str,
+        *,
+        category: str = "span",
+        parent: SpanContext | None = None,
+        root: bool = False,
+        **attributes,
+    ) -> Span:
+        """Open a span imperatively; pair with :meth:`finish`."""
+        span_id = f"{self.core_name}.{next(self._ids)}"
+        if root:
+            trace_id, parent_id = span_id, None
+        elif parent is not None:
+            trace_id, parent_id = parent.trace_id, parent.span_id
+        else:
+            current = self.current
+            if current is not None:
+                trace_id, parent_id = current.trace_id, current.span_id
+            else:
+                trace_id, parent_id = span_id, None
+        span = Span(
+            name=name,
+            trace_id=trace_id,
+            span_id=span_id,
+            parent_id=parent_id,
+            core=self.core_name,
+            start=self.clock.now(),
+            category=category,
+            attributes=dict(attributes),
+        )
+        self._stack.append(span)
+        return span
+
+    def finish(self, span: Span) -> None:
+        """Close ``span`` and record it."""
+        span.end = self.clock.now()
+        # Well-nested in the synchronous simulator; tolerate stragglers.
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        elif span in self._stack:  # pragma: no cover - defensive
+            self._stack.remove(span)
+        self.finished.append(span)
+
+    # -- introspection ---------------------------------------------------------
+
+    def spans(self) -> list[Span]:
+        """Finished spans, oldest first."""
+        return list(self.finished)
+
+    def clear(self) -> None:
+        self.finished.clear()
+
+    def __repr__(self) -> str:
+        state = "on" if self.enabled else "off"
+        return f"<Tracer {self.core_name} ({state}, {len(self.finished)} spans)>"

@@ -13,10 +13,20 @@ and event interfaces, never by reaching into Core internals.
 from repro.viewer.viewer import LayoutMonitor
 from repro.viewer.render import render_layout, render_references
 from repro.viewer.timeline import MovementTimeline
+from repro.viewer.traceview import (
+    render_metrics,
+    render_trace,
+    render_trace_timeline,
+    render_traces_summary,
+)
 
 __all__ = [
     "LayoutMonitor",
     "MovementTimeline",
     "render_layout",
+    "render_metrics",
     "render_references",
+    "render_trace",
+    "render_trace_timeline",
+    "render_traces_summary",
 ]

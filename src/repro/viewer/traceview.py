@@ -1,0 +1,97 @@
+"""Text rendering of distributed traces (span trees and timelines)."""
+
+from __future__ import annotations
+
+from repro.trace.export import Trace
+
+
+def render_trace(trace: Trace) -> str:
+    """Render one trace as an indented span tree.
+
+    ::
+
+        trace alpha.3  (0.041s .. 0.102s, 0.061s, cores: alpha, beta)
+          invoke:echo                alpha   0.041  +0.060s
+            rpc:invoke               alpha   0.041  +0.040s
+              recv:invoke            beta    0.051  +0.020s
+    """
+    header = (
+        f"trace {trace.trace_id}  ({trace.start:.3f}s .. {trace.end:.3f}s, "
+        f"{trace.duration:.3f}s, cores: {', '.join(trace.cores())})"
+    )
+    lines = [header]
+    for depth, span in trace.walk():
+        label = "  " * (depth + 1) + span.name
+        suffix = f" !{span.error}" if span.error else ""
+        lines.append(
+            f"{label:<42} {span.core:<10} {span.start:8.3f}  "
+            f"+{span.duration:.3f}s{suffix}"
+        )
+    orphans = len(trace.spans) - len(list(trace.walk()))
+    if orphans:
+        lines.append(f"  ({orphans} spans not reachable from a recorded root)")
+    return "\n".join(lines)
+
+
+def render_trace_timeline(trace: Trace, *, width: int = 48) -> str:
+    """Render one trace as horizontal bars over the virtual-time axis.
+
+    Each span becomes one row; its bar spans the portion of the trace's
+    duration the span was open for.  Nesting is shown by indentation, so
+    the output reads as a text-mode flame chart.
+    """
+    span_of = trace.duration or 1.0
+    lines = [
+        f"trace {trace.trace_id}  [{trace.start:.3f}s .. {trace.end:.3f}s]"
+    ]
+    for depth, span in trace.walk():
+        offset = int((span.start - trace.start) / span_of * width)
+        length = max(1, int(span.duration / span_of * width))
+        length = min(length, width - offset)
+        bar = " " * offset + "█" * length
+        name = ("  " * depth + span.name)[:28]
+        lines.append(f"{name:<28} |{bar:<{width}}| {span.core}")
+    return "\n".join(lines)
+
+
+def render_traces_summary(traces: dict[str, Trace]) -> str:
+    """One line per trace: id, span count, duration, cores touched."""
+    if not traces:
+        return "(no traces recorded; is tracing enabled?)"
+    lines = [f"  {'trace':<16} {'spans':>5} {'start':>9} {'duration':>9}  cores"]
+    for trace in sorted(traces.values(), key=lambda t: t.start):
+        lines.append(
+            f"  {trace.trace_id:<16} {len(trace.spans):>5} "
+            f"{trace.start:>9.3f} {trace.duration:>8.3f}s  "
+            f"{', '.join(trace.cores())}"
+        )
+    return "\n".join(lines)
+
+
+def render_metrics(snapshot: dict, *, title: str = "metrics") -> str:
+    """Render a metrics snapshot (one Core's, or the cluster aggregate)."""
+    lines = [f"== {title} " + "=" * max(0, 50 - len(title))]
+    counters = snapshot.get("counters", {})
+    if counters:
+        lines.append("counters:")
+        for name in sorted(counters):
+            lines.append(f"  {name:<44} {counters[name]:g}")
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        lines.append("gauges:")
+        for name in sorted(gauges):
+            lines.append(f"  {name:<44} {gauges[name]:g}")
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        lines.append("histograms:")
+        for name in sorted(histograms):
+            hist = histograms[name]
+            lines.append(
+                f"  {name:<44} n={hist['count']} mean={hist['mean']:.6g} "
+                f"min={hist['min']:.6g} max={hist['max']:.6g}"
+                if hist["count"]
+                else f"  {name:<44} n=0"
+            )
+    if len(lines) == 1:
+        lines.append("(no instruments recorded)")
+    return "\n".join(lines)

@@ -1,0 +1,101 @@
+"""Tests for the typed CoreAdmin facade over the stringly-typed admin op."""
+
+import pytest
+
+from repro.cluster.workload import Client, Counter, Echo, Server
+from repro.complet.stub import stub_target_id
+from repro.core.admin import CoreAdmin
+from repro.errors import FarGoError
+
+
+@pytest.fixture
+def admin_rig(cluster):
+    echo = Echo("x", _core=cluster["alpha"])
+    return cluster, echo, cluster.admin("alpha")
+
+
+class TestFacadeBasics:
+    def test_cluster_hands_out_typed_handles(self, admin_rig):
+        cluster, _echo, admin = admin_rig
+        assert isinstance(admin, CoreAdmin)
+        assert isinstance(cluster.admin("beta"), CoreAdmin)
+
+    def test_snapshot_and_complets(self, admin_rig):
+        cluster, echo, admin = admin_rig
+        snapshot = admin.snapshot()
+        assert snapshot["core"] == "alpha"
+        assert str(stub_target_id(echo)) in admin.complets()
+
+    def test_remote_target_via_another_core(self, admin_rig):
+        cluster, echo, _admin = admin_rig
+        remote_view = cluster.admin("alpha", via="beta")
+        assert remote_view.complets() == cluster.admin("alpha").complets()
+
+    def test_move_through_facade(self, admin_rig):
+        cluster, echo, admin = admin_rig
+        admin.move(str(stub_target_id(echo)), "beta")
+        assert cluster.locate(echo) == "beta"
+
+    def test_references_and_retype(self, cluster):
+        server = Server(_core=cluster["beta"], _at="beta")
+        client = Client(server, _core=cluster["alpha"])
+        admin = cluster.admin("alpha")
+        cid = str(stub_target_id(client))
+        refs = admin.references(cid)
+        assert any(r["target"] == str(stub_target_id(server)) for r in refs)
+        assert admin.retype(cid, str(stub_target_id(server)), "pull")
+        refs = admin.references(cid)
+        assert any(r["type"] == "pull" for r in refs)
+
+    def test_collect_trackers_returns_count(self, admin_rig):
+        _cluster, _echo, admin = admin_rig
+        assert isinstance(admin.collect_trackers(), int)
+
+    def test_unknown_operation_still_guarded(self, admin_rig):
+        cluster, _echo, admin = admin_rig
+        with pytest.raises(FarGoError):
+            admin._op("no_such_operation")
+
+
+class TestMonitoringSurface:
+    def test_watch_and_unwatch(self, cluster):
+        Echo("x", _core=cluster["alpha"])
+        admin = cluster.admin("alpha")
+        fired = []
+        cluster["alpha"].events.subscribe("completLoad>0.5", fired.append)
+        watch_id = admin.watch("completLoad", ">", 0.5, interval=1.0)
+        cluster.advance(2.0)
+        assert fired
+        admin.unwatch(watch_id)
+
+    def test_services_and_profiles(self, admin_rig):
+        cluster, _echo, admin = admin_rig
+        assert "completLoad" in admin.services()
+        assert admin.profile_instant("completLoad") == 1.0
+        with cluster["alpha"].profile("completLoad", interval=1.0):
+            cluster.advance(2.0)
+            history = admin.profile_history("completLoad")
+        assert [raw for _, raw in history] == [1.0, 1.0]
+
+    def test_metrics_and_spans_surface(self, admin_rig):
+        cluster, echo, admin = admin_rig
+        admin.set_tracing(True)
+        echo.ping()
+        spans = admin.spans()
+        assert spans and all("span_id" in s for s in spans)
+        metrics = admin.metrics()
+        assert metrics["core"] == "alpha"
+        assert metrics["counters"]["invocation.executed"] >= 1.0
+        admin.clear_spans()
+        assert admin.spans() == []
+        admin.set_tracing(False)
+        echo.ping()
+        assert admin.spans() == []
+
+
+class TestLegacyPathStillWorks:
+    def test_stringly_admin_op_unchanged(self, admin_rig):
+        """The facade wraps — not replaces — the wire-level admin op."""
+        cluster, echo, _admin = admin_rig
+        snapshot = cluster["beta"].admin("alpha", "snapshot")
+        assert snapshot["core"] == "alpha"

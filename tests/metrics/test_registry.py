@@ -1,0 +1,116 @@
+"""Unit tests for the unified metrics registry."""
+
+import json
+
+import pytest
+
+from repro.metrics.registry import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    merge_snapshots,
+    qualified_name,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry("alpha")
+
+
+class TestInstruments:
+    def test_counter_get_or_create_is_stable(self, registry):
+        a = registry.counter("rpc.calls", kind="invoke")
+        b = registry.counter("rpc.calls", kind="invoke")
+        assert a is b
+        a.inc()
+        a.inc(2)
+        assert registry.counter_value("rpc.calls", kind="invoke") == 3.0
+
+    def test_label_order_does_not_split_instruments(self, registry):
+        a = registry.counter("c", x="1", y="2")
+        b = registry.counter("c", y="2", x="1")
+        assert a is b
+
+    def test_distinct_labels_are_distinct_instruments(self, registry):
+        registry.counter("rpc.calls", kind="invoke").inc()
+        registry.counter("rpc.calls", kind="move_request").inc(5)
+        named = registry.counters_named("rpc.calls")
+        assert len(named) == 2
+        assert registry.counter_value("rpc.calls", kind="missing") == 0.0
+
+    def test_gauge_set_and_add(self, registry):
+        gauge = registry.gauge("queue.depth")
+        gauge.set(4)
+        gauge.add(-1)
+        assert gauge.snapshot() == 3.0
+
+    def test_histogram_stats_and_buckets(self, registry):
+        hist = registry.histogram("rpc.duration", kind="invoke")
+        for value in (0.02, 0.02, 0.5, 200.0):
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.min == 0.02
+        assert hist.max == 200.0
+        assert hist.mean == pytest.approx(200.54 / 4)
+        snap = hist.snapshot()
+        assert snap["buckets"]["le_0.03"] == 2
+        assert snap["buckets"]["le_1"] == 1
+        assert snap["overflow"] == 1  # 200 s beyond the last bound
+
+    def test_custom_buckets(self, registry):
+        hist = registry.histogram("sizes", buckets=(10.0, 100.0))
+        hist.observe(5.0)
+        hist.observe(50.0)
+        hist.observe(5000.0)
+        assert hist.bucket_counts == [1, 1, 1]
+        assert hist.bounds != DEFAULT_BUCKETS
+
+
+class TestSnapshot:
+    def test_qualified_names(self):
+        assert qualified_name("c", {}) == "c"
+        assert qualified_name("c", {"b": "2", "a": "1"}) == "c{a=1,b=2}"
+
+    def test_snapshot_and_json_round_trip(self, registry):
+        registry.counter("events.published").inc()
+        registry.gauge("complets", core="alpha").set(3)
+        registry.histogram("lat").observe(0.5)
+        decoded = json.loads(registry.to_json(indent=2))
+        assert decoded["core"] == "alpha"
+        assert decoded["counters"]["events.published"] == 1.0
+        assert decoded["gauges"]["complets{core=alpha}"] == 3.0
+        assert decoded["histograms"]["lat"]["count"] == 1
+
+
+class TestMerge:
+    def test_counters_sum_and_gauges_stay_per_core(self):
+        a = MetricsRegistry("alpha")
+        b = MetricsRegistry("beta")
+        a.counter("invocation.executed").inc(2)
+        b.counter("invocation.executed").inc(3)
+        a.gauge("load").set(0.5)
+        b.gauge("load").set(0.9)
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        assert merged["counters"]["invocation.executed"] == 5.0
+        assert merged["gauges"]["load@alpha"] == 0.5
+        assert merged["gauges"]["load@beta"] == 0.9
+
+    def test_histograms_merge_stats(self):
+        a = MetricsRegistry("alpha")
+        b = MetricsRegistry("beta")
+        a.histogram("lat").observe(0.1)
+        a.histogram("lat").observe(0.3)
+        b.histogram("lat").observe(0.5)
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        hist = merged["histograms"]["lat"]
+        assert hist["count"] == 3
+        assert hist["min"] == 0.1
+        assert hist["max"] == 0.5
+        assert hist["mean"] == pytest.approx(0.9 / 3)
+
+    def test_merge_of_empty_list(self):
+        assert merge_snapshots([]) == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }

@@ -1,0 +1,109 @@
+"""Unit tests for trace assembly and the JSON / Chrome exporters."""
+
+import json
+
+import pytest
+
+from repro.sim.clock import VirtualClock
+from repro.trace.export import (
+    assemble_traces,
+    chrome_trace,
+    chrome_trace_json,
+    spans_to_json,
+    traces_to_json,
+)
+from repro.trace.tracer import SpanContext, Tracer
+
+
+@pytest.fixture
+def spans():
+    """A two-Core trace plus an unrelated single-span trace."""
+    clock = VirtualClock()
+    alpha = Tracer("alpha", clock, enabled=True)
+    beta = Tracer("beta", clock, enabled=True)
+    with alpha.span("invoke:echo") as root:
+        clock.tick(0.01)
+        with beta.span("recv:invoke", parent=root.context):
+            clock.tick(0.01)
+        clock.tick(0.01)
+    clock.tick(0.1)
+    with beta.span("lone"):
+        pass
+    return alpha.spans() + beta.spans()
+
+
+class TestAssembly:
+    def test_groups_by_trace_id(self, spans):
+        traces = assemble_traces(spans)
+        assert len(traces) == 2
+        sizes = sorted(len(t.spans) for t in traces.values())
+        assert sizes == [1, 2]
+
+    def test_cross_core_parent_links_resolve(self, spans):
+        traces = assemble_traces(spans)
+        big = next(t for t in traces.values() if len(t.spans) == 2)
+        assert big.is_connected()
+        walk = list(big.walk())
+        assert [depth for depth, _ in walk] == [0, 1]
+        assert walk[0][1].core == "alpha"
+        assert walk[1][1].core == "beta"
+        assert big.cores() == ["alpha", "beta"]
+
+    def test_unrecorded_parent_becomes_root(self):
+        clock = VirtualClock()
+        tracer = Tracer("gamma", clock, enabled=True)
+        orphan_parent = SpanContext("lost.1", "lost.2")
+        with tracer.span("recv", parent=orphan_parent):
+            pass
+        traces = assemble_traces(tracer.spans())
+        trace = traces["lost.1"]
+        assert len(trace.roots) == 1
+        assert trace.is_connected()
+
+    def test_bounds_cover_all_members(self, spans):
+        traces = assemble_traces(spans)
+        big = next(t for t in traces.values() if len(t.spans) == 2)
+        assert big.start == 0.0
+        assert big.end == pytest.approx(0.03)
+        assert big.duration == pytest.approx(0.03)
+
+
+class TestJsonExports:
+    def test_spans_to_json_is_lossless(self, spans):
+        decoded = json.loads(spans_to_json(spans))
+        assert len(decoded) == len(spans)
+        assert {d["span_id"] for d in decoded} == {s.span_id for s in spans}
+
+    def test_traces_to_json_sorted_by_start(self, spans):
+        decoded = json.loads(traces_to_json(spans, indent=2))
+        assert [len(t["spans"]) for t in decoded] == [2, 1]
+        assert decoded[0]["cores"] == ["alpha", "beta"]
+
+
+class TestChromeExport:
+    def test_round_trips_through_json_loads(self, spans):
+        document = json.loads(chrome_trace_json(spans, indent=2))
+        assert document["displayTimeUnit"] == "ms"
+        assert isinstance(document["traceEvents"], list)
+
+    def test_one_pid_per_core_with_metadata(self, spans):
+        document = chrome_trace(spans)
+        meta = [e for e in document["traceEvents"] if e["ph"] == "M"]
+        assert {e["args"]["name"] for e in meta} == {"Core alpha", "Core beta"}
+        assert len({e["pid"] for e in meta}) == 2
+
+    def test_complete_events_in_microseconds(self, spans):
+        document = chrome_trace(spans)
+        events = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        assert len(events) == len(spans)
+        root = next(e for e in events if e["name"] == "invoke:echo")
+        assert root["ts"] == 0.0
+        assert root["dur"] == pytest.approx(0.03 * 1e6)
+        assert root["args"]["parent_id"] is None
+
+    def test_non_json_attributes_fall_back_to_repr(self):
+        clock = VirtualClock()
+        tracer = Tracer("alpha", clock, enabled=True)
+        with tracer.span("op", payload=object()):
+            pass
+        json.loads(chrome_trace_json(tracer.spans()))  # must not raise

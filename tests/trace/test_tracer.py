@@ -1,0 +1,137 @@
+"""Unit tests for the per-Core tracer: span lifecycle, context, limits."""
+
+import pytest
+
+from repro.net.messages import SPAN_ID_HEADER, TRACE_ID_HEADER
+from repro.sim.clock import VirtualClock
+from repro.trace.tracer import (
+    NO_SPAN,
+    SpanContext,
+    Tracer,
+    context_from_headers,
+)
+
+
+@pytest.fixture
+def clock():
+    return VirtualClock()
+
+
+@pytest.fixture
+def tracer(clock):
+    return Tracer("alpha", clock, enabled=True)
+
+
+class TestSpanLifecycle:
+    def test_span_records_virtual_times(self, tracer, clock):
+        with tracer.span("work") as span:
+            clock.tick(0.5)
+        assert span.start == 0.0
+        assert span.end == 0.5
+        assert span.duration == 0.5
+        assert tracer.spans() == [span]
+
+    def test_span_ids_are_core_qualified_and_unique(self, tracer):
+        with tracer.span("a") as a:
+            pass
+        with tracer.span("b") as b:
+            pass
+        assert a.span_id.startswith("alpha.")
+        assert a.span_id != b.span_id
+
+    def test_nesting_builds_parent_links(self, tracer):
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert tracer.current is inner
+            assert tracer.current is outer
+        assert tracer.current is None
+        assert inner.parent_id == outer.span_id
+        assert inner.trace_id == outer.trace_id
+
+    def test_sibling_spans_start_fresh_traces(self, tracer):
+        with tracer.span("a") as a:
+            pass
+        with tracer.span("b") as b:
+            pass
+        assert a.trace_id != b.trace_id
+        assert a.parent_id is None and b.parent_id is None
+
+    def test_root_forces_fresh_trace_under_active_span(self, tracer):
+        with tracer.span("outer") as outer:
+            with tracer.span("watch", root=True) as watch:
+                pass
+        assert watch.trace_id != outer.trace_id
+        assert watch.parent_id is None
+
+    def test_exception_marks_error_and_propagates(self, tracer):
+        with pytest.raises(ValueError):
+            with tracer.span("doomed"):
+                raise ValueError("boom")
+        (span,) = tracer.spans()
+        assert span.error is not None and "boom" in span.error
+
+    def test_attributes_flow_into_to_dict(self, tracer):
+        with tracer.span("op", category="rpc", dst="beta") as span:
+            span.set_attribute("attempt", 2)
+        data = span.to_dict()
+        assert data["category"] == "rpc"
+        assert data["attributes"] == {"dst": "beta", "attempt": 2}
+
+    def test_capacity_bounds_recorded_spans(self, clock):
+        tracer = Tracer("alpha", clock, enabled=True, capacity=3)
+        for i in range(5):
+            with tracer.span(f"s{i}"):
+                pass
+        assert [s.name for s in tracer.spans()] == ["s2", "s3", "s4"]
+
+    def test_clear_drops_finished_spans(self, tracer):
+        with tracer.span("a"):
+            pass
+        tracer.clear()
+        assert tracer.spans() == []
+
+
+class TestDisabledFastPath:
+    def test_disabled_tracer_returns_the_noop_singleton(self, clock):
+        tracer = Tracer("alpha", clock, enabled=False)
+        handle = tracer.span("anything")
+        assert handle is NO_SPAN
+        with handle as span:
+            span.set_attribute("k", "v")  # must not explode
+            span.set_error("nope")
+        assert tracer.spans() == []
+
+    def test_toggling_mid_flight_finishes_open_spans(self, tracer):
+        with tracer.span("open") as span:
+            tracer.enabled = False
+        assert span.end is not None
+        assert tracer.spans() == [span]
+
+
+class TestContextPropagation:
+    def test_context_headers_empty_outside_spans(self, tracer):
+        assert tracer.context_headers() == {}
+
+    def test_context_headers_carry_current_span(self, tracer):
+        with tracer.span("op") as span:
+            headers = tracer.context_headers()
+        assert headers == {
+            TRACE_ID_HEADER: span.trace_id,
+            SPAN_ID_HEADER: span.span_id,
+        }
+
+    def test_context_round_trips_through_headers(self, tracer):
+        with tracer.span("op") as span:
+            ctx = context_from_headers(tracer.context_headers())
+        assert ctx == SpanContext(span.trace_id, span.span_id)
+
+    def test_missing_headers_yield_no_context(self):
+        assert context_from_headers({}) is None
+        assert context_from_headers({TRACE_ID_HEADER: "t"}) is None
+
+    def test_explicit_parent_adopts_remote_trace(self, tracer):
+        remote = SpanContext("beta.7", "beta.9")
+        with tracer.span("recv", parent=remote) as span:
+            pass
+        assert span.trace_id == "beta.7"
+        assert span.parent_id == "beta.9"
