@@ -1,0 +1,79 @@
+"""Static-analyzer throughput.
+
+The analyzer gates CI and backs the shell's ``lint``, so it has to be
+fast enough to run on every script and complet source in the tree
+without being the slow step.  Measured here:
+
+- script checking on the largest example script (the §4.3 paper script);
+- script checking on a synthetic 500-rule policy file;
+- complet (movability) checking on a real app module;
+- the live cluster pass behind ``Cluster.analyze()``.
+"""
+
+from pathlib import Path
+
+from repro.analysis import TopologyInfo, check_complet_source, check_script
+from repro.cluster.cluster import Cluster
+from repro.cluster.workload import DataSource, Worker
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: The §4.3 script — the largest script the examples deploy.
+PAPER_SCRIPT = """\
+$coreList = %1
+$targetCore = %2
+$comps = %3
+on shutdown firedby $core
+ listenAt $coreList do
+  move completsIn $core to $targetCore
+end
+on methodInvokeRate(3)
+  from $comps[0] to $comps[1] do
+ move $comps[0] to coreOf $comps[1]
+end
+"""
+
+#: A synthetic policy the size of a large deployment's rule file.  The
+#: moves fan out to dedicated sink Cores nothing listens on, so the
+#: rule graph is large but acyclic (a real policy, not a move storm).
+LARGE_SCRIPT = "\n".join(
+    f'on completArrived listenAt [core{i}] do move c{i} to "sink{i}" end'
+    for i in range(500)
+)
+
+TOPOLOGY = TopologyInfo(
+    cores=frozenset(f"core{i}" for i in range(500))
+    | frozenset(f"sink{i}" for i in range(500)),
+    complets=frozenset(f"c{i}" for i in range(500)),
+)
+
+
+def test_check_paper_script(benchmark):
+    diagnostics = benchmark(check_script, PAPER_SCRIPT)
+    assert diagnostics == []
+
+
+def test_check_500_rule_script(benchmark):
+    """Whole-script checks (duplicates, cycles) must stay near-linear."""
+    diagnostics = benchmark(check_script, LARGE_SCRIPT)
+    assert diagnostics == []
+
+
+def test_check_500_rule_script_with_topology(benchmark):
+    """Identifier resolution adds set lookups per literal, little more."""
+    diagnostics = benchmark(check_script, LARGE_SCRIPT, topology=TOPOLOGY)
+    assert diagnostics == []
+
+
+def test_check_complet_source_app_module(benchmark):
+    source = (REPO / "src" / "repro" / "cluster" / "workload.py").read_text()
+    diagnostics = benchmark(check_complet_source, source)
+    assert diagnostics == []
+
+
+def test_cluster_analyze_live(benchmark):
+    cluster = Cluster(["a", "b"])
+    source = DataSource(_core=cluster["a"], _at="a")
+    Worker(source, _core=cluster["a"], _at="a")
+    diagnostics = benchmark(cluster.analyze)
+    assert diagnostics == []

@@ -33,6 +33,6 @@ def print_table(title: str, headers: list[str], rows: list[tuple]) -> None:
         return text.rjust(width)
 
     print(f"\n== {title}")
-    print("  " + "  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    print("  " + "  ".join(h.rjust(w) for h, w in zip(headers, widths, strict=True)))
     for row in rows:
-        print("  " + "  ".join(fmt(v, w) for v, w in zip(row, widths)))
+        print("  " + "  ".join(fmt(v, w) for v, w in zip(row, widths, strict=True)))

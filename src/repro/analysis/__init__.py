@@ -1,0 +1,58 @@
+"""Static analysis for FarGo deployments (the ``FGxxx`` rule family).
+
+Three checkers share one diagnostic framework:
+
+- :func:`check_script` — layout-script verification (FG1xx) over the
+  :mod:`repro.script` AST, optionally resolved against a topology;
+- :func:`check_relocation` — relocation-semantics verification (FG2xx)
+  over a live cluster's reference graph;
+- :func:`check_complet_source` / :func:`check_anchor_live` — complet
+  movability verification (FG3xx) in source and live modes.
+
+Entry points: ``python -m repro.analysis`` (CLI), the ``lint`` command
+in :mod:`repro.shell`, and :meth:`Cluster.analyze`.
+"""
+
+from repro.analysis.diagnostics import (
+    RULES,
+    Diagnostic,
+    RuleInfo,
+    Severity,
+    apply_suppressions,
+    diag,
+    has_errors,
+    render_json,
+    render_text,
+    sort_diagnostics,
+    suppressed_lines,
+    worst_severity,
+)
+from repro.analysis.movability import (
+    UNPICKLABLE_FACTORIES,
+    check_anchor_live,
+    check_complet_source,
+)
+from repro.analysis.relocation import check_relocation, mutating_methods
+from repro.analysis.script_check import TopologyInfo, check_script
+
+__all__ = [
+    "RULES",
+    "Diagnostic",
+    "RuleInfo",
+    "Severity",
+    "TopologyInfo",
+    "UNPICKLABLE_FACTORIES",
+    "apply_suppressions",
+    "check_anchor_live",
+    "check_complet_source",
+    "check_relocation",
+    "check_script",
+    "diag",
+    "has_errors",
+    "mutating_methods",
+    "render_json",
+    "render_text",
+    "sort_diagnostics",
+    "suppressed_lines",
+    "worst_severity",
+]

@@ -1,0 +1,173 @@
+"""Command line for the static analyzer: ``python -m repro.analysis``.
+
+Usage::
+
+    python -m repro.analysis PATH [PATH ...]
+        [--json] [--strict] [--args N] [--cluster-spec SPEC.json]
+
+A ``.fgs`` path is checked as a layout script; a ``.py`` path is checked
+in complet mode (movability of every anchor class) *and* every embedded
+script found in it — a module-level string constant whose name contains
+``SCRIPT`` — is checked as a script, with diagnostics mapped back to the
+Python file's lines.  Directories are walked recursively.
+
+``--cluster-spec`` points at a JSON file ``{"cores": [...],
+"complets": [...]}`` enabling Core/complet identifier resolution, the
+same checks :meth:`Cluster.analyze` runs against a live topology.
+
+Exit status: 1 when any error-severity diagnostic survives suppression
+(warnings too under ``--strict``), else 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import re
+import sys
+from pathlib import Path
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    Severity,
+    apply_suppressions,
+    render_json,
+    render_text,
+    sort_diagnostics,
+)
+from repro.analysis.movability import check_complet_source
+from repro.analysis.script_check import TopologyInfo, check_script
+
+#: File suffix of stand-alone layout scripts.
+SCRIPT_SUFFIX = ".fgs"
+
+
+def iter_target_files(paths: list[str]) -> list[Path]:
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(
+                p for p in sorted(path.rglob("*"))
+                if p.suffix in (".py", SCRIPT_SUFFIX) and p.is_file()
+            )
+        else:
+            files.append(path)
+    return files
+
+
+_SCRIPT_SHAPE_RE = re.compile(r"(^|\n)\s*(on\s|\$\w+\s*=)")
+
+
+def extract_embedded_scripts(source: str) -> list[tuple[str, int, str, bool]]:
+    """``(name, first_line, script_source, exact_lines)`` tuples.
+
+    An embedded script is a string constant assigned — at module or
+    class level — to a name containing ``SCRIPT`` (the repo-wide
+    convention: ``PAPER_SCRIPT``, ``RETRY_SCRIPT``, ...) whose text
+    looks like rules (so ``SCRIPT_SUFFIX = ".fgs"`` is not one).
+
+    ``exact_lines`` is True for physical multi-line strings, where
+    script line *i* sits at file line ``first_line + i - 1``; strings
+    built with escaped ``\\n`` collapse to the assignment's line.
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return []
+    found: list[tuple[str, int, str, bool]] = []
+    scopes: list[list[ast.stmt]] = [tree.body]
+    scopes.extend(n.body for n in tree.body if isinstance(n, ast.ClassDef))
+    for body in scopes:
+        for node in body:
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            value = node.value
+            if (
+                isinstance(target, ast.Name)
+                and "SCRIPT" in target.id.upper()
+                and isinstance(value, ast.Constant)
+                and isinstance(value.value, str)
+                and _SCRIPT_SHAPE_RE.search(value.value)
+            ):
+                text = value.value
+                # In a physical multi-line string every cooked newline is
+                # a physical newline, so counting back from end_lineno
+                # lands on the first script line.  Escaped-\n strings
+                # span fewer physical lines than cooked ones and cannot
+                # be mapped per-line.
+                exact = value.end_lineno - value.lineno >= text.count("\n")
+                first_line = value.end_lineno - text.count("\n") if exact else node.lineno
+                found.append((target.id, first_line, text, exact))
+    return found
+
+
+def analyze_file(
+    path: Path,
+    *,
+    topology: TopologyInfo | None = None,
+    expected_args: int | None = None,
+) -> list[Diagnostic]:
+    """Every diagnostic for one file, suppressions already applied."""
+    source = path.read_text(encoding="utf-8")
+    name = str(path)
+    if path.suffix == SCRIPT_SUFFIX:
+        diagnostics = check_script(
+            source, topology=topology, expected_args=expected_args, file=name
+        )
+        return apply_suppressions(diagnostics, source)
+    diagnostics = list(check_complet_source(source, file=name))
+    for _script_name, first_line, text, exact in extract_embedded_scripts(source):
+        for d in check_script(
+            text, topology=topology, expected_args=expected_args, file=name
+        ):
+            line = first_line + d.line - 1 if exact and d.line else first_line
+            diagnostics.append(d.at(line=line))
+    return apply_suppressions(diagnostics, source)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static verifier for layout scripts, relocation "
+        "semantics, and complet movability.",
+    )
+    parser.add_argument("paths", nargs="+", help="files or directories to check")
+    parser.add_argument("--json", action="store_true", help="emit JSON diagnostics")
+    parser.add_argument(
+        "--strict", action="store_true", help="warnings also fail the run"
+    )
+    parser.add_argument(
+        "--args", type=int, default=None, metavar="N",
+        help="number of %%n script arguments the deployment will pass",
+    )
+    parser.add_argument(
+        "--cluster-spec", default=None, metavar="SPEC",
+        help='JSON file {"cores": [...], "complets": [...]} for identifier '
+        "resolution",
+    )
+    options = parser.parse_args(argv)
+
+    topology: TopologyInfo | None = None
+    if options.cluster_spec is not None:
+        with open(options.cluster_spec, encoding="utf-8") as f:
+            topology = TopologyInfo.from_spec(json.load(f))
+
+    diagnostics: list[Diagnostic] = []
+    for path in iter_target_files(options.paths):
+        if not path.exists():
+            print(f"error: no such file: {path}", file=sys.stderr)
+            return 2
+        diagnostics.extend(
+            analyze_file(path, topology=topology, expected_args=options.args)
+        )
+
+    diagnostics = sort_diagnostics(diagnostics)
+    print(render_json(diagnostics) if options.json else render_text(diagnostics))
+    failing = (
+        any(d.severity is Severity.ERROR for d in diagnostics)
+        or (options.strict and any(d.severity is Severity.WARNING for d in diagnostics))
+    )
+    return 1 if failing else 0

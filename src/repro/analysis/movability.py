@@ -1,0 +1,304 @@
+"""Movability checker: can this complet survive a move? (FG301–FG303)
+
+A complet moves by pickling its closure with ``persistent_id`` hooks
+that divert stubs into reference tokens.  Three classes of fields defeat
+that mechanism:
+
+- **FG301** — fields holding OS resources (sockets, locks, threads,
+  open files, database connections): pickle refuses them outright.
+- **FG302** — direct references to another complet's *anchor* instead of
+  a stub: the closure scanner would tear two complets apart or raise
+  :class:`~repro.errors.CompletBoundaryError` mid-move.
+- **FG303** — lambdas and function-local callables captured into fields:
+  they have no importable qualified name, so ``persistent_id``
+  marshaling cannot reconstruct them at the destination.
+
+Two modes share the rule codes: *source mode* walks a Python file with
+:mod:`ast` (used by the CLI and CI, no imports executed), and *live
+mode* inspects installed anchor instances (used by
+:meth:`Cluster.analyze`).
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import io
+import socket
+import threading
+
+from repro.complet.anchor import Anchor
+from repro.analysis.diagnostics import Diagnostic, diag
+
+#: Qualified callables whose result can never cross a Core boundary.
+UNPICKLABLE_FACTORIES = frozenset(
+    {
+        "open",
+        "builtins.open",
+        "io.open",
+        "io.BytesIO",
+        "io.StringIO",
+        "socket.socket",
+        "socket.create_connection",
+        "socket.create_server",
+        "socket.socketpair",
+        "threading.Lock",
+        "threading.RLock",
+        "threading.Condition",
+        "threading.Semaphore",
+        "threading.BoundedSemaphore",
+        "threading.Event",
+        "threading.Barrier",
+        "threading.Thread",
+        "threading.Timer",
+        "_thread.allocate_lock",
+        "queue.Queue",
+        "queue.LifoQueue",
+        "queue.PriorityQueue",
+        "queue.SimpleQueue",
+        "multiprocessing.Lock",
+        "multiprocessing.Queue",
+        "multiprocessing.Pool",
+        "subprocess.Popen",
+        "sqlite3.connect",
+        "tempfile.TemporaryFile",
+        "tempfile.NamedTemporaryFile",
+        "asyncio.Lock",
+        "asyncio.Event",
+        "asyncio.Queue",
+    }
+)
+
+# -- source mode -------------------------------------------------------------------
+
+
+def check_complet_source(source: str, *, file: str | None = None) -> list[Diagnostic]:
+    """Movability diagnostics for every anchor class defined in ``source``."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            diag(
+                "FG100",
+                f"python source failed to parse: {exc.msg}",
+                file=file,
+                line=exc.lineno or 0,
+                column=(exc.offset or 1) - 1,
+            )
+        ]
+    imports = _import_table(tree)
+    anchors = _anchor_classes(tree, imports)
+    diagnostics: list[Diagnostic] = []
+    for cls in anchors.values():
+        diagnostics.extend(_check_anchor_classdef(cls, imports, anchors, file))
+    return diagnostics
+
+
+def _import_table(tree: ast.Module) -> dict[str, str]:
+    """Local name -> fully qualified name, from the module's imports."""
+    table: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                table[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                table[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return table
+
+
+def _qualified(node: ast.expr, imports: dict[str, str]) -> str | None:
+    """Dotted name of a call target, import aliases resolved."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    root = imports.get(node.id, node.id)
+    parts.append(root)
+    return ".".join(reversed(parts))
+
+
+def _anchor_classes(
+    tree: ast.Module, imports: dict[str, str]
+) -> dict[str, ast.ClassDef]:
+    """Class definitions that (transitively) subclass ``Anchor``."""
+    classes = {n.name: n for n in tree.body if isinstance(n, ast.ClassDef)}
+    anchors: dict[str, ast.ClassDef] = {}
+
+    def is_anchor(cls: ast.ClassDef, trail: frozenset[str]) -> bool:
+        for base in cls.bases:
+            name = _qualified(base, imports)
+            if name is None:
+                continue
+            if name == "Anchor" or name.endswith(".Anchor"):
+                return True
+            local = name.split(".")[-1]
+            if local in classes and local not in trail \
+                    and is_anchor(classes[local], trail | {local}):
+                return True
+        return False
+
+    for name, cls in classes.items():
+        if is_anchor(cls, frozenset({name})):
+            anchors[name] = cls
+    return anchors
+
+
+def _check_anchor_classdef(
+    cls: ast.ClassDef,
+    imports: dict[str, str],
+    anchors: dict[str, ast.ClassDef],
+    file: str | None,
+) -> list[Diagnostic]:
+    diagnostics: list[Diagnostic] = []
+    for method in cls.body:
+        if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        local_defs = {
+            n.name for n in method.body
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        for node in ast.walk(method):
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            if value is None or not any(_is_self_attribute(t) for t in targets):
+                continue
+            field = next(t.attr for t in targets if _is_self_attribute(t))
+            diagnostics.extend(
+                _check_field_value(
+                    cls.name, method.name, field, value,
+                    imports, anchors, local_defs, file,
+                )
+            )
+    return diagnostics
+
+
+def _is_self_attribute(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    )
+
+
+def _check_field_value(
+    cls_name: str,
+    method: str,
+    field: str,
+    value: ast.expr,
+    imports: dict[str, str],
+    anchors: dict[str, ast.ClassDef],
+    local_defs: set[str],
+    file: str | None,
+) -> list[Diagnostic]:
+    where = f"{cls_name}.{method}" if method != "__init__" else cls_name
+    out: list[Diagnostic] = []
+    if isinstance(value, ast.Call):
+        qual = _qualified(value.func, imports)
+        if qual is not None:
+            if qual in UNPICKLABLE_FACTORIES:
+                out.append(
+                    diag(
+                        "FG301",
+                        f"{where} stores self.{field} = {qual}(...); such "
+                        f"objects cannot be pickled, so the complet can "
+                        f"never move",
+                        file=file, line=value.lineno, column=value.col_offset,
+                    )
+                )
+            else:
+                local = qual.split(".")[-1]
+                if local in anchors or (
+                    local.endswith("_") and local[:-1] and local[0].isupper()
+                    and qual in imports.values()
+                ):
+                    out.append(
+                        diag(
+                            "FG302",
+                            f"{where} stores self.{field} = {local}(...): a raw "
+                            f"anchor, not a stub; instantiate through the "
+                            f"compiled stub class ({local.rstrip('_')}) so the "
+                            f"reference survives relocation",
+                            file=file, line=value.lineno, column=value.col_offset,
+                        )
+                    )
+    elif isinstance(value, ast.Lambda):
+        out.append(
+            diag(
+                "FG303",
+                f"{where} captures a lambda into self.{field}; lambdas have no "
+                f"importable name and cannot survive persistent_id marshaling",
+                file=file, line=value.lineno, column=value.col_offset,
+            )
+        )
+    elif isinstance(value, ast.Name) and value.id in local_defs:
+        out.append(
+            diag(
+                "FG303",
+                f"{where} captures the local function {value.id!r} into "
+                f"self.{field}; function-local callables cannot survive "
+                f"persistent_id marshaling",
+                file=file, line=value.lineno, column=value.col_offset,
+            )
+        )
+    return out
+
+
+# -- live mode ---------------------------------------------------------------------
+
+_UNPICKLABLE_TYPES: tuple[type, ...] = (
+    socket.socket,
+    threading.Thread,
+    io.IOBase,
+    type(threading.Lock()),
+    type(threading.RLock()),
+)
+
+
+def check_anchor_live(anchor: Anchor, *, hosted_at: str | None = None) -> list[Diagnostic]:
+    """Movability diagnostics for one *installed* anchor instance.
+
+    Shallow by design: the deep (transitive) equivalent is the closure
+    scan the relocation checker already runs; this pass names the exact
+    field so the report is actionable.
+    """
+    at = f" (at {hosted_at})" if hosted_at else ""
+    who = f"complet {anchor._complet_id}{at}" if anchor._complet_id else repr(anchor)
+    diagnostics: list[Diagnostic] = []
+    for field, value in sorted(vars(anchor).items(), key=lambda kv: kv[0]):
+        if field.startswith("_"):
+            continue
+        if isinstance(value, _UNPICKLABLE_TYPES):
+            diagnostics.append(
+                diag(
+                    "FG301",
+                    f"{who}: field {field!r} holds a {type(value).__name__}, "
+                    f"which cannot be pickled for movement",
+                )
+            )
+        elif isinstance(value, Anchor):
+            diagnostics.append(
+                diag(
+                    "FG302",
+                    f"{who}: field {field!r} holds the raw anchor of another "
+                    f"complet ({type(value).__name__}); moves would violate "
+                    f"the complet boundary",
+                )
+            )
+        elif inspect.isfunction(value) and (
+            value.__name__ == "<lambda>" or "<locals>" in value.__qualname__
+        ):
+            diagnostics.append(
+                diag(
+                    "FG303",
+                    f"{who}: field {field!r} holds the unmarshalable callable "
+                    f"{value.__qualname__!r}",
+                )
+            )
+    return diagnostics

@@ -1,0 +1,307 @@
+"""Relocation-semantics checker over a live topology (FG201–FG204).
+
+Builds the cluster-wide reference graph — every hosted complet, its
+closure weight (via the same pickle-based sizing the simulated network
+charges, :mod:`repro.util.bytesize` semantics), and every outgoing
+reference with its relocator — then checks the *consequences* of the
+declared semantics before any move enacts them:
+
+- **FG201** pull closures that amplify a move far beyond the complet the
+  administrator asked to move;
+- **FG202** ``duplicate``-typed references to complets with mutating
+  methods (replicas silently diverge);
+- **FG203** ``stamp`` references whose target type is hosted nowhere the
+  source could move to (with ``fallback="error"`` any such move aborts);
+- **FG204** one source holding pull *and* duplicate/stamp references to
+  the same target — the move group cannot satisfy both.
+
+Closure scanning doubles as a deep movability pass: boundary violations
+and unpicklable state surface here as FG302/FG301.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.complet.anchor import resolve_class_ref
+from repro.complet.closure import compute_closure
+from repro.complet.stub import Stub, stub_meta, stub_target_id, stub_tracker
+from repro.errors import CompletBoundaryError, FarGoError, SerializationError
+from repro.util.bytesize import human_bytes
+
+from repro.analysis.diagnostics import Diagnostic, Severity, diag
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.cluster import Cluster
+
+#: A pull reference moves the target along; these two ask the opposite.
+_CONFLICTS_WITH_PULL = {"duplicate", "stamp"}
+
+
+@dataclass(slots=True)
+class _Edge:
+    source: str
+    target: str
+    type_name: str
+    stub: Stub
+
+
+@dataclass(slots=True)
+class _RefGraph:
+    """The reference graph of a cluster at one instant."""
+
+    #: complet id -> closure size in bytes.
+    sizes: dict[str, int] = field(default_factory=dict)
+    #: complet id -> hosting core name.
+    hosts: dict[str, str] = field(default_factory=dict)
+    #: complet id -> anchor class.
+    classes: dict[str, type] = field(default_factory=dict)
+    edges: list[_Edge] = field(default_factory=list)
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+
+def _build_graph(cluster: "Cluster") -> _RefGraph:
+    graph = _RefGraph()
+    for core in cluster.running_cores():
+        for anchor in core.repository.anchors():
+            cid = str(anchor.complet_id)
+            graph.hosts[cid] = core.name
+            graph.classes[cid] = type(anchor)
+            try:
+                info = compute_closure(anchor)
+            except CompletBoundaryError as exc:
+                graph.diagnostics.append(
+                    diag("FG302", f"complet {cid} (at {core.name}): {exc}")
+                )
+                continue
+            except SerializationError as exc:
+                graph.diagnostics.append(
+                    diag("FG301", f"complet {cid} (at {core.name}): {exc}")
+                )
+                continue
+            graph.sizes[cid] = info.size_bytes
+            for stub in info.outgoing:
+                graph.edges.append(
+                    _Edge(
+                        source=cid,
+                        target=str(stub_target_id(stub)),
+                        type_name=stub_meta(stub).type_name,
+                        stub=stub,
+                    )
+                )
+    return graph
+
+
+def check_relocation(
+    cluster: "Cluster", *, amplification_threshold: float = 3.0
+) -> list[Diagnostic]:
+    """All relocation-semantics diagnostics for the cluster's current state."""
+    graph = _build_graph(cluster)
+    diagnostics = list(graph.diagnostics)
+    diagnostics.extend(_check_amplification(graph, amplification_threshold))
+    diagnostics.extend(_check_duplicate_mutability(graph))
+    diagnostics.extend(_check_stamp_resolution(cluster, graph))
+    diagnostics.extend(_check_mixed_semantics(graph))
+    return diagnostics
+
+
+# -- FG201: pull-closure weight -----------------------------------------------------
+
+
+def _check_amplification(graph: _RefGraph, threshold: float) -> list[Diagnostic]:
+    pulls: dict[str, set[str]] = {}
+    for edge in graph.edges:
+        if edge.type_name == "pull":
+            pulls.setdefault(edge.source, set()).add(edge.target)
+
+    diagnostics = []
+    for root in sorted(pulls):
+        group = _pull_group(root, pulls)
+        root_size = graph.sizes.get(root, 0)
+        total = sum(graph.sizes.get(cid, 0) for cid in group)
+        if root_size <= 0 or len(group) < 2:
+            continue
+        amplification = total / root_size
+        if amplification > threshold:
+            others = len(group) - 1
+            diagnostics.append(
+                diag(
+                    "FG201",
+                    f"moving complet {root} ({human_bytes(root_size)}) drags "
+                    f"{others} pulled complet(s) along — "
+                    f"{human_bytes(total)} total, ×{amplification:.1f} "
+                    f"amplification (threshold ×{threshold:g})",
+                )
+            )
+    return diagnostics
+
+
+def _pull_group(root: str, pulls: dict[str, set[str]]) -> set[str]:
+    """Transitive pull closure: everything a move of ``root`` drags along."""
+    group = {root}
+    frontier = [root]
+    while frontier:
+        node = frontier.pop()
+        for target in pulls.get(node, ()):
+            if target not in group:
+                group.add(target)
+                frontier.append(target)
+    return group
+
+
+# -- FG202: duplicate targets with mutating methods ---------------------------------
+
+
+def _check_duplicate_mutability(graph: _RefGraph) -> list[Diagnostic]:
+    diagnostics = []
+    seen: set[tuple[str, str]] = set()
+    for edge in graph.edges:
+        if edge.type_name != "duplicate" or (edge.source, edge.target) in seen:
+            continue
+        seen.add((edge.source, edge.target))
+        cls = graph.classes.get(edge.target)
+        if cls is None:
+            continue
+        mutators = mutating_methods(cls)
+        if mutators:
+            listed = ", ".join(f"{m}()" for m in mutators[:4])
+            diagnostics.append(
+                diag(
+                    "FG202",
+                    f"complet {edge.source} holds a duplicate-typed reference "
+                    f"to {edge.target}, whose interface mutates state "
+                    f"({listed}); a private copy made on move will silently "
+                    f"diverge from the original",
+                )
+            )
+    return diagnostics
+
+
+_MOVEMENT_CALLBACKS = {
+    "pre_departure",
+    "abort_departure",
+    "pre_arrival",
+    "post_arrival",
+    "post_departure",
+}
+
+
+def mutating_methods(anchor_cls: type) -> list[str]:
+    """Public interface methods that assign into ``self`` state.
+
+    Inspected from source with :mod:`ast`; a method counts as mutating
+    when any statement stores into an attribute (or subscript of an
+    attribute) of ``self``.  ``__init__`` and the movement callbacks are
+    construction/protocol, not interface, and are skipped.
+    """
+    try:
+        source = textwrap.dedent(inspect.getsource(anchor_cls))
+        tree = ast.parse(source)
+    except (OSError, TypeError, SyntaxError):  # no source (REPL, C ext)
+        return []
+    cls_node = next(
+        (n for n in tree.body if isinstance(n, ast.ClassDef)), None
+    )
+    if cls_node is None:
+        return []
+    mutators = []
+    for method in cls_node.body:
+        if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if method.name.startswith("_") or method.name in _MOVEMENT_CALLBACKS:
+            continue
+        if any(_stores_into_self(node) for node in ast.walk(method)):
+            mutators.append(method.name)
+    return mutators
+
+
+def _stores_into_self(node: ast.AST) -> bool:
+    targets: list[ast.expr] = []
+    if isinstance(node, ast.Assign):
+        targets = node.targets
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        targets = [node.target]
+    for target in targets:
+        base = target
+        while isinstance(base, (ast.Subscript, ast.Attribute)):
+            if (
+                isinstance(base, ast.Attribute)
+                and isinstance(base.value, ast.Name)
+                and base.value.id == "self"
+            ):
+                return True
+            base = base.value
+    return False
+
+
+# -- FG203: stamp resolution --------------------------------------------------------
+
+
+def _check_stamp_resolution(cluster: "Cluster", graph: _RefGraph) -> list[Diagnostic]:
+    diagnostics = []
+    for edge in graph.edges:
+        if edge.type_name != "stamp":
+            continue
+        anchor_ref = stub_tracker(edge.stub).anchor_ref
+        try:
+            target_cls = resolve_class_ref(anchor_ref)
+        except (FarGoError, ImportError, AttributeError):
+            continue
+        host = graph.hosts.get(edge.source)
+        missing = [
+            core.name
+            for core in cluster.running_cores()
+            if core.name != host and not core.repository.find_by_type(target_cls)
+        ]
+        if not missing:
+            continue
+        relocator = stub_meta(edge.stub).get_relocator()
+        fallback = getattr(relocator, "fallback", "error")
+        nowhere = len(missing) == len(cluster.running_cores()) - 1
+        if nowhere and fallback == "error":
+            severity, outcome = Severity.ERROR, "every move of it would abort"
+        else:
+            severity, outcome = Severity.WARNING, (
+                "moves to those Cores would abort"
+                if fallback == "error"
+                else "moves there would degrade the reference to a link"
+            )
+        diagnostics.append(
+            diag(
+                "FG203",
+                f"complet {edge.source} stamps {edge.target} by type "
+                f"{target_cls.__name__}, but {', '.join(missing)} host(s) no "
+                f"complet of that type — {outcome}",
+                severity=severity,
+            )
+        )
+    return diagnostics
+
+
+# -- FG204: mixed semantics on one edge ---------------------------------------------
+
+
+def _check_mixed_semantics(graph: _RefGraph) -> list[Diagnostic]:
+    by_pair: dict[tuple[str, str], set[str]] = {}
+    for edge in graph.edges:
+        by_pair.setdefault((edge.source, edge.target), set()).add(edge.type_name)
+    diagnostics = []
+    for (source, target), types in sorted(by_pair.items()):
+        if "pull" in types:
+            conflicting = sorted(types & _CONFLICTS_WITH_PULL)
+            if conflicting:
+                diagnostics.append(
+                    diag(
+                        "FG204",
+                        f"complet {source} references {target} as both 'pull' "
+                        f"and {', '.join(repr(t) for t in conflicting)}; one "
+                        f"move cannot both relocate the original and "
+                        f"{'copy' if 'duplicate' in conflicting else 'rebind'} "
+                        f"it",
+                    )
+                )
+    return diagnostics

@@ -1,0 +1,524 @@
+"""Static checker for layout scripts (rules FG101–FG111).
+
+Walks the :mod:`repro.script` AST without activating anything: variable
+definedness, ``%n`` argument sanity, event-name resolution, clause
+requirements per profiling service, threshold typing, reference types,
+duplicate/conflicting rules, and statically detectable move cycles over
+the rule graph.  With a :class:`TopologyInfo` (from a live cluster or a
+spec file) it also resolves Core and complet identifiers.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.complet.relocators import BUILTIN_RELOCATORS
+from repro.errors import ScriptSyntaxError
+from repro.monitor.events import OPERATORS
+from repro.script.ast import (
+    Action,
+    ArgRef,
+    AssignAction,
+    Assignment,
+    CallAction,
+    CompletsIn,
+    CoreOf,
+    Expr,
+    Index,
+    ListExpr,
+    Literal,
+    LogAction,
+    MoveAction,
+    RetypeAction,
+    Rule,
+    Script,
+    Span,
+    VarRef,
+)
+from repro.script.interpreter import CORE_EVENTS, SERVICE_ALIASES
+from repro.script.parser import parse
+from repro.script.stdlib import STDLIB_ACTIONS
+
+from repro.analysis.diagnostics import Diagnostic, Severity, diag, sort_diagnostics
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.cluster import Cluster
+
+#: Profiling services that measure an edge between two complets.
+_PAIR_SERVICES = {"invocationRate", "byteRate", "invocationCount"}
+#: Services that measure a link to a peer Core (need a ``to`` clause).
+_PEER_SERVICES = {"bandwidth", "latency", "linkBytes"}
+#: Services that measure one complet (need a ``from`` clause).
+_COMPLET_SERVICES = {"completSize", "servedRate"}
+
+#: Events announcing that a complet landed somewhere; rules on these can
+#: re-trigger each other, which is what the cycle detector walks.
+_ARRIVAL_EVENTS = {"completArrived", "moveCompleted"}
+
+
+@dataclass(frozen=True)
+class TopologyInfo:
+    """What identifier resolution knows about the deployment.
+
+    Empty sets disable the corresponding check (a script is usually
+    written before the exact topology exists).
+    """
+
+    cores: frozenset[str] = frozenset()
+    complets: frozenset[str] = frozenset()
+
+    @classmethod
+    def from_cluster(cls, cluster: "Cluster") -> "TopologyInfo":
+        complets: set[str] = set()
+        for core in cluster.running_cores():
+            for cid in core.repository.complet_ids():
+                complets.add(str(cid))
+                complets.add(cid.short())
+        return cls(cores=frozenset(cluster.core_names()), complets=frozenset(complets))
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "TopologyInfo":
+        """From a JSON-style mapping: ``{"cores": [...], "complets": [...]}``."""
+        return cls(
+            cores=frozenset(str(c) for c in spec.get("cores", ())),
+            complets=frozenset(str(c) for c in spec.get("complets", ())),
+        )
+
+
+def _suggest(name: str, candidates) -> str:
+    close = difflib.get_close_matches(name, list(candidates), n=1)
+    return f" (did you mean {close[0]!r}?)" if close else ""
+
+
+def check_script(
+    source: str,
+    *,
+    topology: TopologyInfo | None = None,
+    expected_args: int | None = None,
+    file: str | None = None,
+) -> list[Diagnostic]:
+    """All script diagnostics for ``source``, sorted by location.
+
+    A syntax error yields a single ``FG100`` diagnostic instead of
+    raising, so callers can always treat the result as a report.
+    """
+    try:
+        script = parse(source)
+    except ScriptSyntaxError as exc:
+        return [
+            diag("FG100", str(exc), file=file, line=exc.line, column=exc.column)
+        ]
+    checker = _ScriptChecker(script, topology or TopologyInfo(), expected_args, file)
+    return sort_diagnostics(checker.run())
+
+
+class _ScriptChecker:
+    def __init__(
+        self,
+        script: Script,
+        topology: TopologyInfo,
+        expected_args: int | None,
+        file: str | None,
+    ) -> None:
+        self.script = script
+        self.topology = topology
+        self.expected_args = expected_args
+        self.file = file
+        self.diagnostics: list[Diagnostic] = []
+        #: Representative span per referenced %n index.
+        self.arg_refs: dict[int, Span | None] = {}
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def _emit(
+        self,
+        code: str,
+        message: str,
+        span: Span | None,
+        *,
+        severity: Severity | None = None,
+    ) -> None:
+        line, column = (span.line, span.column) if span is not None else (0, 0)
+        self.diagnostics.append(
+            diag(code, message, file=self.file, line=line, column=column,
+                 severity=severity)
+        )
+
+    # -- entry -------------------------------------------------------------------
+
+    def run(self) -> list[Diagnostic]:
+        defined: set[str] = set()
+        for statement in self.script.statements:
+            if isinstance(statement, Assignment):
+                self._check_expr(statement.value, defined)
+                defined.add(statement.name)
+            else:
+                self._check_rule(statement, defined)
+        self._check_arg_gaps()
+        self._check_duplicates()
+        self._check_move_cycles()
+        return self.diagnostics
+
+    # -- expressions --------------------------------------------------------------
+
+    def _check_expr(self, expr: Expr, env: set[str], role: str | None = None) -> None:
+        """Walk ``expr``; ``role`` is 'core' or 'complet' for identifier use."""
+        if isinstance(expr, Literal):
+            self._check_literal(expr, role)
+        elif isinstance(expr, VarRef):
+            if expr.name not in env:
+                self._emit(
+                    "FG101",
+                    f"undefined variable ${expr.name}"
+                    + _suggest(expr.name, env),
+                    expr.span,
+                )
+        elif isinstance(expr, ArgRef):
+            if expr.index < 1:
+                self._emit(
+                    "FG102",
+                    f"script arguments are 1-based; %{expr.index} can never bind",
+                    expr.span,
+                )
+            elif self.expected_args is not None and expr.index > self.expected_args:
+                self._emit(
+                    "FG102",
+                    f"%{expr.index} exceeds the {self.expected_args} declared "
+                    f"script argument(s)",
+                    expr.span,
+                )
+            else:
+                self.arg_refs.setdefault(expr.index, expr.span)
+        elif isinstance(expr, Index):
+            self._check_expr(expr.base, env)
+        elif isinstance(expr, ListExpr):
+            for item in expr.items:
+                self._check_expr(item, env, role)
+        elif isinstance(expr, CompletsIn):
+            self._check_expr(expr.core, env, "core")
+        elif isinstance(expr, CoreOf):
+            self._check_expr(expr.complet, env, "complet")
+
+    def _check_literal(self, literal: Literal, role: str | None) -> None:
+        value = literal.value
+        if role == "core":
+            if not isinstance(value, str):
+                self._emit(
+                    "FG106",
+                    f"expected a Core name here, got the number {value!r}",
+                    literal.span,
+                )
+            elif self.topology.cores and value not in self.topology.cores:
+                self._emit(
+                    "FG104",
+                    f"unknown Core {value!r}"
+                    + _suggest(value, self.topology.cores),
+                    literal.span,
+                )
+        elif role == "complet":
+            if isinstance(value, str) and self.topology.complets \
+                    and value not in self.topology.complets:
+                self._emit(
+                    "FG105",
+                    f"no complet {value!r} in the deployment"
+                    + _suggest(value, self.topology.complets),
+                    literal.span,
+                )
+
+    # -- rules ---------------------------------------------------------------------
+
+    def _check_rule(self, rule: Rule, defined: set[str]) -> None:
+        env = set(defined)
+        env.add("event")
+        if rule.fired_by is not None:
+            env.add(rule.fired_by)
+
+        self._check_event(rule, env)
+
+        if rule.listen_at is not None:
+            self._check_expr(rule.listen_at, env, "core")
+        if rule.every is not None:
+            self._check_expr(rule.every, env)
+            self._check_number_literal(rule.every, "'every' interval", positive=True)
+
+        for action in rule.actions:
+            self._check_action(action, env, rule)
+
+    def _check_event(self, rule: Rule, env: set[str]) -> None:
+        for arg in rule.event_args:
+            self._check_expr(arg, env)
+        if rule.event == "timer":
+            if not rule.event_args:
+                self._emit(
+                    "FG109", "timer rules need an interval argument", rule.span
+                )
+            else:
+                self._check_number_literal(
+                    rule.event_args[0], "timer interval", positive=True
+                )
+            return
+        if rule.event in CORE_EVENTS:
+            return
+        service = SERVICE_ALIASES.get(rule.event)
+        if service is None:
+            known = {"timer", *CORE_EVENTS, *SERVICE_ALIASES}
+            self._emit(
+                "FG103",
+                f"unknown event {rule.event!r}: not a Core event and not a "
+                f"profiling service" + _suggest(rule.event, known),
+                rule.span,
+            )
+            return
+        # Profiled event: threshold, comparison, and required clauses.
+        if not rule.event_args:
+            self._emit(
+                "FG109",
+                f"profiled event {rule.event!r} needs a threshold argument",
+                rule.span,
+            )
+        else:
+            self._check_number_literal(rule.event_args[0], "threshold")
+            if len(rule.event_args) > 1:
+                op = rule.event_args[1]
+                if isinstance(op, Literal) and op.value not in OPERATORS:
+                    self._emit(
+                        "FG106",
+                        f"unknown comparison {op.value!r}; expected one of "
+                        f"{sorted(OPERATORS)}",
+                        op.span,
+                    )
+        if service in _PAIR_SERVICES and (rule.source is None or rule.target is None):
+            self._emit(
+                "FG109",
+                f"{rule.event!r} rules need 'from <complet> to <complet>' clauses",
+                rule.span,
+            )
+        elif service in _PEER_SERVICES and rule.target is None:
+            self._emit(
+                "FG109", f"{rule.event!r} rules need a 'to <core>' clause", rule.span
+            )
+        elif service in _COMPLET_SERVICES and rule.source is None:
+            self._emit(
+                "FG109", f"{rule.event!r} rules need a 'from <complet>' clause",
+                rule.span,
+            )
+        if rule.source is not None:
+            self._check_expr(rule.source, env, "complet")
+        if rule.target is not None:
+            role = "core" if service in _PEER_SERVICES else "complet"
+            self._check_expr(rule.target, env, role)
+
+    def _check_number_literal(
+        self, expr: Expr, what: str, *, positive: bool = False
+    ) -> None:
+        """Flag literals that can never satisfy a numeric slot."""
+        if not isinstance(expr, Literal):
+            return  # dynamic value: the interpreter checks at runtime
+        if not isinstance(expr.value, (int, float)):
+            self._emit(
+                "FG106",
+                f"{what} must be a number, got {expr.value!r}",
+                expr.span,
+            )
+        elif positive and expr.value <= 0:
+            self._emit(
+                "FG106",
+                f"{what} must be positive, got {expr.value!r}",
+                expr.span,
+            )
+
+    # -- actions ---------------------------------------------------------------------
+
+    def _check_action(self, action: Action, env: set[str], rule: Rule) -> None:
+        if isinstance(action, AssignAction):
+            self._check_expr(action.value, env)
+            env.add(action.name)
+        elif isinstance(action, LogAction):
+            self._check_expr(action.message, env)
+        elif isinstance(action, MoveAction):
+            self._check_expr(action.target, env, "complet")
+            self._check_expr(action.destination, env, "core")
+        elif isinstance(action, RetypeAction):
+            self._check_expr(action.reference, env)
+            if action.type_name.lower() not in BUILTIN_RELOCATORS:
+                self._emit(
+                    "FG110",
+                    f"unknown reference type {action.type_name!r}; expected one "
+                    f"of {sorted(BUILTIN_RELOCATORS)}"
+                    + _suggest(action.type_name.lower(), BUILTIN_RELOCATORS),
+                    action.span,
+                )
+        elif isinstance(action, CallAction):
+            for arg in action.args:
+                self._check_expr(arg, env)
+            if action.name == "retryMove" and rule.event != "moveFailed":
+                self._emit(
+                    "FG111",
+                    "'call retryMove(...)' only works inside an "
+                    "'on moveFailed' rule",
+                    action.span,
+                )
+            elif ":" not in action.name and action.name not in STDLIB_ACTIONS:
+                self._emit(
+                    "FG111",
+                    f"unknown action {action.name!r}: not a built-in and not a "
+                    f"'module:function' name; register it before running"
+                    + _suggest(action.name, STDLIB_ACTIONS),
+                    action.span,
+                )
+
+    # -- whole-script checks -----------------------------------------------------------
+
+    def _check_arg_gaps(self) -> None:
+        """Referencing %1 and %3 but never %2 is almost always an off-by-one."""
+        if not self.arg_refs:
+            return
+        highest = max(self.arg_refs)
+        missing = sorted(set(range(1, highest)) - set(self.arg_refs))
+        if missing:
+            gaps = ", ".join(f"%{i}" for i in missing)
+            self._emit(
+                "FG102",
+                f"script references %{highest} but never {gaps}; "
+                f"argument positions may be off by one",
+                self.arg_refs[highest],
+                severity=Severity.WARNING,
+            )
+
+    def _check_duplicates(self) -> None:
+        rules = self.script.rules
+        seen: dict[Rule, Rule] = {}
+        for rule in rules:
+            first = seen.setdefault(rule, rule)
+            if first is not rule:
+                at = f" (line {first.span.line})" if first.span else ""
+                self._emit(
+                    "FG107",
+                    f"rule duplicates an earlier 'on {rule.event}' rule{at}",
+                    rule.span,
+                )
+        self._check_conflicts(rules)
+
+    def _check_conflicts(self, rules: list[Rule]) -> None:
+        """Two rules on the same trigger moving one target to different cores."""
+        by_trigger: dict[tuple, list[Rule]] = {}
+        for rule in rules:
+            key = (rule.event, rule.event_args, rule.fired_by, rule.source,
+                   rule.target, rule.listen_at, rule.every)
+            by_trigger.setdefault(key, []).append(rule)
+        for group in by_trigger.values():
+            if len(group) < 2:
+                continue
+            moves: dict[Expr, tuple[object, Rule]] = {}
+            for rule in group:
+                for action in rule.actions:
+                    if not isinstance(action, MoveAction):
+                        continue
+                    if not isinstance(action.destination, Literal):
+                        continue
+                    prior = moves.get(action.target)
+                    if prior is None:
+                        moves[action.target] = (action.destination.value, rule)
+                    elif prior[0] != action.destination.value:
+                        at = f" (line {prior[1].span.line})" if prior[1].span else ""
+                        self._emit(
+                            "FG107",
+                            f"conflicts with an earlier rule{at}: same trigger "
+                            f"moves the same target to {prior[0]!r} and to "
+                            f"{action.destination.value!r}",
+                            action.span,
+                            severity=Severity.ERROR,
+                        )
+
+    def _check_move_cycles(self) -> None:
+        """Arrival-triggered moves that can re-trigger each other forever.
+
+        Nodes are Core names; a rule listening for arrivals at Core A
+        that moves complets to literal Core B contributes the edge A→B.
+        Any cycle through ≥ 2 distinct Cores means a move storm the
+        runtime would only stop by accident.
+        """
+        universe: set[str] = set(self.topology.cores)
+        arrival_rules: list[tuple[Rule, list[str] | None, list[tuple[str, Span | None]]]] = []
+        for rule in self.script.rules:
+            if rule.event not in _ARRIVAL_EVENTS:
+                continue
+            listen = self._literal_cores(rule.listen_at)
+            dests = [
+                (a.destination.value, a.span)
+                for a in rule.actions
+                if isinstance(a, MoveAction)
+                and isinstance(a.destination, Literal)
+                and isinstance(a.destination.value, str)
+            ]
+            if listen is not None:
+                universe.update(listen)
+            universe.update(d for d, _ in dests)
+            arrival_rules.append((rule, listen, dests))
+
+        edges: dict[str, set[str]] = {}
+        spans: dict[tuple[str, str], Span | None] = {}
+        for rule, listen, dests in arrival_rules:
+            sources = listen if listen is not None else sorted(universe)
+            for src in sources:
+                for dest, span in dests:
+                    if src == dest:
+                        continue  # moving in place re-fires nothing
+                    edges.setdefault(src, set()).add(dest)
+                    spans.setdefault((src, dest), span if span is not None else rule.span)
+
+        for cycle in _find_cycles(edges):
+            path = " -> ".join([*cycle, cycle[0]])
+            self._emit(
+                "FG108",
+                f"arrival-triggered moves form a cycle ({path}); complets "
+                f"would ping-pong between these Cores",
+                spans.get((cycle[0], cycle[1])),
+            )
+
+    def _literal_cores(self, expr: Expr | None) -> list[str] | None:
+        """Literal core names of a listenAt clause, or None if dynamic/absent."""
+        if expr is None:
+            return None
+        if isinstance(expr, Literal) and isinstance(expr.value, str):
+            return [expr.value]
+        if isinstance(expr, ListExpr):
+            names = [
+                item.value
+                for item in expr.items
+                if isinstance(item, Literal) and isinstance(item.value, str)
+            ]
+            return names if len(names) == len(expr.items) else None
+        return None
+
+
+def _find_cycles(edges: dict[str, set[str]]) -> list[list[str]]:
+    """Simple cycles (each reported once, rotated to its smallest node)."""
+    cycles: list[list[str]] = []
+    reported: set[tuple[str, ...]] = set()
+    state: dict[str, int] = {}  # 0 unseen implicit, 1 on stack, 2 done
+    stack: list[str] = []
+
+    def visit(node: str) -> None:
+        state[node] = 1
+        stack.append(node)
+        for succ in sorted(edges.get(node, ())):
+            mark = state.get(succ, 0)
+            if mark == 0:
+                visit(succ)
+            elif mark == 1:
+                cycle = stack[stack.index(succ):]
+                pivot = cycle.index(min(cycle))
+                canon = tuple(cycle[pivot:] + cycle[:pivot])
+                if canon not in reported:
+                    reported.add(canon)
+                    cycles.append(list(canon))
+        stack.pop()
+        state[node] = 2
+
+    for node in sorted(edges):
+        if state.get(node, 0) == 0:
+            visit(node)
+    return cycles

@@ -224,6 +224,42 @@ class Cluster:
         via_core = self.core(via) if via is not None else self.core(target)
         return CoreAdmin(via_core, target)
 
+    def analyze(
+        self,
+        script: str | None = None,
+        *,
+        expected_args: int | None = None,
+    ) -> list:
+        """Static diagnostics for the cluster's current state.
+
+        Runs the relocation-semantics checker over the live reference
+        graph and the movability checker over every hosted anchor; with
+        ``script`` it also verifies the layout script against the actual
+        topology (Core and complet names resolve).  Returns a sorted
+        list of :class:`repro.analysis.Diagnostic`.
+        """
+        from repro.analysis import (
+            TopologyInfo,
+            check_anchor_live,
+            check_relocation,
+            check_script,
+            sort_diagnostics,
+        )
+
+        diagnostics = list(check_relocation(self))
+        for core in self.running_cores():
+            for anchor in core.repository.anchors():
+                diagnostics.extend(check_anchor_live(anchor, hosted_at=core.name))
+        if script is not None:
+            diagnostics.extend(
+                check_script(
+                    script,
+                    topology=TopologyInfo.from_cluster(self),
+                    expected_args=expected_args,
+                )
+            )
+        return sort_diagnostics(diagnostics)
+
     # -- observability -------------------------------------------------------------------------
 
     def set_tracing(self, enabled: bool) -> None:

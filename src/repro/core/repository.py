@@ -11,7 +11,8 @@ collection").
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterator
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
 
 from repro.complet.anchor import Anchor, anchor_type_name, execution_context, qualified_class_ref
 from repro.complet.tracker import Tracker

@@ -123,7 +123,7 @@ class Histogram:
             "mean": self.mean,
             "buckets": {
                 f"le_{bound:g}": count
-                for bound, count in zip(self.bounds, self.bucket_counts)
+                for bound, count in zip(self.bounds, self.bucket_counts, strict=False)
                 if count
             },
             "overflow": self.bucket_counts[-1],

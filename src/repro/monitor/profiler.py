@@ -21,7 +21,8 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable
+from collections.abc import Callable
+from typing import TYPE_CHECKING
 
 from repro.errors import ProfilingNotStartedError, UnknownServiceError
 from repro.sim.scheduler import Timer

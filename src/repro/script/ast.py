@@ -1,8 +1,30 @@
-"""Abstract syntax tree of the layout scripting language."""
+"""Abstract syntax tree of the layout scripting language.
+
+Every node carries an optional :class:`Span` — the 1-based line/column
+of its first token — populated by the parser and consumed by error
+messages and the static analyzer (:mod:`repro.analysis`).  Spans are
+excluded from equality so tests and tools can compare node *shapes*
+without reconstructing positions.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class Span:
+    """1-based source location of a node's first token."""
+
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+
+def _span_field():
+    return field(default=None, compare=False, repr=False)
 
 
 # -- expressions -----------------------------------------------------------------
@@ -13,6 +35,7 @@ class Literal:
     """A string or number literal (barewords parse as string literals)."""
 
     value: object
+    span: Span | None = _span_field()
 
 
 @dataclass(frozen=True, slots=True)
@@ -20,6 +43,7 @@ class VarRef:
     """``$name`` — a script variable reference."""
 
     name: str
+    span: Span | None = _span_field()
 
 
 @dataclass(frozen=True, slots=True)
@@ -27,6 +51,7 @@ class ArgRef:
     """``%n`` — the n-th positional script argument (1-based)."""
 
     index: int
+    span: Span | None = _span_field()
 
 
 @dataclass(frozen=True, slots=True)
@@ -35,6 +60,7 @@ class Index:
 
     base: "Expr"
     index: int
+    span: Span | None = _span_field()
 
 
 @dataclass(frozen=True, slots=True)
@@ -42,6 +68,7 @@ class ListExpr:
     """``[a, b, c]`` — a list literal."""
 
     items: tuple["Expr", ...]
+    span: Span | None = _span_field()
 
 
 @dataclass(frozen=True, slots=True)
@@ -49,6 +76,7 @@ class CompletsIn:
     """``completsIn expr`` — all complets hosted at a Core."""
 
     core: "Expr"
+    span: Span | None = _span_field()
 
 
 @dataclass(frozen=True, slots=True)
@@ -56,6 +84,7 @@ class CoreOf:
     """``coreOf expr`` — the Core currently hosting a complet."""
 
     complet: "Expr"
+    span: Span | None = _span_field()
 
 
 Expr = Literal | VarRef | ArgRef | Index | ListExpr | CompletsIn | CoreOf
@@ -70,6 +99,7 @@ class MoveAction:
 
     target: Expr
     destination: Expr
+    span: Span | None = _span_field()
 
 
 @dataclass(frozen=True, slots=True)
@@ -78,6 +108,7 @@ class RetypeAction:
 
     reference: Expr
     type_name: str
+    span: Span | None = _span_field()
 
 
 @dataclass(frozen=True, slots=True)
@@ -85,6 +116,7 @@ class LogAction:
     """``log <expr>`` — append to the engine's log."""
 
     message: Expr
+    span: Span | None = _span_field()
 
 
 @dataclass(frozen=True, slots=True)
@@ -93,6 +125,7 @@ class CallAction:
 
     name: str
     args: tuple[Expr, ...]
+    span: Span | None = _span_field()
 
 
 @dataclass(frozen=True, slots=True)
@@ -101,6 +134,7 @@ class AssignAction:
 
     name: str
     value: Expr
+    span: Span | None = _span_field()
 
 
 Action = MoveAction | RetypeAction | LogAction | CallAction | AssignAction
@@ -115,6 +149,7 @@ class Assignment:
 
     name: str
     value: Expr
+    span: Span | None = _span_field()
 
 
 @dataclass(frozen=True, slots=True)
@@ -129,6 +164,7 @@ class Rule:
     listen_at: Expr | None = None        # `listenAt` clause
     every: Expr | None = None            # sampling interval
     actions: tuple[Action, ...] = ()
+    span: Span | None = _span_field()
 
 
 @dataclass(frozen=True, slots=True)

@@ -25,7 +25,8 @@ from __future__ import annotations
 import importlib
 import logging
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable
+from collections.abc import Callable
+from typing import TYPE_CHECKING
 
 from repro.complet.relocators import relocator_from_name
 from repro.complet.stub import Stub, stub_core, stub_target_id

@@ -24,6 +24,10 @@ Grammar (terminals in caps, ``[]`` optional, ``*`` repetition)::
                  | 'completsIn' expr | 'coreOf' expr
                  | IDENT                      (bareword = string literal)
     expr_list   := [ expr (',' expr)* ]
+
+Every AST node produced here carries a :class:`~repro.script.ast.Span`
+pointing at its first token, so runtime errors and the static analyzer
+(:mod:`repro.analysis`) can report exact source locations.
 """
 
 from __future__ import annotations
@@ -46,12 +50,23 @@ from repro.script.ast import (
     RetypeAction,
     Rule,
     Script,
+    Span,
     VarRef,
 )
 from repro.script.lexer import Token, TokenKind, tokenize
 
 _CLAUSE_KEYWORDS = {"firedby", "from", "to", "listenAt", "every"}
 _ACTION_KEYWORDS = {"move", "retype", "log", "call"}
+
+
+def _span(token: Token) -> Span:
+    return Span(token.line, token.column)
+
+
+def _describe(token: Token) -> str:
+    if token.kind is TokenKind.EOF:
+        return "end of script"
+    return repr(token.value)
 
 
 class _Parser:
@@ -76,15 +91,17 @@ class _Parser:
     def _expect_symbol(self, symbol: str) -> Token:
         token = self._next()
         if token.kind is not TokenKind.SYMBOL or token.value != symbol:
-            raise self._error(f"expected {symbol!r}, got {token.value!r}", token)
+            raise self._error(f"expected {symbol!r}, got {_describe(token)}", token)
         return token
 
     def _expect_ident(self, word: str | None = None) -> Token:
         token = self._next()
+        if word is not None:
+            if token.kind is not TokenKind.IDENT or token.value != word:
+                raise self._error(f"expected {word!r}, got {_describe(token)}", token)
+            return token
         if token.kind is not TokenKind.IDENT:
-            raise self._error(f"expected a word, got {token.value!r}", token)
-        if word is not None and token.value != word:
-            raise self._error(f"expected {word!r}, got {token.value!r}", token)
+            raise self._error(f"expected a word, got {_describe(token)}", token)
         return token
 
     def _at_ident(self, word: str) -> bool:
@@ -107,17 +124,18 @@ class _Parser:
                 statements.append(self._parse_rule())
             else:
                 raise self._error(
-                    f"expected a rule ('on ...') or an assignment, got {token.value!r}"
+                    f"expected a rule ('on ...') or an assignment ('$var = ...'), "
+                    f"got {_describe(token)}"
                 )
         return Script(tuple(statements))
 
     def _parse_assignment(self) -> Assignment:
-        name = self._next().value
+        name_token = self._next()
         self._expect_symbol("=")
-        return Assignment(name, self._parse_expr())
+        return Assignment(name_token.value, self._parse_expr(), span=_span(name_token))
 
     def _parse_rule(self) -> Rule:
-        self._expect_ident("on")
+        on_token = self._expect_ident("on")
         event = self._expect_ident().value
         event_args: tuple[Expr, ...] = ()
         if self._at_symbol("("):
@@ -138,7 +156,9 @@ class _Parser:
             if keyword == "firedby":
                 var = self._next()
                 if var.kind is not TokenKind.VARIABLE:
-                    raise self._error("'firedby' binds a $variable", var)
+                    raise self._error(
+                        f"'firedby' binds a $variable, got {_describe(var)}", var
+                    )
                 fired_by = var.value
             elif keyword == "from":
                 source = self._parse_expr()
@@ -153,7 +173,9 @@ class _Parser:
         actions: list[Action] = []
         while not self._at_ident("end"):
             if self._peek().kind is TokenKind.EOF:
-                raise self._error("rule is missing its 'end'")
+                raise self._error(
+                    f"rule 'on {event}' (line {on_token.line}) is missing its 'end'"
+                )
             actions.append(self._parse_action())
         self._expect_ident("end")
         return Rule(
@@ -165,34 +187,38 @@ class _Parser:
             listen_at=listen_at,
             every=every,
             actions=tuple(actions),
+            span=_span(on_token),
         )
 
     def _parse_action(self) -> Action:
         token = self._peek()
         if token.kind is TokenKind.VARIABLE:
             assignment = self._parse_assignment()
-            return AssignAction(assignment.name, assignment.value)
+            return AssignAction(assignment.name, assignment.value, span=assignment.span)
         if token.kind is not TokenKind.IDENT or token.value not in _ACTION_KEYWORDS:
             raise self._error(
-                f"expected an action (move/retype/log/call), got {token.value!r}"
+                f"expected an action (move/retype/log/call) or 'end', "
+                f"got {_describe(token)}"
             )
-        keyword = self._next().value
+        keyword_token = self._next()
+        keyword = keyword_token.value
+        span = _span(keyword_token)
         if keyword == "move":
             target = self._parse_expr()
             self._expect_ident("to")
-            return MoveAction(target, self._parse_expr())
+            return MoveAction(target, self._parse_expr(), span=span)
         if keyword == "retype":
             reference = self._parse_expr()
             self._expect_ident("to")
             type_name = self._expect_ident().value
-            return RetypeAction(reference, type_name)
+            return RetypeAction(reference, type_name, span=span)
         if keyword == "log":
-            return LogAction(self._parse_expr())
+            return LogAction(self._parse_expr(), span=span)
         name = self._expect_ident().value
         self._expect_symbol("(")
         args = tuple(self._parse_expr_list(")"))
         self._expect_symbol(")")
-        return CallAction(name, args)
+        return CallAction(name, args, span=span)
 
     def _parse_expr_list(self, closing: str) -> list[Expr]:
         items: list[Expr] = []
@@ -206,35 +232,38 @@ class _Parser:
 
     def _parse_expr(self) -> Expr:
         token = self._next()
+        span = _span(token)
         if token.kind is TokenKind.STRING:
-            return Literal(token.value)
+            return Literal(token.value, span=span)
         if token.kind is TokenKind.NUMBER:
             text = token.value
-            return Literal(float(text) if "." in text else int(text))
+            return Literal(float(text) if "." in text else int(text), span=span)
         if token.kind is TokenKind.ARG:
-            return ArgRef(int(token.value))
+            return ArgRef(int(token.value), span=span)
         if token.kind is TokenKind.VARIABLE:
-            expr: Expr = VarRef(token.value)
+            expr: Expr = VarRef(token.value, span=span)
             if self._at_symbol("["):
                 self._next()
                 index = self._next()
                 if index.kind is not TokenKind.NUMBER:
-                    raise self._error("index must be a number", index)
+                    raise self._error(
+                        f"index must be a number, got {_describe(index)}", index
+                    )
                 self._expect_symbol("]")
-                expr = Index(expr, int(index.value))
+                expr = Index(expr, int(index.value), span=span)
             return expr
         if token.kind is TokenKind.SYMBOL and token.value == "[":
             items = tuple(self._parse_expr_list("]"))
             self._expect_symbol("]")
-            return ListExpr(items)
+            return ListExpr(items, span=span)
         if token.kind is TokenKind.IDENT:
             if token.value == "completsIn":
-                return CompletsIn(self._parse_expr())
+                return CompletsIn(self._parse_expr(), span=span)
             if token.value == "coreOf":
-                return CoreOf(self._parse_expr())
+                return CoreOf(self._parse_expr(), span=span)
             # A bareword is a string literal (core names, etc.).
-            return Literal(token.value)
-        raise self._error(f"expected an expression, got {token.value!r}", token)
+            return Literal(token.value, span=span)
+        raise self._error(f"expected an expression, got {_describe(token)}", token)
 
 
 def parse(source: str) -> Script:

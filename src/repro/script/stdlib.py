@@ -19,6 +19,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 logger = logging.getLogger(__name__)
 
+#: Names every engine gets out of the box (the static analyzer resolves
+#: ``call`` actions against this set).
+STDLIB_ACTIONS = frozenset(
+    {"collectTrackers", "shutdownCore", "colocate", "bindName", "retryMove"}
+)
+
 
 def register_stdlib(engine: "ScriptEngine") -> None:
     engine.register_action("collectTrackers", _collect_trackers)

@@ -19,6 +19,7 @@ interactive REPL on top).  Commands::
     shutdown <core>                         graceful Core shutdown
     advance <seconds>                       advance virtual time
     script <<< ... >>>  or  script @file    run a layout script
+    lint [@file]                            static diagnostics (cluster, or a file)
     trace on|off|clear                      toggle / reset span recording
     trace [list]                            one line per recorded trace
     trace show <trace-id>                   span tree of one trace
@@ -31,7 +32,8 @@ interactive REPL on top).  Commands::
 from __future__ import annotations
 
 import shlex
-from typing import TYPE_CHECKING, Callable
+from collections.abc import Callable
+from typing import TYPE_CHECKING
 
 from repro.core.admin import CoreAdmin
 from repro.errors import FarGoError
@@ -76,6 +78,7 @@ class FarGoShell:
             "shutdown": self._cmd_shutdown,
             "advance": self._cmd_advance,
             "script": self._cmd_script,
+            "lint": self._cmd_lint,
             "trace": self._cmd_trace,
             "metrics": self._cmd_metrics,
             "help": self._cmd_help,
@@ -220,6 +223,21 @@ class FarGoShell:
 
     def _cmd_script(self, args: list[str]) -> str:  # pragma: no cover - routed raw
         return self._cmd_script_raw(" ".join(args))
+
+    def _cmd_lint(self, args: list[str]) -> str:
+        """lint — analyze the live cluster; lint @file — analyze a file
+        (scripts resolve against the live topology)."""
+        from pathlib import Path
+
+        from repro.analysis import TopologyInfo, render_text
+        from repro.analysis.cli import analyze_file
+
+        if args and args[0].startswith("@"):
+            topology = TopologyInfo.from_cluster(self.cluster)
+            diagnostics = analyze_file(Path(args[0][1:]), topology=topology)
+        else:
+            diagnostics = self.cluster.analyze()
+        return render_text(diagnostics)
 
     def _cmd_trace(self, args: list[str]) -> str:
         sub = args[0] if args else "list"

@@ -1,0 +1,128 @@
+"""Tests for ``python -m repro.analysis``: modes, exit codes, reporters."""
+
+import json
+
+from repro.analysis.cli import extract_embedded_scripts, iter_target_files, main
+
+BAD_SCRIPT = 'on timer() do\n log "no interval"\nend\n'
+
+BAD_COMPLET = (
+    "import threading\n"
+    "from repro.complet.anchor import Anchor\n"
+    "\n"
+    "class Bad_(Anchor):\n"
+    "    def __init__(self):\n"
+    "        self.lock = threading.Lock()\n"
+    "\n"
+    'EMBEDDED_SCRIPT = """\\\n'
+    "on completArived do\n"
+    ' log "x"\n'
+    'end\n"""\n'
+)
+
+
+class TestTargets:
+    def test_directories_walk_recursively(self, tmp_path):
+        (tmp_path / "sub").mkdir()
+        (tmp_path / "a.fgs").write_text("x")
+        (tmp_path / "sub" / "b.py").write_text("x")
+        (tmp_path / "sub" / "c.txt").write_text("ignored")
+        names = {p.name for p in iter_target_files([str(tmp_path)])}
+        assert names == {"a.fgs", "b.py"}
+
+    def test_files_pass_through(self, tmp_path):
+        f = tmp_path / "x.fgs"
+        f.write_text("x")
+        assert iter_target_files([str(f)]) == [f]
+
+
+class TestEmbeddedExtraction:
+    def test_finds_script_constants_with_line_mapping(self):
+        scripts = extract_embedded_scripts(BAD_COMPLET)
+        assert len(scripts) == 1
+        name, first_line, text, exact = scripts[0]
+        assert name == "EMBEDDED_SCRIPT"
+        assert text.startswith("on completArived")
+        # Line 9 of the file is "on completArived do".
+        assert (first_line, exact) == (9, True)
+
+    def test_ignores_non_script_constants(self):
+        assert extract_embedded_scripts('GREETING = "hi"\n') == []
+
+    def test_ignores_script_named_constants_without_rule_shape(self):
+        # The name matches but the value is not a layout script.
+        assert extract_embedded_scripts('SCRIPT_SUFFIX = ".fgs"\n') == []
+
+    def test_escaped_newline_strings_collapse_to_the_assignment_line(self):
+        source = "x = 1\nPOLICY_SCRIPT = 'on shutdown do\\n log \"b\"\\nend'\n"
+        ((_, first_line, _, exact),) = extract_embedded_scripts(source)
+        assert (first_line, exact) == (2, False)
+
+    def test_unparsable_python_yields_nothing(self):
+        assert extract_embedded_scripts("def broken(:\n") == []
+
+
+class TestMain:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "ok.fgs").write_text('on shutdown firedby $c do\n log "x"\nend\n')
+        assert main([str(tmp_path)]) == 0
+        assert "no diagnostics" in capsys.readouterr().out
+
+    def test_script_errors_exit_one(self, tmp_path, capsys):
+        f = tmp_path / "bad.fgs"
+        f.write_text(BAD_SCRIPT)
+        assert main([str(f)]) == 1
+        out = capsys.readouterr().out
+        assert "FG109" in out and str(f) in out
+
+    def test_complet_and_embedded_script_diagnostics(self, tmp_path, capsys):
+        f = tmp_path / "bad.py"
+        f.write_text(BAD_COMPLET)
+        assert main([str(f)]) == 1
+        out = capsys.readouterr().out
+        assert "FG301" in out  # the lock field
+        assert "FG103" in out  # the embedded script's typo
+        # The embedded diagnostic is remapped to the Python file's line 9.
+        assert f"{f}:9:" in out
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope.fgs")]) == 2
+
+    def test_json_reporter(self, tmp_path, capsys):
+        f = tmp_path / "bad.fgs"
+        f.write_text(BAD_SCRIPT)
+        assert main(["--json", str(f)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert [d["code"] for d in payload] == ["FG109"]
+        assert payload[0]["file"] == str(f)
+
+    def test_strict_promotes_warnings_to_failure(self, tmp_path, capsys):
+        f = tmp_path / "warn.fgs"
+        rule = 'on shutdown firedby $c do\n move completsIn $c to "safe"\nend\n'
+        f.write_text(rule + rule)  # duplicate rule: FG107 warning
+        assert main([str(f)]) == 0
+        assert main(["--strict", str(f)]) == 1
+
+    def test_cluster_spec_enables_identifier_resolution(self, tmp_path, capsys):
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps({"cores": ["c1"], "complets": []}))
+        f = tmp_path / "s.fgs"
+        f.write_text('on timer(5) do\n move "x" to "c9"\nend\n')
+        assert main([str(f)]) == 0  # no topology, no FG104
+        assert main(["--cluster-spec", str(spec), str(f)]) == 1
+
+    def test_args_bound_checks(self, tmp_path, capsys):
+        f = tmp_path / "s.fgs"
+        f.write_text("$a = %4\n")
+        assert main([str(f)]) == 0
+        assert main(["--args", "2", str(f)]) == 1
+
+    def test_suppression_comment_silences_a_line(self, tmp_path, capsys):
+        f = tmp_path / "s.fgs"
+        f.write_text("on timer() do  # fargo: ignore[FG109]\n log \"x\"\nend\n")
+        assert main([str(f)]) == 0
+
+    def test_suppression_of_other_code_does_not_silence(self, tmp_path, capsys):
+        f = tmp_path / "s.fgs"
+        f.write_text("on timer() do  # fargo: ignore[FG104]\n log \"x\"\nend\n")
+        assert main([str(f)]) == 1

@@ -1,0 +1,131 @@
+"""Tests for the diagnostic framework: catalog, rendering, suppression."""
+
+import json
+
+import pytest
+
+from repro.analysis.diagnostics import (
+    RULES,
+    Severity,
+    apply_suppressions,
+    diag,
+    has_errors,
+    render_json,
+    render_text,
+    sort_diagnostics,
+    suppressed_lines,
+    worst_severity,
+)
+
+
+class TestCatalog:
+    def test_all_codes_have_family_and_title(self):
+        assert len(RULES) >= 12
+        for code, rule in RULES.items():
+            assert rule.code == code
+            assert rule.title
+            assert rule.family in {"framework", "script", "relocation", "movability"}
+
+    def test_families_cover_all_three_analyzers(self):
+        families = {rule.family for rule in RULES.values()}
+        assert {"script", "relocation", "movability"} <= families
+
+    def test_severity_ordering(self):
+        assert Severity.ERROR.rank > Severity.WARNING.rank > Severity.INFO.rank
+
+
+class TestDiag:
+    def test_defaults_severity_from_catalog(self):
+        d = diag("FG101", "boom")
+        assert d.severity is Severity.ERROR
+        assert diag("FG107", "meh").severity is Severity.WARNING
+
+    def test_severity_override(self):
+        d = diag("FG107", "boom", severity=Severity.ERROR)
+        assert d.severity is Severity.ERROR
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(KeyError):
+            diag("FG999", "no such rule")
+
+    def test_render_with_and_without_location(self):
+        located = diag("FG101", "boom", file="s.fgs", line=3, column=7)
+        assert located.render() == "s.fgs:3:7: error FG101: boom"
+        bare = diag("FG201", "big move")
+        assert bare.render() == "<input>: warning FG201: big move"
+
+    def test_at_remaps_line(self):
+        d = diag("FG103", "x", line=2, column=5)
+        moved = d.at(file="host.py", line=42)
+        assert (moved.file, moved.line, moved.column) == ("host.py", 42, 5)
+        assert d.line == 2  # original untouched
+
+
+class TestAggregates:
+    def test_sorting_is_by_location_then_code(self):
+        d1 = diag("FG104", "b", file="b.fgs", line=1)
+        d2 = diag("FG101", "a", file="a.fgs", line=9)
+        d3 = diag("FG103", "a2", file="a.fgs", line=2)
+        assert sort_diagnostics([d1, d2, d3]) == [d3, d2, d1]
+
+    def test_worst_severity_and_has_errors(self):
+        warns = [diag("FG107", "w")]
+        assert worst_severity(warns) is Severity.WARNING
+        assert not has_errors(warns)
+        assert worst_severity([]) is None
+        assert has_errors(warns + [diag("FG101", "e")])
+
+
+class TestSuppression:
+    def test_bare_ignore_suppresses_everything(self):
+        table = suppressed_lines("move $c to x  # fargo: ignore\n")
+        assert table == {1: None}
+
+    def test_coded_ignore(self):
+        table = suppressed_lines("x\ny  # fargo: ignore[FG104, FG105]\n")
+        assert table == {2: frozenset({"FG104", "FG105"})}
+
+    def test_apply_drops_only_matching_lines_and_codes(self):
+        source = "line one\nline two  # fargo: ignore[FG104]\n"
+        kept = apply_suppressions(
+            [
+                diag("FG104", "suppressed", line=2),
+                diag("FG101", "other code", line=2),
+                diag("FG104", "other line", line=1),
+            ],
+            source,
+        )
+        assert [(d.code, d.line) for d in kept] == [("FG101", 2), ("FG104", 1)]
+
+    def test_no_suppressions_is_identity(self):
+        diags = [diag("FG101", "x", line=1)]
+        assert apply_suppressions(diags, "plain\n") == diags
+
+
+class TestReporters:
+    def test_render_text_summary(self):
+        out = render_text([diag("FG101", "e", line=1), diag("FG107", "w", line=2)])
+        assert out.endswith("1 error(s), 1 warning(s)")
+        assert "error FG101" in out
+
+    def test_render_text_empty(self):
+        assert render_text([]) == "no diagnostics"
+
+    def test_render_json_round_trips(self):
+        payload = json.loads(render_json([diag("FG104", "m", file="f", line=3)]))
+        assert payload == [
+            {
+                "code": "FG104",
+                "severity": "error",
+                "message": "m",
+                "file": "f",
+                "line": 3,
+                "column": 0,
+            }
+        ]
+
+    def test_diagnostic_is_hashable_and_frozen(self):
+        d = diag("FG101", "x")
+        assert d in {d}
+        with pytest.raises(AttributeError):
+            d.code = "FG102"

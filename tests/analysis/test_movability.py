@@ -1,0 +1,168 @@
+"""Tests for the movability checker, source mode and live mode."""
+
+import threading
+
+from repro.analysis import check_anchor_live, check_complet_source
+from repro.complet.anchor import Anchor
+
+
+def codes(source):
+    return [d.code for d in check_complet_source(source)]
+
+
+CLEAN = '''
+from repro.complet.anchor import Anchor
+
+class Counter_(Anchor):
+    def __init__(self, start=0):
+        self.value = start
+
+    def increment(self):
+        self.value += 1
+        return self.value
+'''
+
+
+class TestSourceMode:
+    def test_clean_anchor_has_no_diagnostics(self):
+        assert codes(CLEAN) == []
+
+    def test_python_syntax_error_is_fg100(self):
+        out = check_complet_source("def broken(:\n    pass\n", file="bad.py")
+        assert [d.code for d in out] == ["FG100"]
+        assert out[0].file == "bad.py"
+
+    def test_non_anchor_classes_are_ignored(self):
+        source = (
+            "import threading\n"
+            "class Plain:\n"
+            "    def __init__(self):\n"
+            "        self.lock = threading.Lock()\n"
+        )
+        assert codes(source) == []
+
+    def test_fg301_socket_and_lock_fields(self):
+        source = (
+            "import socket\nimport threading\n"
+            "from repro.complet.anchor import Anchor\n"
+            "class Bad_(Anchor):\n"
+            "    def __init__(self):\n"
+            "        self.sock = socket.socket()\n"
+            "        self.lock = threading.Lock()\n"
+        )
+        assert codes(source) == ["FG301", "FG301"]
+
+    def test_fg301_open_file_field(self):
+        source = (
+            "from repro.complet.anchor import Anchor\n"
+            "class Bad_(Anchor):\n"
+            "    def start(self):\n"
+            '        self.log = open("x.txt", "w")\n'
+        )
+        out = check_complet_source(source)
+        assert [d.code for d in out] == ["FG301"]
+        assert "Bad_.start" in out[0].message
+
+    def test_fg301_respects_import_aliases(self):
+        source = (
+            "import threading as thr\n"
+            "from repro.complet.anchor import Anchor\n"
+            "class Bad_(Anchor):\n"
+            "    def __init__(self):\n"
+            "        self.lock = thr.Lock()\n"
+        )
+        assert codes(source) == ["FG301"]
+
+    def test_fg302_local_anchor_instantiation(self):
+        source = (
+            "from repro.complet.anchor import Anchor\n"
+            "class Helper_(Anchor):\n"
+            "    pass\n"
+            "class Owner_(Anchor):\n"
+            "    def __init__(self):\n"
+            "        self.helper = Helper_()\n"
+        )
+        out = check_complet_source(source)
+        assert [d.code for d in out] == ["FG302"]
+        assert "stub" in out[0].message
+
+    def test_fg302_transitive_anchor_subclass(self):
+        source = (
+            "from repro.complet.anchor import Anchor\n"
+            "class Base_(Anchor):\n"
+            "    pass\n"
+            "class Leaf_(Base_):\n"
+            "    pass\n"
+            "class Owner_(Anchor):\n"
+            "    def setup(self):\n"
+            "        self.leaf = Leaf_()\n"
+        )
+        assert codes(source) == ["FG302"]
+
+    def test_fg303_lambda_field(self):
+        source = (
+            "from repro.complet.anchor import Anchor\n"
+            "class Bad_(Anchor):\n"
+            "    def __init__(self):\n"
+            "        self.fn = lambda x: x + 1\n"
+        )
+        assert codes(source) == ["FG303"]
+
+    def test_fg303_method_local_function(self):
+        source = (
+            "from repro.complet.anchor import Anchor\n"
+            "class Bad_(Anchor):\n"
+            "    def __init__(self):\n"
+            "        def helper():\n"
+            "            return 1\n"
+            "        self.fn = helper\n"
+        )
+        out = check_complet_source(source)
+        assert [d.code for d in out] == ["FG303"]
+        assert "helper" in out[0].message
+
+    def test_diagnostics_carry_line_numbers(self):
+        source = (
+            "import threading\n"
+            "from repro.complet.anchor import Anchor\n"
+            "class Bad_(Anchor):\n"
+            "    def __init__(self):\n"
+            "        self.lock = threading.Lock()\n"
+        )
+        (d,) = check_complet_source(source, file="m.py")
+        assert d.line == 5
+
+
+class _LiveProbe_(Anchor):
+    """Built directly (never installed) so live mode can be tested in isolation."""
+
+    def __init__(self):
+        self.name = "ok"
+
+
+class TestLiveMode:
+    def test_clean_instance(self):
+        anchor = _LiveProbe_()
+        assert check_anchor_live(anchor) == []
+
+    def test_unpicklable_field(self):
+        anchor = _LiveProbe_()
+        anchor.lock = threading.Lock()
+        out = check_anchor_live(anchor, hosted_at="alpha")
+        assert [d.code for d in out] == ["FG301"]
+        assert "'lock'" in out[0].message
+
+    def test_direct_anchor_field(self):
+        anchor = _LiveProbe_()
+        anchor.buddy = _LiveProbe_()
+        assert [d.code for d in check_anchor_live(anchor)] == ["FG302"]
+
+    def test_lambda_field(self):
+        anchor = _LiveProbe_()
+        anchor.fn = lambda: 1
+        assert [d.code for d in check_anchor_live(anchor)] == ["FG303"]
+
+    def test_private_fields_are_skipped(self):
+        anchor = _LiveProbe_()
+        anchor._runtime_lock = threading.Lock()
+        assert check_anchor_live(anchor) == []

@@ -1,0 +1,170 @@
+"""Tests for the relocation-semantics checker over live clusters."""
+
+from repro.analysis import check_relocation, mutating_methods
+from repro.cluster.cluster import Cluster
+from repro.cluster.workload import (
+    DataSource,
+    DataSource_,
+    Desktop,
+    Echo_,
+    Printer,
+    Worker,
+)
+
+
+def codes(cluster, **kwargs):
+    return [d.code for d in check_relocation(cluster, **kwargs)]
+
+
+def retype(cluster, host, source_idx, target_idx, type_name):
+    ids = cluster.complets_at(host)
+    assert cluster.admin(host).retype(ids[source_idx], ids[target_idx], type_name)
+
+
+class TestFG201Amplification:
+    def test_pull_of_a_bulky_complet_warns(self):
+        cluster = Cluster(["a", "b"])
+        source = DataSource(size=200_000, _core=cluster["a"], _at="a")
+        Worker(source, _core=cluster["a"], _at="a")
+        retype(cluster, "a", 1, 0, "pull")
+        out = check_relocation(cluster)
+        assert [d.code for d in out] == ["FG201"]
+        assert "amplification" in out[0].message
+
+    def test_transitive_pull_chain_counts_fully(self):
+        cluster = Cluster(["a", "b"])
+        source = DataSource(size=200_000, _core=cluster["a"], _at="a")
+        middle = Worker(source, _core=cluster["a"], _at="a")
+        Worker(middle, _core=cluster["a"], _at="a")
+        retype(cluster, "a", 1, 0, "pull")   # middle pulls source
+        retype(cluster, "a", 2, 1, "pull")   # outer pulls middle
+        out = [d for d in check_relocation(cluster) if d.code == "FG201"]
+        assert len(out) == 2  # both roots amplify
+
+    def test_link_references_do_not_amplify(self):
+        cluster = Cluster(["a", "b"])
+        source = DataSource(size=200_000, _core=cluster["a"], _at="a")
+        Worker(source, _core=cluster["a"], _at="a")
+        assert codes(cluster) == []  # default link semantics
+
+    def test_threshold_is_configurable(self):
+        cluster = Cluster(["a", "b"])
+        source = DataSource(size=200_000, _core=cluster["a"], _at="a")
+        Worker(source, _core=cluster["a"], _at="a")
+        retype(cluster, "a", 1, 0, "pull")
+        assert codes(cluster, amplification_threshold=1e9) == []
+
+
+class TestFG202DuplicateMutability:
+    def test_duplicate_of_a_mutable_target_warns(self):
+        cluster = Cluster(["a", "b"])
+        source = DataSource(_core=cluster["a"], _at="a")
+        Worker(source, _core=cluster["a"], _at="a")
+        retype(cluster, "a", 1, 0, "duplicate")
+        out = [d for d in check_relocation(cluster) if d.code == "FG202"]
+        assert len(out) == 1
+        assert "read()" in out[0].message  # read() bumps self.reads
+
+    def test_mutating_methods_detects_stores(self):
+        assert "read" in mutating_methods(DataSource_)
+        assert "echo" in mutating_methods(Echo_)
+
+    def test_mutating_methods_skips_private_and_callbacks(self):
+        class Quiet_(Echo_):
+            def peek(self):
+                return self.calls
+
+            def _internal(self):
+                self.calls = 0
+
+            def post_arrival(self):
+                self.calls = 0
+
+        names = mutating_methods(Quiet_)
+        assert "peek" not in names
+        assert "_internal" not in names
+        assert "post_arrival" not in names
+
+
+class TestFG203StampResolution:
+    def test_stamp_with_no_replica_anywhere_is_an_error(self):
+        cluster = Cluster(["a", "b", "c"])
+        printer = Printer("siteA", _core=cluster["a"], _at="a")
+        Desktop(printer, _core=cluster["a"], _at="a")
+        retype(cluster, "a", 1, 0, "stamp")
+        out = [d for d in check_relocation(cluster) if d.code == "FG203"]
+        assert len(out) == 1
+        assert out[0].severity.value == "error"
+        assert "Printer" in out[0].message
+
+    def test_stamp_with_replicas_everywhere_is_clean(self):
+        cluster = Cluster(["a", "b"])
+        printer = Printer("siteA", _core=cluster["a"], _at="a")
+        Desktop(printer, _core=cluster["a"], _at="a")
+        Printer("siteB", _core=cluster["b"], _at="b")
+        retype(cluster, "a", 1, 0, "stamp")
+        assert [d.code for d in check_relocation(cluster)] == []
+
+    def test_partial_coverage_is_a_warning(self):
+        cluster = Cluster(["a", "b", "c"])
+        printer = Printer("siteA", _core=cluster["a"], _at="a")
+        Desktop(printer, _core=cluster["a"], _at="a")
+        Printer("siteB", _core=cluster["b"], _at="b")
+        retype(cluster, "a", 1, 0, "stamp")
+        out = [d for d in check_relocation(cluster) if d.code == "FG203"]
+        assert len(out) == 1
+        assert out[0].severity.value == "warning"
+        assert "c" in out[0].message
+
+
+class TestFG204MixedSemantics:
+    def test_pull_and_duplicate_to_same_target(self):
+        cluster = Cluster(["a", "b"])
+        source = DataSource(_core=cluster["a"], _at="a")
+        Worker(source, _core=cluster["a"], _at="a")
+        # Two fields referencing the same target with clashing semantics.
+        holder = next(
+            anchor
+            for anchor in cluster["a"].repository.anchors()
+            if type(anchor).__name__ == "Worker_"
+        )
+        from repro.complet.relocators import Duplicate, Pull
+        from repro.complet.stub import stub_meta
+
+        holder.extra = cluster.stub_at("a", holder.source)
+        stub_meta(holder.source).set_relocator(Pull())
+        stub_meta(holder.extra).set_relocator(Duplicate())
+        out = [d for d in check_relocation(cluster) if d.code == "FG204"]
+        assert len(out) == 1
+        assert "pull" in out[0].message and "duplicate" in out[0].message
+
+    def test_single_semantics_is_clean(self):
+        cluster = Cluster(["a", "b"])
+        source = DataSource(_core=cluster["a"], _at="a")
+        Worker(source, _core=cluster["a"], _at="a")
+        retype(cluster, "a", 1, 0, "pull")
+        assert "FG204" not in codes(cluster)
+
+
+class TestClusterAnalyze:
+    def test_clean_cluster_reports_nothing(self):
+        cluster = Cluster(["a", "b"])
+        source = DataSource(_core=cluster["a"], _at="a")
+        Worker(source, _core=cluster["a"], _at="a")
+        assert cluster.analyze() == []
+
+    def test_script_resolves_against_live_topology(self):
+        cluster = Cluster(["a", "b"])
+        DataSource(_core=cluster["a"], _at="a")
+        cid = cluster.complets_at("a")[0]
+        out = cluster.analyze(f'on timer(5) do\n move "{cid}" to "ghost"\nend')
+        assert [d.code for d in out] == ["FG104"]
+
+    def test_combines_relocation_and_script_findings(self):
+        cluster = Cluster(["a", "b"])
+        source = DataSource(size=200_000, _core=cluster["a"], _at="a")
+        Worker(source, _core=cluster["a"], _at="a")
+        retype(cluster, "a", 1, 0, "pull")
+        cid = cluster.complets_at("a")[0]
+        out = cluster.analyze(f'on timer(5) do\n move "{cid}" to "ghost"\nend')
+        assert sorted(d.code for d in out) == ["FG104", "FG201"]

@@ -82,7 +82,7 @@ class TestParserProperties:
     )
     def test_many_assignments_all_recorded(self, names, values):
         source = "\n".join(
-            f"${name} = {value}" for name, value in zip(names, values)
+            f"${name} = {value}" for name, value in zip(names, values, strict=False)
         )
         script = parse(source)
         assert len(script.assignments) == len(names)

@@ -1,0 +1,75 @@
+"""Source spans on AST nodes and the parser's improved error messages."""
+
+import pytest
+
+from repro.errors import ScriptSyntaxError
+from repro.script.ast import ArgRef, Assignment, Literal, Span
+from repro.script.parser import parse
+
+SOURCE = (
+    "$a = %1\n"
+    "on shutdown firedby $c do\n"
+    " move completsIn $c to $a\n"
+    "end\n"
+)
+
+
+class TestSpans:
+    def test_every_statement_carries_its_start(self):
+        assignment, rule = parse(SOURCE).statements
+        assert assignment.span == Span(1, 1)
+        assert rule.span == Span(2, 1)
+
+    def test_expression_and_action_spans(self):
+        _, rule = parse(SOURCE).statements
+        (move,) = rule.actions
+        assert move.span == Span(3, 2)
+        assert move.target.span == Span(3, 7)
+        assert move.destination.span == Span(3, 24)
+
+    def test_assignment_value_span(self):
+        (assignment, _) = parse(SOURCE).statements
+        assert assignment.value.span == Span(1, 6)
+
+    def test_spans_do_not_affect_equality(self):
+        # Existing tests (and the duplicate-rule checker) compare nodes
+        # structurally; position must not participate.
+        assert parse("$a = %1").statements == (Assignment("a", ArgRef(1)),)
+        assert Literal(3, span=Span(1, 1)) == Literal(3, span=Span(9, 9))
+
+    def test_span_renders_line_colon_column(self):
+        assert str(Span(12, 3)) == "12:3"
+
+
+class TestErrorMessages:
+    def err(self, source):
+        with pytest.raises(ScriptSyntaxError) as info:
+            parse(source)
+        return info.value
+
+    def test_missing_end_names_the_rule_and_its_line(self):
+        e = self.err('on shutdown do\n log "x"')
+        assert "rule 'on shutdown' (line 1) is missing its 'end'" in str(e)
+
+    def test_expected_token_is_named(self):
+        e = self.err("on do\n log 1\nend")
+        assert "expected 'do', got 'log'" in str(e)
+
+    def test_eof_is_described_as_end_of_script(self):
+        e = self.err("$x = ")
+        assert "end of script" in str(e)
+        assert e.line == 1 and e.column == 6
+
+    def test_firedby_requires_a_variable(self):
+        e = self.err("on shutdown firedby 5 do log 1 end")
+        assert "'firedby' binds a $variable, got '5'" in str(e)
+
+    def test_action_errors_mention_end(self):
+        e = self.err("on timer(1) do\n junk\nend")
+        assert "expected an action (move/retype/log/call) or 'end'" in str(e)
+        assert "'junk'" in str(e)
+
+    def test_top_level_errors_name_both_forms(self):
+        e = self.err("move $a to b")
+        assert "rule ('on ...')" in str(e)
+        assert "assignment ('$var = ...')" in str(e)
