@@ -46,6 +46,14 @@ from repro.cluster.failures import FailureInjector
 from repro.cluster.topology import configure_star, configure_uniform, configure_wan
 from repro.metrics import MetricsRegistry, merge_snapshots
 from repro.monitor.profiler import ProfilingSession
+from repro.recovery import (
+    CheckpointManager,
+    CheckpointPolicy,
+    CheckpointStore,
+    DetectorConfig,
+    FailureDetector,
+    RecoveryManager,
+)
 from repro.trace import (
     Span,
     SpanContext,
@@ -61,18 +69,24 @@ __version__ = "1.0.0"
 __all__ = [
     "Anchor",
     "Carrier",
+    "CheckpointManager",
+    "CheckpointPolicy",
+    "CheckpointStore",
     "Cluster",
     "Continuation",
     "Core",
     "CoreAdmin",
+    "DetectorConfig",
     "Duplicate",
     "Event",
+    "FailureDetector",
     "FailureInjector",
     "Link",
     "MetaRef",
     "MetricsRegistry",
     "ProfilingSession",
     "Pull",
+    "RecoveryManager",
     "Relocator",
     "Span",
     "SpanContext",

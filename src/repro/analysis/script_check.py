@@ -360,6 +360,18 @@ class _ScriptChecker:
                     "'on moveFailed' rule",
                     action.span,
                 )
+            elif (
+                action.name == "failover"
+                and not action.args
+                and rule.event != "coreFailed"
+            ):
+                self._emit(
+                    "FG111",
+                    "'call failover()' without a Core argument only works "
+                    "inside an 'on coreFailed' rule; name the Core to fail "
+                    "over from anywhere else",
+                    action.span,
+                )
             elif ":" not in action.name and action.name not in STDLIB_ACTIONS:
                 self._emit(
                     "FG111",

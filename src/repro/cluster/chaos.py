@@ -1,0 +1,277 @@
+"""Seeded chaos harness for the recovery layer.
+
+A :class:`ChaosRun` builds a cluster with recovery enabled, protects one
+stateful complet per Core, and replays a *seeded* schedule of crashes,
+link outages, and partitions (via :class:`~repro.cluster.failures.FailureInjector`)
+while a request driver keeps calling the complets.  Everything runs on
+the virtual clock from a :class:`random.Random` seed, so a run is fully
+deterministic: the same seed always produces the same schedule, the same
+detector verdicts, and the same recovery decisions.
+
+Invariants checked throughout the run:
+
+- **no duplicate identities** — a complet identity hosted by two up
+  Cores at two consecutive checks is a violation (one check of grace
+  covers the documented revive-then-reconcile window);
+- **typed failures only** — every driver request either completes or
+  raises a :class:`~repro.errors.FarGoError` subclass; anything else is
+  a violation;
+- **no trackers into the grave** — at the end of every recovery pass, no
+  surviving Core's tracker for a relocated complet still forwards to the
+  dead Core (a synchronous post-condition recorded per report; stale
+  references minted *later* are out of scope — they resolve through the
+  registry or fail typed);
+- **full recovery** — once every injected failure has healed and the
+  detectors have settled, every protected complet answers requests
+  again, through its original pre-chaos stub.
+
+Run from the command line (exits non-zero on any violation)::
+
+    python -m repro.cluster.chaos --seeds 1,2,3 --trace chaos_trace.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+from dataclasses import dataclass, field
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.failures import FailureInjector
+from repro.cluster.workload import Counter
+from repro.errors import FarGoError
+from repro.recovery import CheckpointPolicy, DetectorConfig
+
+#: Virtual seconds between driver requests (off-phase with the detector).
+DRIVE_PERIOD = 0.4
+#: Virtual seconds between invariant checks.
+CHECK_PERIOD = 0.5
+
+
+@dataclass(slots=True)
+class ChaosReport:
+    """Outcome of one seeded chaos run."""
+
+    seed: int
+    requests_ok: int = 0
+    typed_errors: int = 0
+    injections: int = 0
+    recoveries: int = 0
+    duration: float = 0.0
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations and self.requests_ok > 0
+
+    def summary(self) -> str:
+        state = "PASS" if self.passed else "FAIL"
+        line = (
+            f"seed {self.seed}: {state} — {self.requests_ok} ok, "
+            f"{self.typed_errors} typed errors, {self.injections} injections, "
+            f"{self.recoveries} recoveries over {self.duration:.1f}s virtual"
+        )
+        for violation in self.violations:
+            line += f"\n  violation: {violation}"
+        return line
+
+
+class ChaosRun:
+    """One deterministic chaos scenario, generated from a seed."""
+
+    def __init__(
+        self,
+        seed: int,
+        *,
+        cores: int = 4,
+        events: int = 6,
+        tracing: bool = False,
+    ) -> None:
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.names = [f"core{i}" for i in range(cores)]
+        self.cluster = Cluster(self.names, tracing=tracing)
+        self.detector = DetectorConfig()
+        self.cluster.enable_recovery(detector=self.detector)
+        self.injector = FailureInjector(self.cluster)
+        self.report = ChaosReport(seed=seed)
+        self._counters = []
+        policy = CheckpointPolicy(interval=1.0, on_arrival=True)
+        assert self.cluster.checkpoints is not None
+        for name in self.names:
+            counter = Counter(0, _core=self.cluster[name], _at=name)
+            self.cluster.checkpoints.protect(counter, policy)
+            self._counters.append(counter)
+        self._next_counter = 0
+        self._end = self._schedule(events)
+        #: Identity duplications seen at the previous check (grace window).
+        self._pending_dups: set = set()
+        #: Recovery reports whose post-conditions were already read.
+        self._seen_reports = 0
+
+    # -- schedule generation -----------------------------------------------------
+
+    def _schedule(self, events: int) -> float:
+        """Sequential, non-overlapping failure windows; returns the end time."""
+        cursor = 2.0
+        for _ in range(events):
+            kind = self.rng.choice(("crash", "outage", "partition"))
+            if kind == "crash":
+                victim = self.rng.choice(self.names)
+                down_for = self.rng.uniform(4.0, 7.0)
+                self.injector.crash_core_at(cursor, victim)
+                self.injector.revive_core_at(cursor + down_for, victim)
+                cursor += down_for
+            elif kind == "outage":
+                a, b = self.rng.sample(self.names, 2)
+                down_for = self.rng.uniform(0.5, 1.5)
+                self.injector.outage_at(cursor, a, b, down_for)
+                cursor += down_for
+            else:
+                island = self.rng.choice(self.names)
+                split_for = self.rng.uniform(2.0, 4.0)
+                self.injector.partition_at(cursor, {island})
+                self.injector.heal_at(cursor + split_for)
+                cursor += split_for
+            cursor += self.rng.uniform(1.0, 2.5)
+        return cursor
+
+    # -- the request driver --------------------------------------------------------
+
+    def _drive(self) -> None:
+        counter = self._counters[self._next_counter % len(self._counters)]
+        self._next_counter += 1
+        up = [
+            core.name
+            for core in self.cluster.running_cores()
+            if self.cluster.network.is_up(core.name)
+        ]
+        if not up:
+            return
+        seat = self.rng.choice(sorted(up))
+        try:
+            fresh = self.cluster.stub_at(seat, counter)
+            fresh.increment()
+            self.report.requests_ok += 1
+        except FarGoError:
+            self.report.typed_errors += 1
+        except Exception as exc:  # noqa: BLE001 - the invariant under test
+            self.report.violations.append(
+                f"untyped failure at t={self.cluster.now:.2f}: {exc!r}"
+            )
+
+    # -- invariants ------------------------------------------------------------------
+
+    def _check_invariants(self) -> None:
+        network = self.cluster.network
+        hosts: dict = {}
+        for core in self.cluster.running_cores():
+            if not network.is_up(core.name):
+                continue
+            for complet_id in core.repository.complet_ids():
+                hosts.setdefault(complet_id, []).append(core.name)
+        duplicated = {cid for cid, names in hosts.items() if len(names) > 1}
+        # One check of grace: a revived Core holds its stale copies until
+        # a detector notices it and reconciliation runs (≤ one interval).
+        for complet_id in duplicated & self._pending_dups:
+            self.report.violations.append(
+                f"identity {complet_id} hosted at {hosts[complet_id]} "
+                f"for two checks at t={self.cluster.now:.2f}"
+            )
+        self._pending_dups = duplicated
+
+        assert self.cluster.recovery is not None
+        reports = self.cluster.recovery.reports
+        for report in reports[self._seen_reports:]:
+            for entry in report.unrepaired:
+                self.report.violations.append(
+                    f"recovery of {report.failed} at t={report.at:.2f} left "
+                    f"tracker {entry} pointing into the grave"
+                )
+        self._seen_reports = len(reports)
+
+    def _check_final_reachability(self) -> None:
+        for counter in self._counters:
+            try:
+                seat = min(
+                    core.name
+                    for core in self.cluster.running_cores()
+                    if self.cluster.network.is_up(core.name)
+                )
+                fresh = self.cluster.stub_at(seat, counter)
+                fresh.read()
+            except Exception as exc:  # noqa: BLE001 - report, do not raise
+                self.report.violations.append(
+                    f"counter born at {counter._fargo_target_id.birth_core} "
+                    f"unreachable after full heal: {exc!r}"
+                )
+
+    # -- execution ---------------------------------------------------------------------
+
+    def execute(self) -> ChaosReport:
+        """Run the scenario to completion and return its report."""
+        driver = self.cluster.scheduler.call_every(
+            DRIVE_PERIOD, self._drive, first_delay=DRIVE_PERIOD / 2
+        )
+        # Settle window: every failure healed, detectors notice revivals
+        # (fail/recover verdicts land within fail_after + one interval),
+        # reconciliation runs, and the last checkpoints refresh.
+        settle = self.detector.fail_after + 3 * self.detector.interval + 1.5
+        horizon = self._end + settle
+        while self.cluster.now < horizon:
+            self.cluster.advance(CHECK_PERIOD)
+            self._check_invariants()
+        driver.cancel()
+        self._check_final_reachability()
+        assert self.cluster.recovery is not None
+        self.report.injections = self.injector.injected_count()
+        self.report.recoveries = len(self.cluster.recovery.reports)
+        self.report.duration = self.cluster.now
+        return self.report
+
+
+def run_seeds(
+    seeds: list[int], *, cores: int = 4, events: int = 6, tracing: bool = False
+) -> tuple[list[ChaosReport], "ChaosRun | None"]:
+    """Run each seed; returns the reports and the first failing run."""
+    reports: list[ChaosReport] = []
+    first_failure: ChaosRun | None = None
+    for seed in seeds:
+        run = ChaosRun(seed, cores=cores, events=events, tracing=tracing)
+        reports.append(run.execute())
+        if not reports[-1].passed and first_failure is None:
+            first_failure = run
+    return reports, first_failure
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="seeded recovery chaos runs")
+    parser.add_argument(
+        "--seeds", default="1,2,3,4,5",
+        help="comma-separated seeds to replay (default: 1,2,3,4,5)",
+    )
+    parser.add_argument("--cores", type=int, default=4)
+    parser.add_argument("--events", type=int, default=6)
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write a Chrome trace of the first failing run to FILE",
+    )
+    options = parser.parse_args(argv)
+    seeds = [int(s) for s in options.seeds.split(",") if s.strip()]
+    reports, first_failure = run_seeds(
+        seeds, cores=options.cores, events=options.events,
+        tracing=options.trace is not None,
+    )
+    for report in reports:
+        print(report.summary())
+    failed = [r for r in reports if not r.passed]
+    if failed and first_failure is not None and options.trace:
+        with open(options.trace, "w", encoding="utf-8") as handle:
+            handle.write(first_failure.cluster.chrome_trace_json(indent=2))
+        print(f"wrote Chrome trace of seed {first_failure.seed} to {options.trace}")
+    print(f"{len(reports) - len(failed)}/{len(reports)} seeds passed")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

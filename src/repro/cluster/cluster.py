@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator
+from typing import TYPE_CHECKING
 
 from repro.complet.anchor import Anchor
 from repro.complet.stub import Stub, stub_core, stub_target_id, stub_tracker
@@ -16,6 +17,14 @@ from repro.sim.clock import Clock, VirtualClock
 from repro.sim.scheduler import Scheduler
 from repro.trace.export import Trace, assemble_traces, chrome_trace_json
 from repro.trace.tracer import Span
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.recovery import (
+        CheckpointManager,
+        CheckpointStore,
+        DetectorConfig,
+        RecoveryManager,
+    )
 
 
 class Cluster:
@@ -53,6 +62,10 @@ class Cluster:
         self._rpc_timeout = rpc_timeout
         self._tracing = tracing
         self.cores: dict[str, Core] = {}
+        #: Recovery layer, attached by :meth:`enable_recovery`.
+        self.recovery: "RecoveryManager | None" = None
+        self.checkpoints: "CheckpointManager | None" = None
+        self._detector_config: "DetectorConfig | None" = None
         for name in names:
             self.add_core(name)
 
@@ -68,6 +81,12 @@ class Cluster:
         core_kwargs.setdefault("tracing", self._tracing)
         core = Core(name, self.network, self.scheduler, **core_kwargs)
         self.cores[name] = core
+        if self._detector_config is not None:
+            self._attach_detector(core)
+        if self.checkpoints is not None:
+            self.checkpoints.attach(core)
+        if self.recovery is not None:
+            self.recovery.attach(core)
         return core
 
     def core(self, name: str) -> Core:
@@ -121,6 +140,55 @@ class Cluster:
 
     def shutdown_core(self, name: str) -> None:
         self.core(name).shutdown()
+
+    # -- liveness and recovery ------------------------------------------------------------
+
+    def enable_recovery(
+        self,
+        *,
+        detector: "DetectorConfig | None" = None,
+        auto_recover: bool = True,
+        store: "CheckpointStore | None" = None,
+    ) -> "RecoveryManager":
+        """Turn on liveness detection, checkpointing, and recovery.
+
+        Attaches a heartbeat :class:`~repro.recovery.FailureDetector` to
+        every running Core (and to Cores added later), a cluster-wide
+        :class:`~repro.recovery.CheckpointManager` (protect complets
+        with ``cluster.checkpoints.protect(stub, policy)``), and a
+        :class:`~repro.recovery.RecoveryManager` that reacts to
+        ``coreFailed`` verdicts — automatically unless
+        ``auto_recover=False``, in which case recovery runs only when
+        asked (``cluster.recovery.recover_core(...)`` or a layout
+        script's ``failover`` action).
+        """
+        from repro.recovery import (
+            CheckpointManager,
+            DetectorConfig,
+            RecoveryManager,
+        )
+
+        self._detector_config = detector if detector is not None else DetectorConfig()
+        self.checkpoints = CheckpointManager(self, store=store)
+        self.recovery = RecoveryManager(
+            self, self.checkpoints, auto_recover=auto_recover
+        )
+        for core in self.cores.values():
+            self._attach_detector(core)
+        return self.recovery
+
+    def _attach_detector(self, core: Core) -> None:
+        from repro.recovery import FailureDetector
+
+        if not core.is_running or core.detector is not None:
+            return
+        config = self._detector_config
+        assert config is not None
+
+        def peers() -> list[str]:
+            return [name for name in self.core_names() if name != core.name]
+
+        core.detector = FailureDetector(core, peers, config)
 
     # -- application conveniences -------------------------------------------------------------
 

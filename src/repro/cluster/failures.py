@@ -1,10 +1,16 @@
 """Failure injection on the virtual timeline.
 
 Schedules the environmental changes the paper's layout policies react
-to: link degradation and recovery, link cuts, Core shutdown, and
-network partitions — all as timers on the cluster's scheduler, so a
-single ``cluster.advance(...)`` replays a whole failure scenario
-deterministically.
+to: link degradation and recovery, link cuts, Core shutdown and crash,
+revival, and network partitions — all as timers on the cluster's
+scheduler, so a single ``cluster.advance(...)`` replays a whole failure
+scenario deterministically.
+
+Every injection is observable after the fact: it is appended to
+:attr:`FailureInjector.log`, counted in the injector's metrics registry
+(``injector.events{kind=...}``), and — when tracing is enabled — stamped
+into the trace as an instant ``inject:<kind>`` span, so a Chrome trace
+of a chaos run shows exactly when the environment turned hostile.
 """
 
 from __future__ import annotations
@@ -12,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.cluster.cluster import Cluster
+from repro.metrics.registry import MetricsRegistry
 from repro.sim.scheduler import Timer
 
 
@@ -22,16 +29,35 @@ class FailureInjector:
     cluster: Cluster
     #: Log of injected changes: (time, description), for experiment reports.
     log: list[tuple[float, str]] = field(default_factory=list)
+    #: Injection counts by kind, merged into cluster-wide metric views.
+    metrics: MetricsRegistry = field(
+        default_factory=lambda: MetricsRegistry("injector")
+    )
     _timers: list[Timer] = field(default_factory=list)
 
-    def _at(self, time: float, description: str, action) -> Timer:
+    def _at(self, time: float, kind: str, description: str, action) -> Timer:
         def fire() -> None:
             self.log.append((self.cluster.now, description))
+            self.metrics.counter("injector.events", kind=kind).inc()
+            self._annotate(kind, description)
             action()
 
         timer = self.cluster.scheduler.call_at(time, fire)
         self._timers.append(timer)
         return timer
+
+    def _annotate(self, kind: str, description: str) -> None:
+        """Stamp the injection into the trace as an instant root span."""
+        for name in sorted(self.cluster.cores):
+            tracer = self.cluster.cores[name].tracer
+            if not tracer.enabled:
+                continue
+            span = tracer.start_span(
+                f"inject:{kind}", category="failure", root=True,
+                description=description,
+            )
+            tracer.finish(span)
+            return
 
     def degrade_link_at(
         self, time: float, a: str, b: str, *, bandwidth: float | None = None,
@@ -41,6 +67,7 @@ class FailureInjector:
         description = f"link {a}<->{b} becomes bw={bandwidth} lat={latency}"
         return self._at(
             time,
+            "degrade_link",
             description,
             lambda: self.cluster.set_link(a, b, bandwidth=bandwidth, latency=latency),
         )
@@ -48,6 +75,7 @@ class FailureInjector:
     def cut_link_at(self, time: float, a: str, b: str) -> Timer:
         return self._at(
             time,
+            "cut_link",
             f"link {a}<->{b} goes down",
             lambda: self.cluster.set_link(a, b, up=False),
         )
@@ -55,6 +83,7 @@ class FailureInjector:
     def restore_link_at(self, time: float, a: str, b: str) -> Timer:
         return self._at(
             time,
+            "restore_link",
             f"link {a}<->{b} comes back",
             lambda: self.cluster.set_link(a, b, up=True),
         )
@@ -75,13 +104,17 @@ class FailureInjector:
     def shutdown_core_at(self, time: float, name: str) -> Timer:
         """Graceful shutdown: the Core fires ``coreShutdown`` first."""
         return self._at(
-            time, f"core {name} shuts down", lambda: self.cluster.shutdown_core(name)
+            time,
+            "shutdown_core",
+            f"core {name} shuts down",
+            lambda: self.cluster.shutdown_core(name),
         )
 
     def crash_core_at(self, time: float, name: str) -> Timer:
         """Hard crash: no shutdown event, the node simply stops answering."""
         return self._at(
             time,
+            "crash_core",
             f"core {name} crashes",
             lambda: self.cluster.network.set_node_down(name),
         )
@@ -89,6 +122,7 @@ class FailureInjector:
     def revive_core_at(self, time: float, name: str) -> Timer:
         return self._at(
             time,
+            "revive_core",
             f"core {name} revives",
             lambda: self.cluster.network.set_node_down(name, down=False),
         )
@@ -96,12 +130,22 @@ class FailureInjector:
     def partition_at(self, time: float, *groups: set[str]) -> Timer:
         return self._at(
             time,
+            "partition",
             f"network partitions into {[sorted(g) for g in groups]}",
             lambda: self.cluster.partition(*groups),
         )
 
     def heal_at(self, time: float) -> Timer:
-        return self._at(time, "partition heals", self.cluster.heal_partition)
+        return self._at(time, "heal", "partition heals", self.cluster.heal_partition)
+
+    def injected_count(self, kind: str | None = None) -> int:
+        """Injections fired so far, optionally of one kind."""
+        if kind is not None:
+            return int(self.metrics.counter_value("injector.events", kind=kind))
+        return sum(
+            int(counter.value)
+            for counter in self.metrics.counters_named("injector.events").values()
+        )
 
     def cancel_all(self) -> None:
         for timer in self._timers:

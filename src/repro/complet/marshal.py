@@ -29,7 +29,7 @@ from typing import TYPE_CHECKING
 from repro.complet.anchor import Anchor
 from repro.complet.closure import compute_closure
 from repro.complet.continuation import Continuation
-from repro.complet.relocators import Link, Relocator
+from repro.complet.relocators import Link, Relocator, Stamp
 from repro.complet.stub import Stub
 from repro.complet.tokens import CloneToken, InGroupToken, RefToken, StampToken
 from repro.complet.tracker import Tracker
@@ -219,22 +219,38 @@ class MovementMarshaler:
         return StampToken(stub._fargo_tracker.anchor_ref, relocator, fallback)
 
 
-def marshal_clone(core: "Core", anchor: Anchor, clone_id: CompletId) -> CloneEntry:
+def marshal_clone(
+    core: "Core", anchor: Anchor, clone_id: CompletId, *, preserve_stamps: bool = False
+) -> CloneEntry:
     """Marshal a *copy* of ``anchor``'s complet as a nested clone stream.
 
     The copy's outgoing references degrade to ``link`` (the same rule
     §3.1 applies to copied parameter graphs): the clone keeps pointing
-    at the original targets, wherever they are.
+    at the original targets, wherever they are.  With ``preserve_stamps``
+    (used by persistence snapshots), ``stamp``-typed references keep
+    their stamp semantics instead, so a restored complet re-resolves
+    them against whatever the restore destination hosts.
     """
 
     def encode(obj: object) -> object | None:
         if isinstance(obj, Stub):
             tracker = obj._fargo_tracker
+            relocator = obj._fargo_meta.get_relocator()
+            if preserve_stamps and isinstance(relocator, Stamp):
+                fallback: RefToken | None = None
+                if getattr(relocator, "fallback", "error") == "link":
+                    fallback = RefToken(
+                        obj._fargo_target_id,
+                        tracker.anchor_ref,
+                        _token_address(tracker),
+                        Link(),
+                    )
+                return (_REF_TAG, StampToken(tracker.anchor_ref, relocator, fallback))
             token = RefToken(
                 obj._fargo_target_id,
                 tracker.anchor_ref,
                 _token_address(tracker),
-                obj._fargo_meta.get_relocator().degraded_for_parameter(),
+                relocator.degraded_for_parameter(),
             )
             return (_REF_TAG, token)
         if isinstance(obj, Anchor) and obj is not anchor:

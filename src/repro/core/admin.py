@@ -120,6 +120,41 @@ class CoreAdmin:
         assert isinstance(result, list)
         return result
 
+    # -- persistence & recovery ------------------------------------------------
+
+    def checkpoint(self, complet: str) -> bytes:
+        """Snapshot a complet hosted at the target Core to portable bytes."""
+        result = self._op("checkpoint", complet=complet)
+        assert isinstance(result, bytes)
+        return result
+
+    def restore(self, data: bytes, *, keep_identity: bool = False) -> str:
+        """Restore snapshot bytes at the target Core; returns the new id."""
+        result = self._op("restore_complet", data=data, keep_identity=keep_identity)
+        assert isinstance(result, str)
+        return result
+
+    def detector_state(self) -> dict:
+        """Per-peer liveness verdicts of the target Core's failure detector.
+
+        Empty when no detector is attached there.
+        """
+        result = self._op("detector")
+        assert isinstance(result, dict)
+        return result
+
+    def repair_trackers(self, failed: str, relocated: dict) -> int:
+        """Repair trackers at the target Core that forward to a dead Core."""
+        result = self._op("repair_trackers", failed=failed, relocated=relocated)
+        assert isinstance(result, int)
+        return result
+
+    def locator_forget(self, core: str) -> int:
+        """Drop the target Core's location records naming a dead Core."""
+        result = self._op("locator_forget", core=core)
+        assert isinstance(result, int)
+        return result
+
     # -- observability ---------------------------------------------------------
 
     def metrics(self) -> dict:

@@ -98,7 +98,12 @@ class Core:
         self.invocation = InvocationUnit(self)
         self.movement = MovementUnit(self)
         self.naming = NamingService(self)
+        #: Heartbeat-based failure detector, attached by the recovery
+        #: layer (:meth:`repro.cluster.Cluster.enable_recovery`).  Every
+        #: Core answers heartbeats whether or not it runs a detector.
+        self.detector: object | None = None
 
+        self.peer.register(MessageKind.HEARTBEAT, self._handle_heartbeat)
         self.peer.register_raw(MessageKind.INSTANTIATE, self._handle_instantiate)
         self.peer.register_raw(MessageKind.PROFILE_PROBE, self._handle_probe)
         self.peer.register(MessageKind.PROFILE_QUERY, self._handle_profile_query)
@@ -277,6 +282,8 @@ class Core:
         if not self.is_running:
             return
         self.events.publish(CORE_SHUTDOWN, core=self.name)
+        if self.detector is not None:
+            self.detector.stop()  # type: ignore[attr-defined]
         self.monitor.shutdown()
         self.profiler.shutdown()
         self.is_running = False
@@ -321,6 +328,10 @@ class Core:
         # Echo probe: first 8 bytes carry the size already received; the
         # reply is intentionally tiny so the request leg dominates.
         return b"ok"
+
+    def _handle_heartbeat(self, src: str, body: object) -> str:
+        """Answer a failure-detector ping; reachability is the answer."""
+        return self.name
 
     def _admin_op(self, operation: str, kwargs: dict) -> object:
         if operation == "snapshot":
@@ -378,7 +389,42 @@ class Core:
         if operation == "clear_spans":
             self.tracer.clear()
             return None
+        if operation == "checkpoint":
+            return self._admin_checkpoint(kwargs["complet"])
+        if operation == "restore_complet":
+            return self._admin_restore(
+                kwargs["data"], kwargs.get("keep_identity", False)
+            )
+        if operation == "detector":
+            if self.detector is None:
+                return {}
+            return self.detector.state()  # type: ignore[attr-defined]
+        if operation == "repair_trackers":
+            return self.references.repair_dead_core(
+                kwargs["failed"], kwargs.get("relocated", {})
+            )
+        if operation == "locator_forget":
+            return self.locator.forget_core(kwargs["core"])
         raise CompletError(f"unknown admin operation {operation!r}")
+
+    def _admin_checkpoint(self, complet_id_str: str) -> bytes:
+        """Snapshot a hosted complet to portable bytes (shell/recovery)."""
+        from repro.core import persistence
+
+        anchor = self.repository.find_by_str(complet_id_str)
+        if anchor is None:
+            raise CompletError(
+                f"Core {self.name!r} does not host complet {complet_id_str!r}"
+            )
+        return persistence.snapshot(self, anchor).to_bytes()
+
+    def _admin_restore(self, data: bytes, keep_identity: bool) -> str:
+        """Restore snapshot bytes here; returns the live complet's id."""
+        from repro.core import persistence
+
+        snap = persistence.Snapshot.from_bytes(data)
+        stub = persistence.restore(self, snap, keep_identity=keep_identity)
+        return str(stub_target_id(stub))
 
     def _outgoing_stubs(self, complet_id_str: str) -> list[Stub]:
         from repro.complet.closure import compute_closure

@@ -105,6 +105,23 @@ class LocationRegistry:
     def known_count(self) -> int:
         return len(self._locations)
 
+    def forget_core(self, core_name: str) -> int:
+        """Drop every record pointing at ``core_name``; returns the count.
+
+        Used by recovery: once a Core is declared dead, registry records
+        naming it would send resolvers straight into the failure.  The
+        records reappear naturally when the complets are republished from
+        their recovery destination.
+        """
+        stale = [
+            complet_id
+            for complet_id, address in self._locations.items()
+            if address.core == core_name
+        ]
+        for complet_id in stale:
+            del self._locations[complet_id]
+        return len(stale)
+
     # -- message handlers -------------------------------------------------------------
 
     def _handle_update(self, src: str, body: object) -> None:

@@ -35,6 +35,11 @@ from repro.util.ids import CompletId
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.core import Core
 
+#: Current snapshot wire-format version.  Bumped whenever the stream
+#: layout changes incompatibly; :meth:`Snapshot.from_bytes` refuses to
+#: load any other version instead of unpickling garbage.
+SNAPSHOT_VERSION = 1
+
 
 @dataclass(frozen=True, slots=True)
 class Snapshot:
@@ -45,6 +50,8 @@ class Snapshot:
     stream: bytes
     #: Virtual time at which the snapshot was taken.
     taken_at: float
+    #: Wire-format version this snapshot was written with.
+    version: int = SNAPSHOT_VERSION
 
     def to_bytes(self) -> bytes:
         """Serialize the snapshot for storage (a file, a blob store...)."""
@@ -55,13 +62,27 @@ class Snapshot:
         snapshot = PLAIN.loads(data)
         if not isinstance(snapshot, Snapshot):
             raise CompletError("bytes do not contain a complet snapshot")
+        found = getattr(snapshot, "version", 0)
+        if found != SNAPSHOT_VERSION:
+            raise CompletError(
+                f"snapshot of {snapshot.original_id} uses format version "
+                f"{found}, but this runtime reads version {SNAPSHOT_VERSION}; "
+                f"re-take the snapshot with the current runtime"
+            )
         return snapshot
 
 
 def snapshot(core: "Core", target: Stub | Anchor) -> Snapshot:
-    """Checkpoint a complet hosted on ``core``."""
+    """Checkpoint a complet hosted on ``core``.
+
+    ``stamp`` references keep their stamp semantics in the stream (they
+    re-resolve by type wherever the snapshot is restored); every other
+    reference degrades to ``link``, as for any copied graph.
+    """
     anchor = _resolve_hosted(core, target)
-    entry: CloneEntry = marshal_clone(core, anchor, anchor.complet_id)
+    entry: CloneEntry = marshal_clone(
+        core, anchor, anchor.complet_id, preserve_stamps=True
+    )
     return Snapshot(
         original_id=anchor.complet_id,
         anchor_ref=entry.anchor_ref,
@@ -91,9 +112,11 @@ def restore(core: "Core", snapshot_: Snapshot, *, keep_identity: bool = False) -
         stale = core.repository.existing_tracker(snapshot_.original_id)
         if stale is not None:
             stale.mark_dangling()
+    from repro.core.events import COMPLET_RESTORED
+
     tracker = core.repository.adopt(anchor)
     core.events.publish(
-        "completRestored",
+        COMPLET_RESTORED,
         complet=str(anchor.complet_id),
         original=str(snapshot_.original_id),
         type=anchor.complet_id.type_name,

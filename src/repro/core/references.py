@@ -184,6 +184,55 @@ class ReferenceHandler:
             self._notify_pointer(old, tracker.address, register=False)
         self._notify_pointer(final, tracker.address, register=True)
 
+    def repair_dead_core(
+        self, failed: str, relocated: dict[object, TrackerAddress]
+    ) -> int:
+        """Fix every local tracker whose next hop is the dead Core ``failed``.
+
+        ``relocated`` maps original complet ids to the tracker address
+        each one was recovered behind.  Trackers for recovered complets
+        are re-pointed there (with pointer bookkeeping, so collection
+        stays accurate); trackers for complets that went down with the
+        Core are marked dangling, turning later calls into a typed
+        :class:`~repro.errors.DanglingReferenceError` instead of a hang
+        against a dead host.  Returns the number of trackers touched.
+        """
+        repaired = 0
+        for tracker in self.core.repository.trackers():
+            if tracker.next_hop is None or tracker.next_hop.core != failed:
+                continue
+            replacement = relocated.get(tracker.target_id)
+            if replacement is not None and replacement != tracker.address:
+                tracker.point_to(replacement)
+                self._notify_pointer(replacement, tracker.address, register=True)
+            else:
+                tracker.mark_dangling()
+            repaired += 1
+        return repaired
+
+    def repair_revived(self, hosted: dict[object, TrackerAddress]) -> int:
+        """Un-dangle local trackers whose target turned out to be alive.
+
+        ``hosted`` maps complet ids to the tracker address now hosting
+        them — typically the local trackers of a revived Core whose
+        complets were written off by a degraded recovery.  Dangling is
+        terminal for a genuinely destroyed complet, but a false-positive
+        failure verdict (a healed partition) leaves live complets behind
+        dangling references; this re-points them.  Returns the number of
+        trackers repaired.
+        """
+        repaired = 0
+        for tracker in self.core.repository.trackers():
+            if not tracker.is_dangling:
+                continue
+            replacement = hosted.get(tracker.target_id)
+            if replacement is None or replacement == tracker.address:
+                continue
+            tracker.point_to(replacement)
+            self._notify_pointer(replacement, tracker.address, register=True)
+            repaired += 1
+        return repaired
+
     # -- pointer bookkeeping -------------------------------------------------------------
 
     def _notify_pointer(

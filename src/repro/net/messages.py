@@ -36,6 +36,8 @@ class MessageKind(str, Enum):
     NAME_LIST = "name_list"
     # Remote instantiation
     INSTANTIATE = "instantiate"
+    # Liveness detection
+    HEARTBEAT = "heartbeat"                 # failure-detector ping
     # Monitoring / events
     EVENT_NOTIFY = "event_notify"           # deliver a fired event to a listener
     EVENT_SUBSCRIBE = "event_subscribe"     # register a remote listener

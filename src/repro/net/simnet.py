@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from repro.errors import (
     ConfigurationError,
     CoreDownError,
+    CoreError,
     CoreUnreachableError,
     DuplicateCoreError,
     TransportError,
@@ -141,6 +142,18 @@ class SimNetwork:
             self._down.add(name)
         else:
             self._down.discard(name)
+
+    def can_reach(self, src: str, dst: str) -> bool:
+        """Would a message from ``src`` to ``dst`` be deliverable right now?
+
+        Accounts for crashed nodes, downed links, and partitions — the
+        same checks :meth:`send` applies — without sending anything.
+        """
+        try:
+            self._check_reachable(src, dst)
+        except CoreError:
+            return False
+        return True
 
     def link(self, src: str, dst: str) -> Link:
         """The directed link src→dst, created with defaults on first use."""

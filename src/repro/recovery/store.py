@@ -1,0 +1,70 @@
+"""The checkpoint store: snapshot bytes that outlive their host Core.
+
+The store lives with the cluster harness, not with any Core, so the
+snapshots it holds survive a Core crash — the stand-in for the durable
+replicated storage a real deployment would use.  Records are keyed by
+complet identity; each knows which Core hosted the complet when the
+checkpoint was taken (recovery restores exactly the complets whose last
+known host died) and which pull-group it was captured with (the group is
+restored together, honoring relocation semantics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.ids import CompletId
+
+
+@dataclass(frozen=True, slots=True)
+class CheckpointRecord:
+    """One checkpointed complet: snapshot bytes plus placement facts."""
+
+    complet_id: CompletId
+    data: bytes
+    taken_at: float
+    host: str
+    #: Identities of the pull-group captured in the same pass (self included).
+    group: tuple[CompletId, ...] = ()
+
+
+class CheckpointStore:
+    """Latest checkpoint per complet identity."""
+
+    def __init__(self) -> None:
+        self._records: dict[CompletId, CheckpointRecord] = {}
+
+    def put(self, record: CheckpointRecord) -> None:
+        self._records[record.complet_id] = record
+
+    def get(self, complet_id: CompletId) -> CheckpointRecord | None:
+        return self._records.get(complet_id)
+
+    def by_str(self, complet_id_str: str) -> CheckpointRecord | None:
+        """Resolve a record from the display form of its complet id."""
+        for complet_id, record in self._records.items():
+            if str(complet_id) == complet_id_str or complet_id.short() == complet_id_str:
+                return record
+        return None
+
+    def ids(self) -> list[CompletId]:
+        return sorted(self._records, key=str)
+
+    def hosted_at(self, core_name: str) -> list[CheckpointRecord]:
+        """Records whose complet last checkpointed while hosted at ``core_name``."""
+        return sorted(
+            (r for r in self._records.values() if r.host == core_name),
+            key=lambda r: str(r.complet_id),
+        )
+
+    def discard(self, complet_id: CompletId) -> None:
+        self._records.pop(complet_id, None)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, complet_id: CompletId) -> bool:
+        return complet_id in self._records
+
+    def __repr__(self) -> str:
+        return f"<CheckpointStore {len(self._records)} records>"

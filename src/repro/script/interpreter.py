@@ -35,7 +35,13 @@ from repro.core.events import (
     CALL_RETRIED,
     COMPLET_ARRIVED,
     COMPLET_DEPARTED,
+    COMPLET_RECOVERED,
+    COMPLET_RESTORED,
+    CORE_FAILED,
+    CORE_RECONCILED,
+    CORE_RECOVERED,
     CORE_SHUTDOWN,
+    CORE_SUSPECTED,
     MOVE_COMPLETED,
     MOVE_FAILED,
     ONEWAY_FAILED,
@@ -80,6 +86,12 @@ CORE_EVENTS = {
     "moveCompleted": MOVE_COMPLETED,
     "callRetried": CALL_RETRIED,
     "onewayFailed": ONEWAY_FAILED,
+    "coreSuspected": CORE_SUSPECTED,
+    "coreFailed": CORE_FAILED,
+    "coreRecovered": CORE_RECOVERED,
+    "completRecovered": COMPLET_RECOVERED,
+    "completRestored": COMPLET_RESTORED,
+    "coreReconciled": CORE_RECONCILED,
 }
 
 #: Script-facing aliases of profiling services.

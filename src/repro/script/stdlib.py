@@ -22,7 +22,15 @@ logger = logging.getLogger(__name__)
 #: Names every engine gets out of the box (the static analyzer resolves
 #: ``call`` actions against this set).
 STDLIB_ACTIONS = frozenset(
-    {"collectTrackers", "shutdownCore", "colocate", "bindName", "retryMove"}
+    {
+        "collectTrackers",
+        "shutdownCore",
+        "colocate",
+        "bindName",
+        "retryMove",
+        "failover",
+        "restore",
+    }
 )
 
 
@@ -32,6 +40,8 @@ def register_stdlib(engine: "ScriptEngine") -> None:
     engine.register_action("colocate", _colocate)
     engine.register_action("bindName", _bind_name)
     engine.register_action("retryMove", _retry_move)
+    engine.register_action("failover", _failover)
+    engine.register_action("restore", _restore)
 
 
 def _collect_trackers(ctx: "ScriptContext") -> None:
@@ -95,3 +105,63 @@ def _retry_move(
         engine.core.scheduler.call_after(seconds, fire)
     else:
         fire()
+
+
+def _recovery_of(ctx: "ScriptContext"):
+    recovery = getattr(ctx.engine.cluster, "recovery", None)
+    if recovery is None:
+        raise ScriptRuntimeError(
+            "recovery is not enabled on this cluster; call "
+            "cluster.enable_recovery() before running failover/restore actions"
+        )
+    return recovery
+
+
+def _failover(ctx: "ScriptContext", core_name: object = None) -> None:
+    """``call failover([core])`` — recover a failed Core's complets.
+
+    Without an argument the failed Core is read from the firing event,
+    so the argless form only works inside an ``on coreFailed`` rule —
+    the canonical reliability pairing::
+
+        on coreFailed firedby $c do
+            call failover()
+        end
+
+    Every complet last checkpointed on the failed Core is restored on a
+    surviving Core (see :class:`repro.recovery.RecoveryManager` for the
+    identity rules); the pass is idempotent, so many detectors firing
+    the rule cost one recovery.
+    """
+    recovery = _recovery_of(ctx)
+    if core_name is None:
+        event = ctx.event
+        if event is None or "core" not in event.data:
+            raise ScriptRuntimeError(
+                "failover() without a Core argument only works inside an "
+                "'on coreFailed' rule"
+            )
+        core_name = event.data["core"]
+    failed = str(core_name)
+    if failed in recovery._handled:
+        ctx.engine.log.append(f"failover of {failed} already handled")
+        return
+    report = recovery.recover_core(failed)
+    ctx.engine.log.append(
+        f"failover of {failed}: {report.recovered_count} complets "
+        f"-> {report.destination}"
+    )
+
+
+def _restore(
+    ctx: "ScriptContext", complet: object, destination: object = None
+) -> None:
+    """``call restore(completId[, core])`` — revive one stored checkpoint.
+
+    ``completId`` names a checkpointed complet (full or short id form);
+    ``core`` pins the Core it lands on (default: the emptiest one).
+    """
+    recovery = _recovery_of(ctx)
+    target = str(destination) if destination is not None else None
+    new_id = recovery.restore_complet(str(complet), destination=target)
+    ctx.engine.log.append(f"restored {complet} as {new_id}")

@@ -26,6 +26,9 @@ interactive REPL on top).  Commands::
     trace timeline <trace-id>               text flame chart of one trace
     trace export <file>                     Chrome trace_event JSON
     metrics [<core>]                        metrics (cluster-wide by default)
+    snapshot <complet-id>                   checkpoint a complet into the shell
+    restore <complet-id> [<core>] [keep]    restore a held snapshot on a Core
+    failures                                injections, detector verdicts, recoveries
     help                                    this text
 """
 
@@ -81,8 +84,14 @@ class FarGoShell:
             "lint": self._cmd_lint,
             "trace": self._cmd_trace,
             "metrics": self._cmd_metrics,
+            "snapshot": self._cmd_snapshot,
+            "restore": self._cmd_restore,
+            "failures": self._cmd_failures,
             "help": self._cmd_help,
         }
+        #: Snapshots held by the shell, keyed by the complet id taken.
+        self._snapshots: dict[str, bytes] = {}
+        self._injector = None
 
     def admin(self, core_name: str) -> CoreAdmin:
         """Typed admin handle for ``core_name``, issued from the home Core."""
@@ -275,6 +284,68 @@ class FarGoShell:
             return render_metrics(snapshot, title=f"metrics of {args[0]}")
         snapshot = self.cluster.metrics_snapshot()["cluster"]
         return render_metrics(snapshot, title="cluster metrics")
+
+    def _cmd_snapshot(self, args: list[str]) -> str:
+        """snapshot <complet-id> — checkpoint via the hosting Core's admin
+        facade; the bytes are held by the shell for a later ``restore``."""
+        complet_id = args[0]
+        host = self._host_of(complet_id)
+        if host is None:
+            return f"error: no running Core hosts {complet_id!r}"
+        data = self.admin(host).checkpoint(complet_id)
+        self._snapshots[complet_id] = data
+        return f"snapshot of {complet_id} taken at {host} ({len(data)} bytes)"
+
+    def _cmd_restore(self, args: list[str]) -> str:
+        """restore <complet-id> [<core>] [keep] — revive a held snapshot.
+
+        ``keep`` asks for the original identity (refused with a typed
+        error when a live copy contradicts it); default is a fresh one.
+        """
+        complet_id = args[0]
+        rest = args[1:]
+        keep = "keep" in rest
+        rest = [token for token in rest if token != "keep"]
+        destination = rest[0] if rest else self.core.name
+        data = self._snapshots.get(complet_id)
+        if data is None:
+            return f"error: no snapshot held for {complet_id!r} (take one first)"
+        new_id = self.admin(destination).restore(data, keep_identity=keep)
+        return f"restored {complet_id} as {new_id} at {destination}"
+
+    def _cmd_failures(self, args: list[str]) -> str:
+        """failures — the cluster's failure picture: what was injected,
+        what each detector currently believes, what recovery did."""
+        lines: list[str] = []
+        if self._injector is not None and self._injector.log:
+            lines.append("injections:")
+            lines.extend(
+                f"  {t:8.2f}  {desc}" for t, desc in self._injector.log
+            )
+        for name in self.cluster.core_names():
+            core = self.cluster.cores[name]
+            if not core.is_running:
+                continue
+            try:
+                state = self.admin(name).detector_state()
+            except FarGoError:  # crashed or unreachable: nothing to show
+                continue
+            if not state:
+                continue
+            lines.append(f"detector at {name}:")
+            lines.extend(
+                f"  {peer:<14} {view['status']} (last ok t={view['last_ok']:.2f})"
+                for peer, view in sorted(state.items())
+            )
+        recovery = getattr(self.cluster, "recovery", None)
+        if recovery is not None and recovery.log:
+            lines.append("recovery:")
+            lines.extend(f"  {t:8.2f}  {message}" for t, message in recovery.log)
+        return "\n".join(lines) if lines else "(no failure activity)"
+
+    def attach_injector(self, injector) -> None:
+        """Show ``injector``'s log in the ``failures`` command."""
+        self._injector = injector
 
     def _cmd_help(self, args: list[str]) -> str:
         return _HELP.strip("\n")

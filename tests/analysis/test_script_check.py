@@ -234,3 +234,40 @@ class TestSpansInDiagnostics:
         (d,) = out
         assert d.line == 3
         assert d.column > 1
+
+
+class TestRecoveryEvents:
+    def test_liveness_events_resolve(self):
+        src = (
+            'on coreSuspected firedby $c do\n log "s"\nend\n'
+            'on coreFailed firedby $c do\n log "f"\nend\n'
+            'on coreRecovered firedby $c do\n log "r"\nend\n'
+            'on coreReconciled firedby $c do\n log "c"\nend\n'
+            'on completRecovered firedby $x do\n log "x"\nend\n'
+            'on completRestored firedby $x do\n log "y"\nend'
+        )
+        assert codes(src) == []
+
+    def test_misspelled_liveness_event_suggests(self):
+        out = check_script('on coreFaild firedby $c do\n log "x"\nend')
+        assert [d.code for d in out] == ["FG103"]
+        assert "coreFailed" in out[0].message
+
+
+class TestFG111Failover:
+    def test_argless_failover_outside_core_failed(self):
+        out = check_script('on shutdown firedby $c do\n call failover()\nend')
+        assert [d.code for d in out] == ["FG111"]
+        assert "coreFailed" in out[0].message
+
+    def test_argless_failover_inside_core_failed(self):
+        src = "on coreFailed firedby $c do\n call failover()\nend"
+        assert codes(src) == []
+
+    def test_failover_with_core_argument_anywhere(self):
+        src = 'on timer(10) do\n call failover("c1")\nend'
+        assert codes(src) == []
+
+    def test_restore_action_is_known(self):
+        src = 'on timer(10) do\n call restore("srv", "c1")\nend'
+        assert codes(src, topology=TOPO) == []

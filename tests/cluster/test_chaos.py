@@ -1,0 +1,55 @@
+"""Tests for the seeded chaos harness (and its invariants)."""
+
+import pytest
+
+from repro.cluster.chaos import ChaosRun, main, run_seeds
+
+#: The fixed seed battery CI soaks; every seed must pass.
+SOAK_SEEDS = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10]
+
+
+@pytest.mark.parametrize("seed", SOAK_SEEDS)
+def test_soak_seed_passes(seed):
+    report = ChaosRun(seed).execute()
+    assert report.passed, report.summary()
+    assert report.requests_ok > 0
+    assert report.injections > 0
+
+
+def test_same_seed_is_deterministic():
+    first = ChaosRun(3).execute()
+    second = ChaosRun(3).execute()
+    assert (first.requests_ok, first.typed_errors, first.recoveries) == (
+        second.requests_ok,
+        second.typed_errors,
+        second.recoveries,
+    )
+    assert first.duration == second.duration
+
+
+def test_run_seeds_reports_first_failure_or_none():
+    reports, first_failure = run_seeds([1])
+    assert len(reports) == 1
+    assert reports[0].passed
+    assert first_failure is None
+
+
+def test_main_exit_codes(tmp_path, capsys):
+    assert main(["--seeds", "1", "--events", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "1/1 seeds passed" in out
+
+
+def test_main_writes_trace_on_failure(tmp_path, monkeypatch, capsys):
+    """A failing run dumps a Chrome trace of the first failure."""
+    trace_file = tmp_path / "chaos.json"
+
+    def always_fail(self):
+        self.report.violations.append("synthetic violation")
+        return self.report
+
+    monkeypatch.setattr(ChaosRun, "execute", always_fail)
+    code = main(["--seeds", "7", "--trace", str(trace_file)])
+    assert code == 1
+    assert trace_file.exists()
+    assert "synthetic violation" in capsys.readouterr().out

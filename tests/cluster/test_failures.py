@@ -89,6 +89,46 @@ class TestPartitions:
         assert echo.ping() == "x"
 
 
+class TestObservability:
+    def test_injections_are_counted_by_kind(self, rig):
+        cluster, inject = rig
+        inject.crash_core_at(1.0, "a")
+        inject.cut_link_at(2.0, "b", "c")
+        inject.cut_link_at(3.0, "a", "b")
+        cluster.advance(4.0)
+        assert inject.injected_count(kind="crash_core") == 1
+        assert inject.injected_count(kind="cut_link") == 2
+        assert inject.injected_count() == 3
+        assert inject.metrics.counter_value("injector.events", kind="cut_link") == 2
+
+    def test_unfired_injections_not_counted(self, rig):
+        cluster, inject = rig
+        inject.crash_core_at(10.0, "a")
+        cluster.advance(5.0)  # stop before the timer fires
+        assert inject.injected_count() == 0
+
+    def test_injections_annotate_the_trace(self):
+        cluster = Cluster(["a", "b"], tracing=True)
+        inject = FailureInjector(cluster)
+        inject.crash_core_at(1.0, "a")
+        inject.heal_at(2.0)
+        cluster.advance(3.0)
+        spans = [
+            span
+            for core in cluster.cores.values()
+            for span in core.tracer.spans()
+            if span.category == "failure"
+        ]
+        names = sorted(span.name for span in spans)
+        assert names == ["inject:crash_core", "inject:heal"]
+
+    def test_no_spans_without_tracing(self, rig):
+        cluster, inject = rig
+        inject.crash_core_at(1.0, "a")
+        cluster.advance(2.0)  # must not raise; tracing is off
+        assert inject.injected_count(kind="crash_core") == 1
+
+
 class TestCancellation:
     def test_cancel_all(self, rig):
         cluster, inject = rig

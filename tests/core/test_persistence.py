@@ -2,10 +2,10 @@
 
 import pytest
 
-from repro.core.persistence import Snapshot, restore, snapshot
+from repro.core.persistence import SNAPSHOT_VERSION, Snapshot, restore, snapshot
 from repro.errors import CompletError
 from repro.cluster.cluster import Cluster
-from repro.cluster.workload import Counter, DataSource, Worker
+from repro.cluster.workload import Counter, DataSource, Desktop, Printer, Worker
 
 
 class TestSnapshot:
@@ -33,6 +33,37 @@ class TestSnapshot:
 
         with pytest.raises(CompletError):
             Snapshot.from_bytes(pickle.dumps({"not": "a snapshot"}))
+
+    def test_snapshot_carries_current_version(self, cluster):
+        counter = Counter(0, _core=cluster["alpha"])
+        snap = snapshot(cluster["alpha"], counter)
+        assert snap.version == SNAPSHOT_VERSION
+        assert Snapshot.from_bytes(snap.to_bytes()).version == SNAPSHOT_VERSION
+
+    def test_version_mismatch_rejected(self, cluster):
+        """A snapshot from another wire-format era fails typed, not weird."""
+        import dataclasses
+
+        counter = Counter(0, _core=cluster["alpha"])
+        snap = snapshot(cluster["alpha"], counter)
+        relic = dataclasses.replace(snap, version=SNAPSHOT_VERSION + 1)
+        with pytest.raises(CompletError, match="version"):
+            Snapshot.from_bytes(relic.to_bytes())
+
+    def test_stamp_reference_survives_snapshot(self, cluster):
+        """``stamp`` keeps its by-type semantics through persist/restore."""
+        from repro.complet.relocators import Stamp
+        from repro.core.core import Core
+
+        printer_a = Printer("site-a", _core=cluster["alpha"])
+        Printer("site-b", _core=cluster["beta"])
+        desk = Desktop(printer_a, _core=cluster["alpha"])
+        anchor = cluster["alpha"].repository.get(desk._fargo_target_id)
+        Core.get_meta_ref(anchor.printer).set_relocator(Stamp())
+        snap = snapshot(cluster["alpha"], desk)
+        restored = restore(cluster["beta"], snap)
+        # Restored at beta, the stamped reference re-resolved by type.
+        assert restored.print_report("r") == "printed at site-b: r"
 
 
 class TestRestore:
@@ -87,6 +118,30 @@ class TestRestore:
         cluster.move(counter, "b")  # registry records the move
         with pytest.raises(CompletError, match="registry"):
             restore(cluster["a"], snap, keep_identity=True)
+
+    def test_keep_identity_allowed_when_home_crashed(self):
+        """The identity check cannot consult a dead home: with no local
+        copy and no registry answer, reclaiming the identity is legal —
+        the fail-stop assumption says the original cannot answer."""
+        cluster = Cluster(["a", "b", "c"], use_location_registry=True)
+        counter = Counter(5, _core=cluster["a"])
+        original_id = counter._fargo_target_id
+        snap = snapshot(cluster["a"], counter)
+        cluster.network.set_node_down("a")  # home (and host) crashes
+        revenant = restore(cluster["b"], snap, keep_identity=True)
+        assert revenant._fargo_target_id == original_id
+        assert revenant.read() == 5
+        # (Fresh stubs minted elsewhere still route via the dead home and
+        # fail typed — RecoveryManager, not raw restore, repairs those.)
+
+    def test_keep_identity_allowed_when_home_partitioned(self):
+        cluster = Cluster(["a", "b"], use_location_registry=True)
+        counter = Counter(9, _core=cluster["a"])
+        snap = snapshot(cluster["a"], counter)
+        cluster.partition({"a"}, {"b"})
+        revenant = restore(cluster["b"], snap, keep_identity=True)
+        assert revenant._fargo_target_id == counter._fargo_target_id
+        assert revenant.read() == 9
 
 
 class TestCrashRecoveryScenario:

@@ -1,0 +1,167 @@
+"""Tests for the heartbeat failure detector."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.failures import FailureInjector
+from repro.core.events import CORE_FAILED, CORE_RECOVERED, CORE_SUSPECTED
+from repro.errors import ConfigurationError
+from repro.recovery import DetectorConfig
+from repro.recovery.detector import ALIVE, FAILED, SUSPECT
+
+
+@pytest.fixture
+def rig():
+    cluster = Cluster(["a", "b", "c"])
+    cluster.enable_recovery(auto_recover=False)
+    return cluster, FailureInjector(cluster)
+
+
+class TestConfig:
+    def test_defaults_are_ordered(self):
+        config = DetectorConfig()
+        assert config.interval < config.suspect_after < config.fail_after
+
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ConfigurationError):
+            DetectorConfig(interval=0.0)
+
+    def test_rejects_suspect_before_interval(self):
+        with pytest.raises(ConfigurationError):
+            DetectorConfig(interval=1.0, suspect_after=0.5)
+
+    def test_rejects_fail_before_suspect(self):
+        with pytest.raises(ConfigurationError):
+            DetectorConfig(suspect_after=2.0, fail_after=1.0)
+
+
+class TestVerdictTransitions:
+    def test_alive_while_quiet(self, rig):
+        cluster, _ = rig
+        cluster.advance(2.0)
+        detector = cluster["a"].detector
+        assert detector.verdict("b") == ALIVE
+        assert detector.verdict("c") == ALIVE
+
+    def test_crash_is_suspected_then_failed(self, rig):
+        cluster, inject = rig
+        events = []
+        cluster["a"].events.subscribe(CORE_SUSPECTED, events.append)
+        cluster["a"].events.subscribe(CORE_FAILED, events.append)
+        inject.crash_core_at(1.0, "b")
+        cluster.advance(6.0)
+        names = [(e.name, e.data["core"]) for e in events]
+        assert ("coreSuspected", "b") in names
+        assert ("coreFailed", "b") in names
+        assert names.index(("coreSuspected", "b")) < names.index(("coreFailed", "b"))
+        assert cluster["a"].detector.verdict("b") == FAILED
+
+    def test_detection_latency_bounded(self, rig):
+        cluster, inject = rig
+        failed_at = []
+        cluster["a"].events.subscribe(
+            CORE_FAILED, lambda e: failed_at.append(cluster.now)
+        )
+        inject.crash_core_at(2.0, "b")
+        config = cluster["a"].detector.config
+        cluster.advance(2.0 + config.fail_after + 2 * config.interval)
+        assert failed_at
+        assert failed_at[0] - 2.0 <= config.fail_after + config.interval + 1e-9
+
+    def test_revival_publishes_recovered_with_downtime(self, rig):
+        cluster, inject = rig
+        recovered = []
+        cluster["a"].events.subscribe(CORE_RECOVERED, recovered.append)
+        inject.crash_core_at(1.0, "b")
+        inject.revive_core_at(6.0, "b")
+        cluster.advance(8.0)
+        assert recovered
+        assert recovered[0].data["core"] == "b"
+        assert recovered[0].data["downtime"] > 0
+
+    def test_silent_for_reported(self, rig):
+        cluster, inject = rig
+        suspected = []
+        cluster["a"].events.subscribe(CORE_SUSPECTED, suspected.append)
+        inject.crash_core_at(1.0, "b")
+        cluster.advance(4.0)
+        config = cluster["a"].detector.config
+        assert suspected[0].data["silent_for"] >= config.suspect_after
+
+
+class TestPartitionVerdicts:
+    def test_both_sides_declare_the_other(self, rig):
+        cluster, inject = rig
+        inject.partition_at(1.0, {"a"})
+        cluster.advance(6.0)
+        assert cluster["a"].detector.verdict("b") == FAILED
+        assert cluster["b"].detector.verdict("a") == FAILED
+
+    def test_heal_restores_alive(self, rig):
+        cluster, inject = rig
+        inject.partition_at(1.0, {"a"})
+        inject.heal_at(6.0)
+        cluster.advance(8.0)
+        assert cluster["a"].detector.verdict("b") == ALIVE
+        assert cluster["b"].detector.verdict("a") == ALIVE
+
+
+class TestLifecycle:
+    def test_state_snapshot(self, rig):
+        cluster, _ = rig
+        cluster.advance(1.0)
+        state = cluster["a"].detector.state()
+        assert set(state) == {"b", "c"}
+        assert all(view["status"] == ALIVE for view in state.values())
+
+    def test_new_peer_gets_grace(self, rig):
+        """A Core added later starts its silence clock at first sight."""
+        cluster, _ = rig
+        cluster.advance(1.0)
+        cluster.add_core("d")
+        cluster.advance(1.0)
+        assert cluster["a"].detector.verdict("d") == ALIVE
+        assert cluster["d"].detector is not None  # late Cores get detectors
+
+    def test_shutdown_stops_detector(self, rig):
+        cluster, _ = rig
+        cluster.advance(1.0)
+        ticks_before = cluster["a"].metrics.counter_value("detector.ticks")
+        cluster.shutdown_core("a")
+        cluster.advance(3.0)
+        assert cluster["a"].metrics.counter_value("detector.ticks") == ticks_before
+
+    def test_crashed_core_detector_does_not_fail_sweep(self, rig):
+        """A crashed Core's timers keep firing; its pings all fail typed."""
+        cluster, inject = rig
+        inject.crash_core_at(1.0, "a")
+        cluster.advance(6.0)  # must not raise
+        assert cluster["a"].detector.verdict("b") == FAILED
+
+
+class TestObservability:
+    def test_verdict_counters(self, rig):
+        cluster, inject = rig
+        inject.crash_core_at(1.0, "b")
+        inject.revive_core_at(6.0, "b")
+        cluster.advance(9.0)
+        metrics = cluster["a"].metrics
+        assert metrics.counter_value("detector.suspicions", peer="b") == 1
+        assert metrics.counter_value("detector.failures", peer="b") == 1
+        assert metrics.counter_value("detector.recoveries", peer="b") == 1
+
+    def test_latency_histogram_observed(self, rig):
+        cluster, inject = rig
+        inject.crash_core_at(1.0, "b")
+        cluster.advance(6.0)
+        histogram = cluster["a"].metrics.histogram("detector.detection_latency")
+        assert histogram.count == 1  # one failure verdict, one observation
+
+    def test_verdict_spans_when_tracing(self):
+        cluster = Cluster(["a", "b"], tracing=True)
+        cluster.enable_recovery(auto_recover=False)
+        FailureInjector(cluster).crash_core_at(1.0, "b")
+        cluster.advance(6.0)
+        names = [span.name for span in cluster["a"].tracer.spans()]
+        assert any(name.startswith("suspicion:") for name in names)
+        assert any(name.startswith("failure:") for name in names)

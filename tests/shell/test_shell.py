@@ -166,3 +166,74 @@ class TestHistoryCommand:
 
     def test_history_appears_in_help(self, shell):
         assert "history" in shell.execute("help")
+
+
+class TestRecoveryCommands:
+    @pytest.fixture
+    def recovering(self, cluster3):
+        cluster3.enable_recovery(auto_recover=False)
+        return FarGoShell(cluster3, home="alpha")
+
+    def test_snapshot_and_restore(self, cluster3, recovering):
+        counter = Counter(40, _core=cluster3["alpha"], _at="beta")
+        counter.increment(by=2)
+        complet_id = str(counter._fargo_target_id)
+        out = recovering.execute(f"snapshot {complet_id}")
+        assert "taken at beta" in out and "bytes" in out
+        out = recovering.execute(f"restore {complet_id} gamma")
+        assert "restored" in out and "at gamma" in out
+        copies = [c for c in cluster3.complets_at("gamma") if "Counter" in c]
+        assert len(copies) == 1
+
+    def test_restore_keep_identity_after_crash(self, cluster3, recovering):
+        counter = Counter(40, _core=cluster3["alpha"], _at="beta")
+        counter.increment(by=2)
+        complet_id = str(counter._fargo_target_id)
+        recovering.execute(f"snapshot {complet_id}")
+        cluster3.network.set_node_down("beta")
+        out = recovering.execute(f"restore {complet_id} alpha keep")
+        assert f"restored {complet_id} as {complet_id}" in out
+        assert counter.read() == 42  # the old reference works again
+
+    def test_restore_keep_refused_while_alive(self, cluster3, recovering):
+        counter = Counter(0, _core=cluster3["alpha"])
+        complet_id = str(counter._fargo_target_id)
+        recovering.execute(f"snapshot {complet_id}")
+        assert "error" in recovering.execute(f"restore {complet_id} keep")
+
+    def test_snapshot_unknown_complet(self, recovering):
+        out = recovering.execute("snapshot nope/c9")
+        assert "error" in out or "no running Core hosts" in out
+
+    def test_restore_without_snapshot(self, recovering):
+        assert "no snapshot held" in recovering.execute("restore ghost/c9")
+
+    def test_failures_shows_detector_verdicts(self, cluster3, recovering):
+        cluster3.advance(1.0)  # first heartbeat round populates the view
+        out = recovering.execute("failures")
+        assert "detector at alpha:" in out
+        assert "beta" in out and "alive" in out
+
+    def test_failures_without_recovery(self, shell):
+        assert shell.execute("failures") == "(no failure activity)"
+
+    def test_failures_shows_injections_and_recovery(self, cluster3, recovering):
+        from repro.cluster.failures import FailureInjector
+        from repro.recovery import CheckpointPolicy
+
+        inject = FailureInjector(cluster3)
+        recovering.attach_injector(inject)
+        counter = Counter(40, _core=cluster3["alpha"], _at="gamma")
+        cluster3.checkpoints.protect(counter, CheckpointPolicy(interval=1.0))
+        inject.crash_core_at(2.0, "gamma")
+        cluster3.advance(6.0)
+        cluster3.recovery.recover_core("gamma")
+        out = recovering.execute("failures")
+        assert "injections:" in out
+        assert "core gamma crashes" in out
+        assert "detector at alpha:" in out
+        assert "recovery:" in out
+
+    def test_recovery_commands_in_help(self, shell):
+        out = shell.execute("help")
+        assert "snapshot" in out and "restore" in out and "failures" in out
