@@ -20,6 +20,7 @@ from repro.cluster.failures import FailureInjector
 from repro.cluster.workload import DataSource
 from repro.core.events import CORE_FAILED
 from repro.recovery import CheckpointPolicy, DetectorConfig
+from repro.sim.clock import forbid_real_clocks
 from benchmarks.conftest import print_table
 
 
@@ -32,22 +33,25 @@ def _recovery_cluster(config=None):
 def test_detection_latency(benchmark):
     """Virtual crash-to-verdict latency across detector configurations."""
     rows = []
-    for interval, fail_after in ((0.2, 0.6), (0.5, 1.5), (0.5, 3.0), (1.0, 5.0)):
-        config = DetectorConfig(
-            interval=interval, suspect_after=fail_after / 2, fail_after=fail_after
-        )
-        cluster = _recovery_cluster(config)
-        verdicts = []
-        cluster["b"].events.subscribe(
-            CORE_FAILED, lambda event: verdicts.append(cluster.now)
-        )
-        crash_at = 2.0
-        FailureInjector(cluster).crash_core_at(crash_at, "a")
-        cluster.advance(crash_at + fail_after + 2 * interval + 0.1)
-        assert verdicts, "no coreFailed verdict within the bound"
-        latency = verdicts[0] - crash_at
-        assert latency <= fail_after + interval + 1e-9
-        rows.append((interval, fail_after, round(latency, 3)))
+    # The latencies reported here are virtual-clock quantities; the ban
+    # guarantees no wall clock can leak into them.
+    with forbid_real_clocks():
+        for interval, fail_after in ((0.2, 0.6), (0.5, 1.5), (0.5, 3.0), (1.0, 5.0)):
+            config = DetectorConfig(
+                interval=interval, suspect_after=fail_after / 2, fail_after=fail_after
+            )
+            cluster = _recovery_cluster(config)
+            verdicts = []
+            cluster["b"].events.subscribe(
+                CORE_FAILED, lambda event: verdicts.append(cluster.now)
+            )
+            crash_at = 2.0
+            FailureInjector(cluster).crash_core_at(crash_at, "a")
+            cluster.advance(crash_at + fail_after + 2 * interval + 0.1)
+            assert verdicts, "no coreFailed verdict within the bound"
+            latency = verdicts[0] - crash_at
+            assert latency <= fail_after + interval + 1e-9
+            rows.append((interval, fail_after, round(latency, 3)))
     print_table(
         "R1: detection latency vs detector config (virtual s)",
         ["interval", "fail_after", "latency"],
@@ -77,17 +81,18 @@ def test_recovery_pass_cost(benchmark, payload):
 def test_checkpoint_pass_cost(benchmark):
     """Wall cost and stored bytes of a full checkpoint pass."""
     rows = []
-    for payload in (256, 4_096, 65_536):
-        cluster = _recovery_cluster()
-        for _ in range(8):
-            DataSource(payload, _core=cluster["a"], _at="a")
-        for anchor_id in list(cluster["a"].repository.complet_ids()):
-            cluster.checkpoints.protect(anchor_id, CheckpointPolicy())
-        stored = sum(
-            len(cluster.checkpoints.store.get(complet_id).data)
-            for complet_id in cluster.checkpoints.store.ids()
-        )
-        rows.append((payload, len(cluster.checkpoints.store), stored))
+    with forbid_real_clocks():  # stored-bytes figures must be wall-free
+        for payload in (256, 4_096, 65_536):
+            cluster = _recovery_cluster()
+            for _ in range(8):
+                DataSource(payload, _core=cluster["a"], _at="a")
+            for anchor_id in list(cluster["a"].repository.complet_ids()):
+                cluster.checkpoints.protect(anchor_id, CheckpointPolicy())
+            stored = sum(
+                len(cluster.checkpoints.store.get(complet_id).data)
+                for complet_id in cluster.checkpoints.store.ids()
+            )
+            rows.append((payload, len(cluster.checkpoints.store), stored))
     print_table(
         "R1: checkpoint store vs payload size (8 complets)",
         ["payload B", "records", "stored B"],

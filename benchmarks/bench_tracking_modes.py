@@ -17,6 +17,7 @@ import pytest
 from repro.cluster.cluster import Cluster
 from repro.cluster.workload import Counter
 from repro.net.messages import MessageKind
+from repro.sim.clock import forbid_real_clocks
 from benchmarks.conftest import print_table
 
 CORE_NAMES = [f"c{i}" for i in range(10)]
@@ -57,11 +58,27 @@ def test_stale_resolution_wall_time(benchmark, registry):
 def test_resolution_message_series(benchmark):
     """Messages to resolve a stale reference after k hops, both modes."""
     rows = []
+    with forbid_real_clocks():
+        _measure_resolution_series(rows)
+    print_table(
+        "tracking ablation: messages to use a stale reference",
+        ["hops", "chain msgs", "registry msgs"],
+        rows,
+    )
+    benchmark(lambda: None)
+
+
+def _measure_resolution_series(rows):
     for hops in (2, 4, 8):
         chain_cluster, _c, chain_ref = _wandered(hops, registry=False)
         chain_cluster.reset_stats()
         chain_ref.increment()
-        chain_msgs = chain_cluster.stats.by_kind[MessageKind.INVOKE]
+        # With forwarder-side collapse, the stale-chain walk happens via
+        # cheap TRACKER_LOOKUP messages; the payload itself goes direct.
+        chain_msgs = (
+            chain_cluster.stats.by_kind[MessageKind.INVOKE]
+            + chain_cluster.stats.by_kind[MessageKind.TRACKER_LOOKUP]
+        )
 
         reg_cluster, _c, reg_ref = _wandered(hops, registry=True)
         reg_cluster.reset_stats()
@@ -74,17 +91,22 @@ def test_resolution_message_series(benchmark):
         rows.append((hops, chain_msgs, reg_queries + reg_invokes))
         assert reg_queries + reg_invokes <= 4  # query + direct invoke
         assert chain_msgs >= 2 * hops  # walks the whole stale chain
-    print_table(
-        "tracking ablation: messages to use a stale reference",
-        ["hops", "chain msgs", "registry msgs"],
-        rows,
-    )
-    benchmark(lambda: None)
 
 
 def test_maintenance_cost_per_move(benchmark):
     """The registry's price: one extra one-way message per arrival."""
     rows = []
+    with forbid_real_clocks():
+        _measure_maintenance(rows)
+    print_table(
+        "tracking ablation: messages per move",
+        ["mode", "total msgs", "location updates"],
+        rows,
+    )
+    benchmark(lambda: None)
+
+
+def _measure_maintenance(rows):
     for registry in (False, True):
         cluster = Cluster(["a", "b", "c"], use_location_registry=registry)
         counter = Counter(0, _core=cluster["a"])
@@ -94,13 +116,7 @@ def test_maintenance_cost_per_move(benchmark):
         updates = cluster.stats.by_kind[MessageKind.LOCATION_UPDATE]
         total = cluster.stats.messages
         rows.append(("registry" if registry else "chains", total, updates))
-    print_table(
-        "tracking ablation: messages per move",
-        ["mode", "total msgs", "location updates"],
-        rows,
-    )
     assert rows[1][2] == rows[0][2] + 1
-    benchmark(lambda: None)
 
 
 def test_resilience_to_path_death(benchmark):
@@ -108,17 +124,18 @@ def test_resilience_to_path_death(benchmark):
     from repro.errors import CoreDownError
 
     outcomes = []
-    for registry in (False, True):
-        cluster = Cluster(["a", "b", "c"], use_location_registry=registry)
-        counter = Counter(0, _core=cluster["a"])
-        cluster.move_via_host(counter, "b")
-        cluster.move_via_host(counter, "c")
-        cluster.network.set_node_down("b")
-        try:
-            counter.increment()
-            outcomes.append(("registry" if registry else "chains", "survives"))
-        except CoreDownError:
-            outcomes.append(("registry" if registry else "chains", "breaks"))
+    with forbid_real_clocks():
+        for registry in (False, True):
+            cluster = Cluster(["a", "b", "c"], use_location_registry=registry)
+            counter = Counter(0, _core=cluster["a"])
+            cluster.move_via_host(counter, "b")
+            cluster.move_via_host(counter, "c")
+            cluster.network.set_node_down("b")
+            try:
+                counter.increment()
+                outcomes.append(("registry" if registry else "chains", "survives"))
+            except CoreDownError:
+                outcomes.append(("registry" if registry else "chains", "breaks"))
     print_table(
         "tracking ablation: dead Core on the migration path",
         ["mode", "reference"],
@@ -131,18 +148,19 @@ def test_resilience_to_path_death(benchmark):
 def test_pointer_update_ablation(benchmark):
     """Eager pointer bookkeeping: GC accuracy vs message overhead."""
     rows = []
-    for eager in (True, False):
-        cluster = Cluster(["a", "b", "c", "d"], eager_pointer_updates=eager)
-        counter = Counter(0, _core=cluster["a"])
-        for destination in ("b", "c", "d"):
-            cluster.move_via_host(counter, destination)
-        cluster.reset_stats()
-        counter.increment()
-        housekeeping = cluster.stats.by_kind[MessageKind.TRACKER_UPDATE]
-        collected = cluster.collect_all_trackers()
-        rows.append(
-            ("eager" if eager else "lazy", housekeeping, collected)
-        )
+    with forbid_real_clocks():
+        for eager in (True, False):
+            cluster = Cluster(["a", "b", "c", "d"], eager_pointer_updates=eager)
+            counter = Counter(0, _core=cluster["a"])
+            for destination in ("b", "c", "d"):
+                cluster.move_via_host(counter, destination)
+            cluster.reset_stats()
+            counter.increment()
+            housekeeping = cluster.stats.by_kind[MessageKind.TRACKER_UPDATE]
+            collected = cluster.collect_all_trackers()
+            rows.append(
+                ("eager" if eager else "lazy", housekeeping, collected)
+            )
     print_table(
         "pointer-update ablation: shorten housekeeping vs GC yield",
         ["mode", "update msgs", "trackers GC'd"],

@@ -1,0 +1,37 @@
+"""Deterministic benchmark runner and regression gate (``repro.bench``).
+
+Usage::
+
+    python -m repro.bench --areas marshal,invocation        # run + print
+    python -m repro.bench --update --label post-fix         # persist entries
+    python -m repro.bench --check                           # regression gate
+
+See docs/BENCHMARKS.md for the baseline format and regression policy.
+"""
+
+from .runner import (
+    REGRESSION_TOLERANCE,
+    MetricDelta,
+    check_area,
+    compare_metrics,
+    load_baseline,
+    main,
+    metric_direction,
+    record_entry,
+    run_area,
+)
+from .scenarios import SCENARIOS, Scenario
+
+__all__ = [
+    "REGRESSION_TOLERANCE",
+    "MetricDelta",
+    "SCENARIOS",
+    "Scenario",
+    "check_area",
+    "compare_metrics",
+    "load_baseline",
+    "main",
+    "metric_direction",
+    "record_entry",
+    "run_area",
+]

@@ -1,0 +1,5 @@
+"""Entry point: ``python -m repro.bench``."""
+
+from .runner import main
+
+raise SystemExit(main())

@@ -1,0 +1,445 @@
+"""Deterministic bench scenarios, one per ``benchmarks/bench_*.py`` area.
+
+Every scenario drives a freshly built cluster entirely on the virtual
+clock and returns a flat ``{metric: number}`` dict.  All quantities are
+simulation-derived (virtual seconds, network bytes/messages, serializer
+and fan-out counters), so two runs of the same code produce the same
+numbers on any machine — the property ``python -m repro.bench --check``
+relies on.  Wall-clock time is measured by the runner, reported for
+context, and never compared.
+
+The scenarios deliberately mirror the shapes of the pytest-benchmark
+files (chains built with ``move_via_host``, pull groups hung off an
+anchor attribute, watch-driven monitoring) so a regression caught here
+points straight at the corresponding ``benchmarks/bench_<area>.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.cluster.cluster import Cluster
+from repro.core import events as core_events
+from repro.monitor import profiler as monitor_profiler
+from repro.net import serializer
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One runnable bench area."""
+
+    name: str
+    fn: Callable[[], dict]
+    description: str
+    #: The metric this area's hot-path fix targets (compared in the
+    #: BENCH file's pre-fix/post-fix entries); None for coverage areas.
+    targeted_metric: str | None = None
+
+
+def _reset_counters(cluster: Cluster | None = None) -> None:
+    serializer.STATS.reset()
+    core_events.DISPATCH_STATS.reset()
+    monitor_profiler.LISTENER_STATS.reset()
+    if cluster is not None:
+        cluster.reset_stats()
+
+
+def _percentile(values: list[float], q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+    return ordered[index]
+
+
+def _collect(
+    cluster: Cluster | None,
+    *,
+    ops: int,
+    virtual_seconds: float,
+    latencies: list[float] | None = None,
+) -> dict:
+    metrics: dict = {
+        "ops": ops,
+        "virtual_seconds": round(virtual_seconds, 9),
+        "serializer_dumps": serializer.STATS.dumps_calls,
+        "serializer_bytes_out": serializer.STATS.bytes_out,
+        "serializer_buffers": serializer.STATS.buffers_allocated,
+        "event_snapshots_built": core_events.DISPATCH_STATS.snapshots_built,
+        "sampler_snapshots_built": monitor_profiler.LISTENER_STATS.snapshots_built,
+    }
+    if cluster is not None:
+        metrics["net_bytes"] = cluster.stats.bytes
+        metrics["net_messages"] = cluster.stats.messages
+        metrics["net_seconds"] = round(cluster.stats.seconds, 9)
+    if virtual_seconds > 0:
+        metrics["ops_per_vsec"] = round(ops / virtual_seconds, 6)
+    if latencies:
+        metrics["latency_p50_vs"] = round(_percentile(latencies, 0.50), 9)
+        metrics["latency_p99_vs"] = round(_percentile(latencies, 0.99), 9)
+    return metrics
+
+
+# -- the four fix-targeted areas -------------------------------------------------------
+
+
+def marshal() -> dict:
+    """Repeated checkpoints of unchanged complets (the memoization case)."""
+    from repro.core.persistence import snapshot
+
+    cluster = Cluster(["a", "b"])
+    from repro.cluster.workload import DataSource
+
+    sources = [DataSource(2_000, _core=cluster["a"]) for _ in range(8)]
+    _reset_counters(cluster)
+    t0 = cluster.now
+    ops = 0
+    for _ in range(25):
+        for source in sources:
+            snapshot(cluster["a"], source)
+            ops += 1
+        cluster.advance(0.5)
+    return _collect(cluster, ops=ops, virtual_seconds=cluster.now - t0)
+
+
+def tracker_chains() -> dict:
+    """A bulk payload invoked through a 5-hop tracker chain."""
+    from repro.cluster.workload import Echo
+
+    cluster = Cluster(["n0", "n1", "n2", "n3", "n4", "n5"])
+    echo = Echo("tag", _core=cluster["n0"])
+    for dest in ("n1", "n2", "n3", "n4", "n5"):
+        cluster.move_via_host(echo, dest)
+    payload = "x" * 8_192
+    _reset_counters(cluster)
+    t0 = cluster.now
+    latencies = []
+    for _ in range(4):
+        start = cluster.now
+        echo.echo(payload)
+        latencies.append(cluster.now - start)
+    return _collect(
+        cluster, ops=4, virtual_seconds=cluster.now - t0, latencies=latencies
+    )
+
+
+def invocation() -> dict:
+    """Small remote calls in a tight loop (framing overhead dominates)."""
+    from repro.cluster.workload import Counter
+
+    cluster = Cluster(["a", "b"])
+    counter = Counter(0, _core=cluster["a"])
+    cluster.move(counter, "b")
+    _reset_counters(cluster)
+    t0 = cluster.now
+    latencies = []
+    for _ in range(200):
+        start = cluster.now
+        counter.increment()
+        latencies.append(cluster.now - start)
+    return _collect(
+        cluster, ops=200, virtual_seconds=cluster.now - t0, latencies=latencies
+    )
+
+
+def monitoring() -> dict:
+    """Event fan-out under load plus watch-driven sampling."""
+    from repro.cluster.workload import Echo
+
+    cluster = Cluster(["a", "b"])
+    core = cluster["a"]
+    seen: list = []
+    for _ in range(2):
+        core.events.subscribe("*", seen.append)
+    for _ in range(3):
+        core.events.subscribe("tick", seen.append)
+    listener = Echo("listener", _core=cluster["a"])
+    core.events.subscribe_complet("tick", listener, "echo")
+    core.monitor.watch("completLoad", ">", 0.0, interval=0.5, repeat=True)
+    core.monitor.watch("trackerLoad", ">=", 0.0, interval=0.5, repeat=True)
+    _reset_counters(cluster)
+    t0 = cluster.now
+    for sequence in range(300):
+        core.events.publish("tick", seq=sequence)
+        if sequence % 25 == 24:
+            cluster.advance(0.5)
+    return _collect(cluster, ops=300, virtual_seconds=cluster.now - t0)
+
+
+# -- coverage areas (one per remaining bench file) --------------------------------------
+
+
+def movement() -> dict:
+    """A pull group of nine complets ping-ponged between two Cores."""
+    from repro.complet.relocators import Pull
+    from repro.core.core import Core
+    from repro.cluster.workload import DataSource, Echo
+
+    cluster = Cluster(["a", "b"])
+    head = Echo("head", _core=cluster["a"])
+    anchor = cluster["a"].repository.get(head._fargo_target_id)
+    anchor.members = [DataSource(512, _core=cluster["a"]) for _ in range(8)]
+    for stub in anchor.members:
+        Core.get_meta_ref(stub).set_relocator(Pull())
+    _reset_counters(cluster)
+    t0 = cluster.now
+    for destination in ("b", "a", "b", "a", "b", "a"):
+        cluster.move(head, destination)
+    return _collect(cluster, ops=6, virtual_seconds=cluster.now - t0)
+
+
+def tracking_modes() -> dict:
+    """Chain-following vs location-registry resolution, side by side."""
+    from repro.cluster.workload import Counter
+
+    results = {}
+    for label, use_registry in (("chain", False), ("registry", True)):
+        cluster = Cluster(
+            ["a", "b", "c", "d"], use_location_registry=use_registry
+        )
+        counter = Counter(0, _core=cluster["a"])
+        for dest in ("b", "c", "d"):
+            cluster.move_via_host(counter, dest)
+        _reset_counters(cluster)
+        for _ in range(3):
+            counter.increment()
+        results[f"{label}_messages"] = cluster.stats.messages
+        results[f"{label}_bytes"] = cluster.stats.bytes
+    results["ops"] = 6
+    return results
+
+
+def recovery() -> dict:
+    """Crash-to-verdict detection latency on the virtual clock."""
+    from repro.cluster.failures import FailureInjector
+    from repro.core.events import CORE_FAILED
+    from repro.recovery import DetectorConfig
+
+    cluster = Cluster(["a", "b", "c"])
+    cluster.enable_recovery(
+        detector=DetectorConfig(interval=0.5, suspect_after=0.75, fail_after=1.5),
+        auto_recover=False,
+    )
+    verdicts: list[float] = []
+    cluster["b"].events.subscribe(
+        CORE_FAILED, lambda event: verdicts.append(cluster.now)
+    )
+    _reset_counters(cluster)
+    t0 = cluster.now
+    crash_at = 2.0
+    FailureInjector(cluster).crash_core_at(crash_at, "a")
+    cluster.advance(crash_at + 1.5 + 1.1)
+    metrics = _collect(cluster, ops=1, virtual_seconds=cluster.now - t0)
+    metrics["detection_latency_vs"] = (
+        round(verdicts[0] - crash_at, 9) if verdicts else -1.0
+    )
+    return metrics
+
+
+def runtime_ops() -> dict:
+    """Instantiation, naming, and checkpoint/restore round trips."""
+    from repro.core.persistence import restore, snapshot
+    from repro.cluster.workload import Echo, Echo_
+
+    cluster = Cluster(["a", "b"])
+    _reset_counters(cluster)
+    t0 = cluster.now
+    ops = 0
+    for _ in range(20):
+        cluster["a"].instantiate(Echo_, "tag")
+        ops += 1
+    for _ in range(10):
+        cluster["a"].instantiate(Echo_, "tag", at="b")
+        ops += 1
+    service = Echo("svc", _core=cluster["a"])
+    cluster["a"].bind("svc", service)
+    for _ in range(10):
+        cluster["b"].naming.lookup_at("a", "svc")
+        ops += 1
+    for _ in range(5):
+        restore(cluster["a"], snapshot(cluster["a"], service))
+        ops += 1
+    return _collect(cluster, ops=ops, virtual_seconds=cluster.now - t0)
+
+
+def tracing() -> dict:
+    """Remote calls with full span recording enabled."""
+    from repro.cluster.workload import Counter
+
+    cluster = Cluster(["n1", "n2"], tracing=True)
+    counter = Counter(0, _core=cluster["n1"])
+    cluster.move(counter, "n2")
+    _reset_counters(cluster)
+    t0 = cluster.now
+    for _ in range(50):
+        counter.increment()
+    return _collect(cluster, ops=50, virtual_seconds=cluster.now - t0)
+
+
+def analysis() -> dict:
+    """Static checking of a large policy script and an app module."""
+    import inspect
+
+    from repro.analysis import check_complet_source, check_script
+    from repro.cluster import workload
+
+    script = "\n".join(
+        f'on completArrived listenAt [core{i}] do move c{i} to "sink{i}" end'
+        for i in range(100)
+    )
+    diagnostics = 0
+    for _ in range(3):
+        diagnostics += len(check_script(script))
+    diagnostics += len(check_complet_source(inspect.getsource(workload)))
+    _reset_counters()
+    return {"ops": 4, "diagnostics_total": diagnostics}
+
+
+def adaptive_layout() -> dict:
+    """Script-driven colocation under a two-phase affinity workload."""
+    from repro.script.interpreter import ScriptEngine
+    from repro.cluster.workload import Client, Server
+
+    cluster = Cluster(["site1", "site2"], bandwidth=100_000.0, latency=0.02)
+    server1 = Server(reply_size=4_096, _core=cluster["site1"], _at="site1")
+    server2 = Server(reply_size=4_096, _core=cluster["site2"], _at="site2")
+    client = Client(server1, request_size=2_048, _core=cluster["site1"], _at="site1")
+    engine = ScriptEngine(cluster, home="site1")
+    engine._globals.update({"c": client, "s1": server1, "s2": server2})
+    engine.run(
+        "on methodInvokeRate(2) from $c to $s1 do move $c to coreOf $s1 end\n"
+        "on methodInvokeRate(2) from $c to $s2 do move $c to coreOf $s2 end"
+    )
+    _reset_counters(cluster)
+    t0 = cluster.now
+    ops = 0
+    for _ in range(4):
+        cluster.stub_at(cluster.locate(client), client).run(4)
+        cluster.advance(1.0)
+        ops += 4
+    host = cluster.core(cluster.locate(client))
+    host.repository.get(client._fargo_target_id).server = cluster.stub_at(
+        host.name, server2
+    )
+    for _ in range(4):
+        cluster.stub_at(cluster.locate(client), client).run(4)
+        cluster.advance(1.0)
+        ops += 4
+    return _collect(cluster, ops=ops, virtual_seconds=cluster.now - t0)
+
+
+def pipeline() -> dict:
+    """Items through a three-stage pipeline spread over three Cores."""
+    from repro.cluster.workload import Stage
+
+    cluster = Cluster(["a", "b", "c"], bandwidth=250_000.0, latency=0.02)
+    last = Stage(None, cost_bytes=256, _core=cluster["c"], _at="c")
+    middle = Stage(last, cost_bytes=256, _core=cluster["b"], _at="b")
+    first = Stage(middle, cost_bytes=256, _core=cluster["a"], _at="a")
+    driver = cluster.stub_at("a", first)
+    item = b"x" * 512
+    _reset_counters(cluster)
+    t0 = cluster.now
+    latencies = []
+    for _ in range(10):
+        start = cluster.now
+        driver.process(item)
+        latencies.append(cluster.now - start)
+    return _collect(
+        cluster, ops=10, virtual_seconds=cluster.now - t0, latencies=latencies
+    )
+
+
+def script() -> dict:
+    """Parse throughput plus rule firing on the event path."""
+    from repro.script.interpreter import ScriptEngine
+    from repro.script.parser import parse
+    from repro.cluster.workload import Counter
+
+    source = "\n".join(
+        f'on completArrived listenAt [core{i}] do log "rule{i}" end'
+        for i in range(50)
+    )
+    cluster = Cluster(["a", "b"])
+    engine = ScriptEngine(cluster, home="a")
+    engine.run('on completArrived listenAt [a] do log "seen" end')
+    counter = Counter(0, _core=cluster["a"])
+    _reset_counters(cluster)
+    t0 = cluster.now
+    ops = 0
+    for _ in range(20):
+        parse(source)
+        ops += 1
+    for _ in range(5):
+        cluster.move(counter, "b")
+        cluster.move(counter, "a")
+        ops += 2
+    return _collect(cluster, ops=ops, virtual_seconds=cluster.now - t0)
+
+
+def taskfarm() -> dict:
+    """The adaptive task farm application, static placement."""
+    from repro.apps.taskfarm import Farm
+
+    cluster = Cluster(["hub", "edge1", "edge2"], bandwidth=500_000.0, latency=0.01)
+    farm = Farm(cluster, "hub", ["edge1", "edge2"], batch=4)
+    farm.submit(payload_size=4_096, count=12)
+    _reset_counters(cluster)
+    t0 = cluster.now
+    makespan = farm.run_until_drained()
+    metrics = _collect(cluster, ops=12, virtual_seconds=cluster.now - t0)
+    metrics["makespan_vs"] = round(makespan, 9)
+    return metrics
+
+
+SCENARIOS: dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in (
+        Scenario(
+            "marshal",
+            marshal,
+            "repeated checkpoints of unchanged complets",
+            targeted_metric="serializer_bytes_out",
+        ),
+        Scenario(
+            "tracker_chains",
+            tracker_chains,
+            "bulk payload invoked through a 5-hop tracker chain",
+            targeted_metric="net_bytes",
+        ),
+        Scenario(
+            "invocation",
+            invocation,
+            "small remote calls in a tight loop",
+            targeted_metric="net_bytes",
+        ),
+        Scenario(
+            "monitoring",
+            monitoring,
+            "event fan-out plus watch-driven sampling",
+            targeted_metric="event_snapshots_built",
+        ),
+        Scenario("movement", movement, "pull-group ping-pong between two Cores"),
+        Scenario(
+            "tracking_modes",
+            tracking_modes,
+            "chain-following vs location-registry resolution",
+        ),
+        Scenario("recovery", recovery, "crash-to-verdict detection latency"),
+        Scenario(
+            "runtime_ops", runtime_ops, "instantiation, naming, checkpoint/restore"
+        ),
+        Scenario("tracing", tracing, "remote calls with span recording on"),
+        Scenario("analysis", analysis, "static checks of scripts and complet source"),
+        Scenario(
+            "adaptive_layout",
+            adaptive_layout,
+            "script-driven colocation under shifting affinity",
+        ),
+        Scenario("pipeline", pipeline, "items through a spread three-stage pipeline"),
+        Scenario("script", script, "parse throughput and rule firing"),
+        Scenario("taskfarm", taskfarm, "the task-farm application end to end"),
+    )
+}

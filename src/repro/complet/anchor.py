@@ -77,6 +77,19 @@ class Anchor:
     #: Set when the complet is installed at a Core; travels with the complet.
     _complet_id: CompletId | None = None
 
+    #: Monotonic count of attribute writes, used by the clone-stream
+    #: cache to detect state changes between marshals.  Nested-container
+    #: mutations bypass ``__setattr__``, so the runtime also bumps this
+    #: after every served invocation (see :func:`bump_state_version`).
+    _fargo_state_version: int = 0
+
+    def __setattr__(self, name: str, value: object) -> None:
+        object.__setattr__(self, name, value)
+        if name != "_fargo_state_version":
+            object.__setattr__(
+                self, "_fargo_state_version", self._fargo_state_version + 1
+            )
+
     # -- identity -------------------------------------------------------------
 
     @property
@@ -137,6 +150,19 @@ class Anchor:
     def __repr__(self) -> str:
         identity = str(self._complet_id) if self._complet_id else "uninstalled"
         return f"<{type(self).__name__} anchor {identity}>"
+
+
+def bump_state_version(anchor: Anchor) -> None:
+    """Mark ``anchor``'s state as changed (invalidates cached streams).
+
+    Attribute writes bump the version automatically; the runtime calls
+    this after every served invocation and movement callback to cover
+    in-place mutations of nested containers, which ``__setattr__``
+    cannot observe.
+    """
+    object.__setattr__(
+        anchor, "_fargo_state_version", anchor._fargo_state_version + 1
+    )
 
 
 def anchor_type_name(anchor_cls: type) -> str:

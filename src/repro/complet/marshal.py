@@ -23,6 +23,8 @@ choosing each boundary reference's token.
 
 from __future__ import annotations
 
+import weakref
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -32,7 +34,7 @@ from repro.complet.continuation import Continuation
 from repro.complet.relocators import Link, Relocator, Stamp
 from repro.complet.stub import Stub
 from repro.complet.tokens import CloneToken, InGroupToken, RefToken, StampToken
-from repro.complet.tracker import Tracker
+from repro.complet.tracker import Tracker, TrackerAddress
 from repro.errors import CompletBoundaryError, CompletError, SerializationError
 from repro.net.serializer import Serializer
 from repro.util.ids import CompletId
@@ -219,6 +221,89 @@ class MovementMarshaler:
         return StampToken(stub._fargo_tracker.anchor_ref, relocator, fallback)
 
 
+class CloneStreamCache:
+    """Memoized clone streams, keyed by ``(complet_id, preserve_stamps)``.
+
+    A clone stream is independent of the clone id it is shipped under
+    (the id is overwritten after unmarshaling), so repeated marshals of
+    an *unchanged* complet — periodic checkpoints above all, but also
+    repeated ``duplicate`` moves — can reuse the bytes instead of
+    re-pickling the whole closure.
+
+    An entry is reused only when it provably still matches what a fresh
+    marshal would produce:
+
+    - the cached anchor is the *same object* carrying the same
+      ``_fargo_state_version`` (any attribute write, served invocation,
+      or movement callback bumps the version);
+    - every outgoing reference the stream encoded still resolves to the
+      same relocator instance and the same wire address (retypes and
+      chain shortening re-route tokens, so either invalidates).
+
+    Entries hold only weak references to anchors and stubs, so caching
+    never extends a complet's (or a tracker's) lifetime.
+    """
+
+    def __init__(self, capacity: int = 128) -> None:
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple, tuple] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, anchor: Anchor, preserve_stamps: bool) -> bytes | None:
+        """Return the cached stream for ``anchor``, or None when stale."""
+        key = (anchor._complet_id, preserve_stamps)
+        entry = self._entries.get(key)
+        if entry is None or anchor._complet_id is None:
+            self.misses += 1
+            return None
+        version, anchor_ref, stream, deps = entry
+        if anchor_ref() is not anchor or anchor._fargo_state_version != version:
+            self._entries.pop(key, None)
+            self.misses += 1
+            return None
+        for stub_ref, relocator, address in deps:
+            stub = stub_ref()
+            if (
+                stub is None
+                or stub._fargo_meta.get_relocator() is not relocator
+                or _token_address(stub._fargo_tracker) != address
+            ):
+                self._entries.pop(key, None)
+                self.misses += 1
+                return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return stream
+
+    def store(
+        self,
+        anchor: Anchor,
+        preserve_stamps: bool,
+        stream: bytes,
+        deps: list[tuple[Stub, Relocator, "TrackerAddress"]],
+    ) -> None:
+        if anchor._complet_id is None:
+            return
+        key = (anchor._complet_id, preserve_stamps)
+        weak_deps = tuple(
+            (weakref.ref(stub), relocator, address)
+            for stub, relocator, address in deps
+        )
+        self._entries[key] = (
+            anchor._fargo_state_version,
+            weakref.ref(anchor),
+            stream,
+            weak_deps,
+        )
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
 def marshal_clone(
     core: "Core", anchor: Anchor, clone_id: CompletId, *, preserve_stamps: bool = False
 ) -> CloneEntry:
@@ -232,10 +317,19 @@ def marshal_clone(
     them against whatever the restore destination hosts.
     """
 
+    cache: CloneStreamCache | None = getattr(core, "marshal_cache", None)
+    if cache is not None:
+        cached = cache.lookup(anchor, preserve_stamps)
+        if cached is not None:
+            return CloneEntry(clone_id, _anchor_ref(anchor.__class__), cached)
+
+    deps: list[tuple[Stub, Relocator, TrackerAddress]] = []
+
     def encode(obj: object) -> object | None:
         if isinstance(obj, Stub):
             tracker = obj._fargo_tracker
             relocator = obj._fargo_meta.get_relocator()
+            deps.append((obj, relocator, _token_address(tracker)))
             if preserve_stamps and isinstance(relocator, Stamp):
                 fallback: RefToken | None = None
                 if getattr(relocator, "fallback", "error") == "link":
@@ -261,6 +355,8 @@ def marshal_clone(
         return None
 
     stream = Serializer(encode_hook=encode).dumps(anchor)
+    if cache is not None:
+        cache.store(anchor, preserve_stamps, stream, deps)
     return CloneEntry(clone_id, _anchor_ref(anchor.__class__), stream)
 
 

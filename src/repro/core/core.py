@@ -13,6 +13,7 @@ import pickle
 from typing import TYPE_CHECKING
 
 from repro.complet.anchor import Anchor, qualified_class_ref, resolve_class_ref
+from repro.complet.marshal import CloneStreamCache
 from repro.complet.continuation import Continuation
 from repro.complet.metaref import MetaRef
 from repro.complet.relocators import relocator_from_name
@@ -90,6 +91,9 @@ class Core:
         self.peer.endpoint.tracer = self.tracer
         self.peer.endpoint.metrics = self.metrics
         self.repository = Repository(self)
+        #: Memoized clone streams keyed by (complet id, stamp mode); the
+        #: marshal layer consults and fills this (see CloneStreamCache).
+        self.marshal_cache = CloneStreamCache()
         self.events = EventBus(self)
         self.profiler = Profiler(self, cache_ttl=profile_cache_ttl)
         self.monitor = MonitorEventEngine(self)

@@ -23,11 +23,11 @@ retry would silently duplicate non-idempotent work.
 
 from __future__ import annotations
 
-import pickle
+import struct
 from inspect import getattr_static
 from typing import TYPE_CHECKING
 
-from repro.complet.anchor import current_complet, execution_context
+from repro.complet.anchor import bump_state_version, current_complet, execution_context
 from repro.complet.marshal import InvocationMarshaler
 from repro.complet.stub import Stub, stub_meta, stub_tracker
 from repro.complet.tracker import Tracker, TrackerAddress
@@ -42,6 +42,34 @@ from repro.net.retry import REACHABILITY_ERRORS
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.core import Core
+
+#: INVOKE wire framing.  The request prepends the target tracker serial
+#: to the marshaled call; the reply prepends (core-name length, final
+#: serial) and the UTF-8 core name to the marshaled result.  Fixed-width
+#: prefixes instead of pickling a wrapper tuple around every hop.
+_REQ_HEADER = struct.Struct("<q")
+_REPLY_HEADER = struct.Struct("<Hq")
+
+
+def _pack_request(serial: int, request: bytes) -> bytes:
+    return _REQ_HEADER.pack(serial) + request
+
+
+def _unpack_request(frame: bytes) -> tuple[int, bytes]:
+    (serial,) = _REQ_HEADER.unpack_from(frame)
+    return serial, frame[_REQ_HEADER.size:]
+
+
+def _pack_reply(result_bytes: bytes, final: TrackerAddress) -> bytes:
+    core_bytes = final.core.encode("utf-8")
+    return _REPLY_HEADER.pack(len(core_bytes), final.serial) + core_bytes + result_bytes
+
+
+def _unpack_reply(frame: bytes) -> tuple[bytes, TrackerAddress]:
+    core_len, serial = _REPLY_HEADER.unpack_from(frame)
+    start = _REPLY_HEADER.size
+    core = frame[start:start + core_len].decode("utf-8")
+    return frame[start + core_len:], TrackerAddress(core, serial)
 
 
 class InvocationUnit:
@@ -93,11 +121,17 @@ class InvocationUnit:
 
     # -- routing ----------------------------------------------------------------------
 
-    def _route(self, tracker: Tracker, request: bytes) -> tuple[bytes, TrackerAddress]:
+    def _route(
+        self, tracker: Tracker, request: bytes, *, collapse: bool = False
+    ) -> tuple[bytes, TrackerAddress]:
         """Deliver ``request`` to the target, however many hops away.
 
         Returns the marshaled result together with the address of the
         tracker colocated with the target, which callers use to shorten.
+
+        With ``collapse`` (set by forwarders), the chain is resolved with
+        cheap TRACKER_LOOKUP messages *before* the payload is sent, so
+        the request body crosses one link instead of riding every hop.
         """
         if tracker.is_local:
             return self._execute(tracker, request), tracker.address
@@ -105,6 +139,16 @@ class InvocationUnit:
             raise DanglingReferenceError(
                 f"reference to {tracker.target_id} dangles: target was destroyed"
             )
+        if collapse:
+            try:
+                self.core.references.resolve_final(tracker)
+            except DanglingReferenceError:
+                raise
+            except (CoreError, CompletError):
+                # Collapse is an optimization only: if the chain cannot
+                # be resolved up front (a hop briefly unreachable), fall
+                # through and forward hop by hop as before.
+                pass
         try:
             reply = self._forward(tracker.next_hop, request)
         except REACHABILITY_ERRORS:
@@ -120,12 +164,12 @@ class InvocationUnit:
             if recovered is None:
                 raise
             reply = self._forward(recovered, request)
-        result_bytes, final = pickle.loads(reply)
+        result_bytes, final = _unpack_reply(reply)
         self.core.references.shorten(tracker, final)
         return result_bytes, final
 
     def _forward(self, address: TrackerAddress, request: bytes) -> bytes:
-        frame = pickle.dumps((address.serial, request))
+        frame = _pack_request(address.serial, request)
         return self.core.peer.request_raw(address.core, MessageKind.INVOKE, frame)
 
     def _recover_route(self, tracker: Tracker) -> TrackerAddress | None:
@@ -151,7 +195,7 @@ class InvocationUnit:
         return None
 
     def _handle_invoke(self, src: str, raw: bytes) -> bytes:
-        serial, request = pickle.loads(raw)
+        serial, request = _unpack_request(raw)
         tracker = self.core.repository.tracker_by_serial(serial)
         if tracker is None:
             raise DanglingReferenceError(
@@ -160,8 +204,8 @@ class InvocationUnit:
         if not tracker.is_local:
             tracker.forwarded_invocations += 1
             self._forwarded.inc()
-        result_bytes, final = self._route(tracker, request)
-        return pickle.dumps((result_bytes, final))
+        result_bytes, final = self._route(tracker, request, collapse=not tracker.is_local)
+        return _pack_reply(result_bytes, final)
 
     # -- execution ---------------------------------------------------------------------
 
@@ -189,6 +233,10 @@ class InvocationUnit:
                 result = getattr(anchor, method)
             else:
                 result = getattr(anchor, method)(*args, **kwargs)
+                # The method may have mutated nested containers without
+                # any attribute write, so conservatively invalidate any
+                # cached marshal stream of this complet.
+                bump_state_version(anchor)
         tracker.served_invocations += 1
         self._executed.inc()
         self.core.profiler.note_served(anchor.complet_id)

@@ -31,7 +31,7 @@ from __future__ import annotations
 import logging
 from typing import TYPE_CHECKING
 
-from repro.complet.anchor import Anchor, execution_context
+from repro.complet.anchor import Anchor, bump_state_version, execution_context
 from repro.complet.continuation import Continuation
 from repro.complet.marshal import (
     CloneEntry,
@@ -163,6 +163,7 @@ class MovementUnit:
         for mover in plan.movers.values():
             with execution_context(self.core, mover.complet_id):
                 mover.pre_departure(destination)
+                bump_state_version(mover)
         try:
             payload = MovementMarshaler(self.core, plan).payload(continuation)
             # The commit request is deadline-exempt: once the destination's
@@ -221,6 +222,7 @@ class MovementUnit:
             try:
                 with execution_context(self.core, complet_id):
                     mover.abort_departure(destination)
+                    bump_state_version(mover)
             except Exception:  # noqa: BLE001 - abort hooks are isolated
                 logger.warning(
                     "abort_departure of %s failed", complet_id, exc_info=True
@@ -349,6 +351,7 @@ class MovementUnit:
         try:
             with execution_context(self.core, root.complet_id):
                 method(*continuation.args, **continuation.kwargs)
+                bump_state_version(root)
         except Exception:  # noqa: BLE001 - continuations run detached
             logger.warning(
                 "continuation %s of %s failed", continuation.method,

@@ -47,6 +47,9 @@ class ReferenceHandler:
 
     def __init__(self, core: "Core") -> None:
         self.core = core
+        #: Serials with a lookup in flight; guards the recursive collapse
+        #: in :meth:`_handle_lookup` against chain cycles re-entering it.
+        self._resolving: set[int] = set()
         core.peer.register(MessageKind.TRACKER_LOOKUP, self._handle_lookup)
         core.peer.register(MessageKind.TRACKER_UPDATE, self._handle_update)
 
@@ -155,6 +158,12 @@ class ReferenceHandler:
             if state == "local":
                 self.shorten(tracker, address)
                 return address
+            if state == "final":
+                # The queried tracker collapsed the rest of the chain on
+                # our behalf and answered with the target's own address.
+                assert next_hop is not None
+                self.shorten(tracker, next_hop)
+                return next_hop
             if state == "forward":
                 assert next_hop is not None
                 address = next_hop
@@ -286,6 +295,24 @@ class ReferenceHandler:
         if tracker.is_local:
             return ("local", None)
         if tracker.next_hop is not None:
+            if serial not in self._resolving:
+                # Collapse the remainder of the chain on the caller's
+                # behalf: resolve to the final tracker (shortening this
+                # tracker as a side effect) and answer with the target's
+                # address directly, so the caller repoints in one hop
+                # instead of walking every forwarder itself.
+                self._resolving.add(serial)
+                try:
+                    final = self.resolve_final(tracker)
+                except DanglingReferenceError:
+                    return ("dangling", None)
+                except (CoreError, CompletError):
+                    # Downstream unreachable or looping — fall back to
+                    # the plain one-hop answer and let the caller cope.
+                    return ("forward", tracker.next_hop)
+                finally:
+                    self._resolving.discard(serial)
+                return ("final", final)
             return ("forward", tracker.next_hop)
         return ("dangling", None)
 

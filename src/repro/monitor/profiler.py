@@ -61,6 +61,34 @@ class ServiceDef:
 HISTORY_CAPACITY = 256
 
 
+class ListenerFanoutStats:
+    """Process-wide sample-listener fan-out counters (bench-facing).
+
+    ``snapshots_built`` counts listener-table snapshot constructions per
+    sampler tick; with snapshot caching this drops to once per
+    listener-set change.
+    """
+
+    __slots__ = ("snapshots_built", "sample_ticks")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.snapshots_built = 0
+        self.sample_ticks = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "snapshots_built": self.snapshots_built,
+            "sample_ticks": self.sample_ticks,
+        }
+
+
+#: Shared counters; ``LISTENER_STATS.reset()`` scopes a measurement window.
+LISTENER_STATS = ListenerFanoutStats()
+
+
 @dataclass(slots=True)
 class ContinuousProfile:
     """A running continuous measurement of one (service, params) pair."""
@@ -74,6 +102,9 @@ class ContinuousProfile:
     samples_taken: int = 0
     last_sample: float = 0.0
     listeners: dict[int, SampleListener] = field(default_factory=dict)
+    #: Cached immutable view of ``listeners``, rebuilt lazily after a
+    #: listener change instead of on every sampler tick.
+    listener_snapshot: tuple[tuple[int, SampleListener], ...] | None = None
     #: Recent (time, raw sample) pairs, oldest first, bounded.
     history: list[tuple[float, float]] = field(default_factory=list)
 
@@ -320,8 +351,18 @@ class Profiler:
         profile.history.append((self.core.scheduler.clock.now(), value))
         if len(profile.history) > HISTORY_CAPACITY:
             del profile.history[: len(profile.history) - HISTORY_CAPACITY]
-        for listener in list(profile.listeners.values()):
-            listener(value, average)
+        LISTENER_STATS.sample_ticks += 1
+        snapshot = profile.listener_snapshot
+        if snapshot is None:
+            if profile.listeners:
+                LISTENER_STATS.snapshots_built += 1
+            snapshot = profile.listener_snapshot = tuple(profile.listeners.items())
+        # Membership is re-checked per call so a listener removed by an
+        # earlier listener of the same tick (e.g. ``unwatch`` from inside
+        # a watch handler) is not fired with the in-flight sample.
+        for listener_id, listener in snapshot:
+            if profile.listeners.get(listener_id) is listener:
+                listener(value, average)
 
     def history(self, service: str, **params) -> list[tuple[float, float]]:
         """Recent ``(time, raw sample)`` pairs of a continuous profile.
@@ -350,6 +391,7 @@ class Profiler:
             )
         self._listener_ids += 1
         profile.listeners[self._listener_ids] = listener
+        profile.listener_snapshot = None
         return (key, self._listener_ids)
 
     def remove_sample_listener(self, handle: tuple[tuple, int]) -> None:
@@ -358,6 +400,7 @@ class Profiler:
         if profile is None:
             return
         profile.listeners.pop(listener_id, None)
+        profile.listener_snapshot = None
         if profile.refcount <= 0 and not profile.listeners:
             self._drop_profile(key, profile)
 

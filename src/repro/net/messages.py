@@ -69,10 +69,6 @@ class Envelope:
         return f"[{self.msg_id}] {self.src} -> {self.dst} {self.kind.value} ({len(self.payload)}B)"
 
 
-#: Statuses for reply frames produced by the RPC layer.
-STATUS_OK = "ok"
-STATUS_ERROR = "error"
-
 #: Envelope headers carrying the distributed-tracing context.  Every
 #: cross-Core interaction of a traced operation carries these, which is
 #: how one logical operation yields one span tree spanning Cores.

@@ -37,7 +37,7 @@ from collections.abc import Callable
 from typing import TYPE_CHECKING
 
 from repro.errors import DeadlineExceededError, RemoteInvocationError, TransportError
-from repro.net.messages import STATUS_ERROR, STATUS_OK, Envelope, MessageKind
+from repro.net.messages import Envelope, MessageKind
 from repro.net.retry import RetryObserver, RetryPolicy
 from repro.net.simnet import SimNetwork
 from repro.trace.tracer import context_from_headers
@@ -62,13 +62,20 @@ ONEWAY_HEADER = "oneway"
 NO_DEADLINE = float("inf")
 
 
-def _encode_frame(status: str, body: object) -> bytes:
-    return pickle.dumps((status, body), protocol=pickle.HIGHEST_PROTOCOL)
+#: Reply frames are a one-byte status prefix followed by the body — no
+#: pickling of an (status, body) tuple around every reply.  OK bodies are
+#: raw handler bytes; error bodies are a pickled exception (or repr).
+_OK_PREFIX = b"\x00"
+_ERROR_PREFIX = b"\x01"
+_OK_EMPTY = _OK_PREFIX
 
 
-def _decode_frame(data: bytes) -> tuple[str, object]:
-    status, body = pickle.loads(data)
-    return status, body
+def _ok_frame(body: bytes) -> bytes:
+    return _OK_PREFIX + body
+
+
+def _err_frame(body: object) -> bytes:
+    return _ERROR_PREFIX + pickle.dumps(body, protocol=pickle.HIGHEST_PROTOCOL)
 
 
 class RpcEndpoint:
@@ -182,10 +189,9 @@ class RpcEndpoint:
             calls.inc()
             durations.observe(self.network.scheduler.clock.now() - started)
         assert isinstance(frame, bytes)
-        status, body = _decode_frame(frame)
-        if status == STATUS_OK:
-            assert isinstance(body, bytes)
-            return body
+        if frame[:1] == _OK_PREFIX:
+            return frame[1:]
+        body = pickle.loads(frame[1:])
         if isinstance(body, BaseException):
             raise body from RemoteInvocationError(
                 f"raised remotely at Core {dst!r} handling {kind.value!r}"
@@ -297,7 +303,11 @@ class RpcEndpoint:
                 f"{type(reply).__name__}, expected bytes"
             )
             return self._error_frame(envelope, error)
-        return _encode_frame(STATUS_OK, reply)
+        if envelope.headers.get(ONEWAY_HEADER) == "1":
+            # The sender dropped the reply before it was built; a bare
+            # status byte acknowledges delivery without framing work.
+            return _OK_EMPTY
+        return _ok_frame(reply)
 
     def _error_frame(self, envelope: Envelope, exc: BaseException) -> bytes:
         if envelope.headers.get(ONEWAY_HEADER) == "1":
@@ -311,8 +321,8 @@ class RpcEndpoint:
             )
             if self.on_oneway_error is not None:
                 self.on_oneway_error(envelope, exc)
-            return _encode_frame(STATUS_OK, b"")
-        return _encode_frame(STATUS_ERROR, _portable_exception(exc))
+            return _OK_EMPTY
+        return _err_frame(_portable_exception(exc))
 
 
 def _portable_exception(exc: BaseException) -> object:

@@ -27,6 +27,38 @@ EncodeHook = Callable[[object], object | None]
 DecodeHook = Callable[[object], object]
 
 
+class SerializerStats:
+    """Process-wide serializer counters (deterministic, bench-facing).
+
+    All :class:`Serializer` instances feed the same tallies so a bench
+    scenario can measure total pickling work regardless of which unit
+    (movement, invocation, persistence, control plane) triggered it.
+    """
+
+    __slots__ = ("dumps_calls", "loads_calls", "bytes_out", "buffers_allocated")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.dumps_calls = 0
+        self.loads_calls = 0
+        self.bytes_out = 0
+        self.buffers_allocated = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "dumps_calls": self.dumps_calls,
+            "loads_calls": self.loads_calls,
+            "bytes_out": self.bytes_out,
+            "buffers_allocated": self.buffers_allocated,
+        }
+
+
+#: Shared counters; ``STATS.reset()`` scopes a measurement window.
+STATS = SerializerStats()
+
+
 class _HookedPickler(pickle.Pickler):
     def __init__(self, buffer: io.BytesIO, encode_hook: EncodeHook | None) -> None:
         super().__init__(buffer, protocol=pickle.HIGHEST_PROTOCOL)
@@ -66,18 +98,51 @@ class Serializer:
     ) -> None:
         self._encode_hook = encode_hook
         self._decode_hook = decode_hook
+        self._buffer: io.BytesIO | None = None
+        self._pickler: _HookedPickler | None = None
+        self._busy = False
 
     def dumps(self, obj: object) -> bytes:
-        buffer = io.BytesIO()
+        STATS.dumps_calls += 1
+        if self._busy:
+            # An encode hook re-entered dumps() on the same serializer
+            # (e.g. a nested marshal); fall back to a throwaway buffer
+            # rather than corrupt the in-flight stream.
+            STATS.buffers_allocated += 1
+            buffer = io.BytesIO()
+            pickler = _HookedPickler(buffer, self._encode_hook)
+            reusing = False
+        else:
+            buffer_opt = self._buffer
+            pickler_opt = self._pickler
+            if buffer_opt is None or pickler_opt is None:
+                STATS.buffers_allocated += 1
+                buffer = self._buffer = io.BytesIO()
+                pickler = self._pickler = _HookedPickler(buffer, self._encode_hook)
+            else:
+                buffer, pickler = buffer_opt, pickler_opt
+                buffer.seek(0)
+                buffer.truncate()
+                pickler.clear_memo()
+            self._busy = True
+            reusing = True
         try:
-            _HookedPickler(buffer, self._encode_hook).dump(obj)
+            pickler.dump(obj)
         except FarGoError:
+            self._buffer = self._pickler = None  # framer state is suspect
             raise  # hook errors (boundary violations, ...) keep their type
         except Exception as exc:  # noqa: BLE001 - pickle raises many types
+            self._buffer = self._pickler = None
             raise SerializationError(f"cannot serialize {type(obj).__name__}: {exc}") from exc
-        return buffer.getvalue()
+        finally:
+            if reusing:
+                self._busy = False
+        data = buffer.getvalue()
+        STATS.bytes_out += len(data)
+        return data
 
     def loads(self, data: bytes) -> object:
+        STATS.loads_calls += 1
         buffer = io.BytesIO(data)
         try:
             return _HookedUnpickler(buffer, self._decode_hook).load()

@@ -88,6 +88,36 @@ class NetworkStats:
         self.by_kind[kind] += 1
 
 
+class TraceLog:
+    """Bounded log of recent envelopes, formatted lazily.
+
+    Appending stores a small tuple; the human-readable line (the hot-path
+    cost of string formatting per message) is only built when someone
+    actually iterates the log.
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, capacity: int) -> None:
+        self._entries: deque[tuple[int, str, str, str, int]] = deque(maxlen=capacity)
+
+    def append(self, envelope: Envelope) -> None:
+        self._entries.append(
+            (envelope.msg_id, envelope.src, envelope.dst,
+             envelope.kind.value, len(envelope.payload))
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        for msg_id, src, dst, kind, nbytes in self._entries:
+            yield f"[{msg_id}] {src} -> {dst} {kind} ({nbytes}B)"
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
 class SimNetwork:
     """A set of named nodes joined by configurable links.
 
@@ -114,7 +144,7 @@ class SimNetwork:
         self._partition_of: dict[str, int] = {}
         self._msg_ids = itertools.count(1)
         self.stats = NetworkStats()
-        self.trace: deque[str] = deque(maxlen=trace_capacity)
+        self.trace = TraceLog(trace_capacity)
 
     # -- topology -----------------------------------------------------------
 
@@ -253,7 +283,7 @@ class SimNetwork:
     def _deliver(self, envelope: Envelope) -> None:
         envelope.msg_id = next(self._msg_ids)
         self._check_reachable(envelope.src, envelope.dst)
-        self.trace.append(envelope.describe())
+        self.trace.append(envelope)
         self._charge(envelope.src, envelope.dst, envelope.kind, len(envelope.payload))
 
     def _check_reachable(self, src: str, dst: str) -> None:

@@ -4,8 +4,35 @@ from __future__ import annotations
 
 import time
 from abc import ABC, abstractmethod
+from contextlib import contextmanager
 
 from repro.errors import ConfigurationError
+
+_real_clock_ban_depth = 0
+
+
+@contextmanager
+def forbid_real_clocks():
+    """Fail fast on wall-clock leakage inside a deterministic run.
+
+    While active, constructing a :class:`RealClock` raises
+    :class:`ConfigurationError`.  The bench runner wraps every scenario
+    in this guard so a stray ``RealClock`` (and hence
+    ``time.monotonic()``) cannot make ``--check`` results vary across
+    machines.  Reentrant; thread-compatibility is not required under the
+    single-threaded simulation.
+    """
+    global _real_clock_ban_depth
+    _real_clock_ban_depth += 1
+    try:
+        yield
+    finally:
+        _real_clock_ban_depth -= 1
+
+
+def real_clocks_forbidden() -> bool:
+    """True while a :func:`forbid_real_clocks` guard is active."""
+    return _real_clock_ban_depth > 0
 
 
 class Clock(ABC):
@@ -60,6 +87,11 @@ class RealClock(Clock):
     """Wall-clock time, for interactive sessions (shell, live viewer)."""
 
     def __init__(self) -> None:
+        if real_clocks_forbidden():
+            raise ConfigurationError(
+                "RealClock constructed inside a forbid_real_clocks() guard; "
+                "deterministic runs must drive time through a VirtualClock"
+            )
         self._origin = time.monotonic()
 
     def now(self) -> float:

@@ -1,0 +1,119 @@
+"""Regression tests: mutating subscriber sets from inside a dispatch.
+
+The event bus and the profiler's sample fan-out both iterate a cached
+snapshot of their listeners.  A handler that (un)subscribes mid-dispatch
+must neither corrupt the iteration nor be delivered to after removal —
+the latent bug the snapshot cache fixes re-checks liveness per listener.
+"""
+
+from repro.cluster.cluster import Cluster
+from repro.core.events import DISPATCH_STATS
+
+
+class TestEventBusReentrancy:
+    def test_handler_unsubscribing_itself_is_safe(self):
+        cluster = Cluster(["a"])
+        bus = cluster["a"].events
+        seen = []
+
+        def once(event):
+            seen.append(event.name)
+            bus.unsubscribe(sub_id)
+
+        sub_id = bus.subscribe("tick", once)
+        bus.publish("tick")
+        bus.publish("tick")
+        assert seen == ["tick"]
+
+    def test_handler_unsubscribing_a_later_listener_suppresses_it(self):
+        cluster = Cluster(["a"])
+        bus = cluster["a"].events
+        calls = []
+
+        def first(event):
+            calls.append("first")
+            bus.unsubscribe(second_id)
+
+        def second(event):
+            calls.append("second")
+
+        bus.subscribe("tick", first)
+        second_id = bus.subscribe("tick", second)
+        bus.publish("tick")
+        # ``second`` was removed before its turn in the same dispatch: the
+        # snapshot still lists it, but the liveness re-check skips it.
+        assert calls == ["first"]
+
+    def test_handler_subscribing_during_dispatch_joins_next_publish(self):
+        cluster = Cluster(["a"])
+        bus = cluster["a"].events
+        calls = []
+
+        def late(event):
+            calls.append("late")
+
+        def first(event):
+            calls.append("first")
+            bus.subscribe("tick", late)
+
+        bus.subscribe("tick", first)
+        bus.publish("tick")
+        assert calls == ["first"]
+        bus.publish("tick")
+        assert calls == ["first", "first", "late"]
+
+    def test_snapshot_is_reused_while_subscribers_are_stable(self):
+        cluster = Cluster(["a"])
+        bus = cluster["a"].events
+        bus.subscribe("*", lambda event: None)
+        bus.subscribe("tick", lambda event: None)
+        DISPATCH_STATS.snapshots_built = 0
+        for _ in range(10):
+            bus.publish("tick")
+        assert DISPATCH_STATS.snapshots_built == 1
+        # Any subscription change invalidates the snapshot exactly once.
+        bus.subscribe("tock", lambda event: None)
+        for _ in range(10):
+            bus.publish("tick")
+        assert DISPATCH_STATS.snapshots_built == 2
+
+
+class TestProfilerFanoutReentrancy:
+    def test_sample_listener_removing_a_later_listener_is_safe(self):
+        cluster = Cluster(["a"])
+        profiler = cluster["a"].profiler
+        profiler.start("cpuLoad", interval=1.0)
+        calls = []
+
+        def first(value, average):
+            calls.append("first")
+            profiler.remove_sample_listener(second_handle)
+
+        def second(value, average):
+            calls.append("second")
+
+        profiler.add_sample_listener("cpuLoad", first)
+        second_handle = profiler.add_sample_listener("cpuLoad", second)
+        cluster.advance(1.5)
+        # ``second`` was unhooked inside the very tick that would have
+        # reached it; later ticks must not call it either.
+        cluster.advance(2.0)
+        assert calls and "second" not in calls
+
+    def test_unwatch_from_inside_the_watch_event_handler(self):
+        cluster = Cluster(["a"])
+        core = cluster["a"]
+        fired = []
+
+        watch_id = core.monitor.watch(
+            "cpuLoad", ">=", 0.0, interval=1.0, repeat=True, event_name="hot"
+        )
+
+        def on_hot(event):
+            fired.append(event.data["value"])
+            core.monitor.unwatch(watch_id)
+
+        core.events.subscribe("hot", on_hot)
+        cluster.advance(5.0)
+        assert len(fired) == 1
+        assert core.monitor.active_watches() == 0

@@ -91,4 +91,6 @@ class TestReplicationByDuplicate:
             remote_reader.lookup(f"k{index % 20}")
         remote_bytes = rig.stats.bytes
         assert local_bytes == 0
-        assert remote_bytes > 10_000
+        # 50 round trips of real traffic (the exact volume shrinks as the
+        # wire framing gets leaner; what matters is remote >> local == 0).
+        assert remote_bytes > 5_000

@@ -1,0 +1,164 @@
+"""Property tests for the hot-path fixes.
+
+Two invariants land here:
+
+- clone-stream memoization is *invisible*: whatever the cache answers
+  must be byte-identical to a from-scratch marshal of the current state;
+- forwarder-side chain collapse preserves reachability: after any
+  itinerary of moves, every tracker chain still terminates at the Core
+  hosting the target, and invocations keep landing.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.workload import Counter
+from repro.complet.anchor import Anchor
+from repro.complet.marshal import CloneStreamCache, marshal_clone
+from repro.complet.stub import compile_complet
+
+CORES = ["a", "b", "c", "d", "e"]
+
+payloads = st.recursive(
+    st.none() | st.integers(-1000, 1000) | st.text(max_size=12) | st.binary(max_size=32),
+    lambda children: st.lists(children, max_size=3)
+    | st.dictionaries(st.text(max_size=6), children, max_size=3),
+    max_leaves=12,
+)
+
+
+class Blob_(Anchor):
+    """State-carrying complet holding one reference (for memo tests)."""
+
+    def __init__(self, payload=None, ref=None) -> None:
+        self.payload = payload
+        self.ref = ref
+
+    def poke(self) -> int:
+        self.payload = ("poked", self.payload)
+        return 1
+
+
+Blob = compile_complet(Blob_)
+
+
+def _fresh_marshal(core, anchor):
+    """Marshal with an empty cache: the ground truth for byte identity."""
+    saved = core.marshal_cache
+    core.marshal_cache = CloneStreamCache()
+    try:
+        return marshal_clone(core, anchor, anchor.complet_id).stream
+    finally:
+        core.marshal_cache = saved
+
+
+class TestCloneStreamMemoization:
+    @settings(max_examples=30, deadline=None)
+    @given(payload=payloads)
+    def test_cached_stream_is_byte_identical(self, payload):
+        cluster = Cluster(["a", "b"])
+        core = cluster["a"]
+        target = Counter(0, _core=core)
+        blob = Blob(payload, target, _core=core)
+        anchor = core.repository.get(blob._fargo_target_id)
+
+        first = marshal_clone(core, anchor, anchor.complet_id).stream
+        hits_before = core.marshal_cache.hits
+        second = marshal_clone(core, anchor, anchor.complet_id).stream
+        assert core.marshal_cache.hits == hits_before + 1
+        assert second == first
+        assert _fresh_marshal(core, anchor) == first
+
+    @settings(max_examples=30, deadline=None)
+    @given(payload=payloads)
+    def test_mutation_invalidates_the_cached_stream(self, payload):
+        cluster = Cluster(["a", "b"])
+        core = cluster["a"]
+        blob = Blob(payload, None, _core=core)
+        anchor = core.repository.get(blob._fargo_target_id)
+
+        before = marshal_clone(core, anchor, anchor.complet_id).stream
+        blob.poke()
+        after = marshal_clone(core, anchor, anchor.complet_id).stream
+        assert after != before
+        assert after == _fresh_marshal(core, anchor)
+
+    @settings(max_examples=20, deadline=None)
+    @given(payload=payloads, moves=st.lists(st.sampled_from(["a", "b"]), max_size=3))
+    def test_memoization_tracks_reference_retargeting(self, payload, moves):
+        """Moving the *referenced* complet must refresh the clone stream,
+        because the stream embeds the reference's last-known address."""
+        cluster = Cluster(["a", "b"])
+        core = cluster["a"]
+        target = Counter(0, _core=core)
+        blob = Blob(payload, target, _core=core)
+        anchor = core.repository.get(blob._fargo_target_id)
+        for destination in moves:
+            marshal_clone(core, anchor, anchor.complet_id)
+            cluster.move_via_host(target, destination)
+            assert (
+                marshal_clone(core, anchor, anchor.complet_id).stream
+                == _fresh_marshal(core, anchor)
+            )
+
+
+def _terminal_tracker(cluster, tracker):
+    """Follow a tracker chain across Cores until it turns local."""
+    current = tracker
+    for _ in range(64):
+        if current.is_local:
+            return current
+        assert current.next_hop is not None, "chain dangles unexpectedly"
+        hop = current.next_hop
+        current = cluster[hop.core].repository.tracker_by_serial(hop.serial)
+        assert current is not None, "chain points at a collected tracker"
+    raise AssertionError("chain did not terminate within 64 hops")
+
+
+class TestChainCollapseReachability:
+    @settings(max_examples=30, deadline=None)
+    @given(hops=st.lists(st.sampled_from(CORES), min_size=1, max_size=12))
+    def test_invocations_land_after_any_itinerary(self, hops):
+        cluster = Cluster(CORES)
+        counter = Counter(0, _core=cluster["a"])
+        for destination in hops:
+            cluster.move_via_host(counter, destination)
+        assert counter.increment() == 1
+        assert counter.increment() == 2
+        assert cluster.locate(counter) == hops[-1]
+
+    @settings(max_examples=25, deadline=None)
+    @given(hops=st.lists(st.sampled_from(CORES), min_size=1, max_size=12))
+    def test_every_chain_terminates_at_the_host(self, hops):
+        cluster = Cluster(CORES)
+        counter = Counter(0, _core=cluster["a"])
+        for destination in hops:
+            cluster.move_via_host(counter, destination)
+        counter.increment()
+        host = hops[-1]
+        target_id = counter._fargo_target_id
+        for core in cluster:
+            for tracker in core.repository.trackers():
+                if tracker.target_id != target_id:
+                    continue
+                terminal = _terminal_tracker(cluster, tracker)
+                assert terminal.address.core == host
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        hops=st.lists(st.sampled_from(CORES), min_size=2, max_size=10),
+        observers=st.sets(st.sampled_from(CORES), min_size=1, max_size=3),
+    )
+    def test_stale_observers_still_reach_a_collapsed_target(self, hops, observers):
+        """References parked on other Cores while the chain collapsed
+        underneath them must still resolve."""
+        cluster = Cluster(CORES)
+        counter = Counter(0, _core=cluster["a"])
+        holders = [cluster.stub_at(name, counter) for name in sorted(observers)]
+        for destination in hops:
+            cluster.move_via_host(counter, destination)
+        counter.increment()  # collapses the primary chain
+        expected = 1
+        for holder in holders:
+            expected += 1
+            assert holder.increment() == expected
