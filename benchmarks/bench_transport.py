@@ -1,0 +1,87 @@
+"""Experiment T1 — transport backend overhead: simnet vs the TCP codec.
+
+The pluggable transport claims the application-level encoding is
+byte-identical on both backends and the TCP framing adds only a small
+fixed header per message.  Measured here:
+
+- a round trip over the simulated transport (the reference backend);
+- encode+decode of the same envelope through the length-prefixed TCP
+  framing (pure codec cost, no sockets);
+- a real loopback TCP round trip between two in-process hubs;
+- that the codec's byte overhead per message is a small constant.
+"""
+
+import pytest
+
+from repro.net import Envelope, MessageKind, SimTransport, TcpTransport, framing
+from repro.sim.clock import VirtualClock
+from repro.sim.scheduler import Scheduler
+from benchmarks.conftest import print_table
+
+PAYLOAD = b"x" * 512
+
+
+@pytest.fixture
+def sim_pair():
+    net = SimTransport(Scheduler(VirtualClock()))
+    net.register("a", lambda env: b"\x00" + env.payload)
+    net.register("b", lambda env: b"\x00")
+    return net
+
+
+@pytest.fixture
+def tcp_pair():
+    hub_a = TcpTransport()
+    hub_b = TcpTransport()
+    hub_a.register("a", lambda env: b"\x00" + env.payload)
+    hub_b.register("b", lambda env: b"\x00")
+    hub_a.add_peer("b", hub_b.local_address("b"))
+    hub_b.add_peer("a", hub_a.local_address("a"))
+    yield hub_a, hub_b
+    hub_a.close()
+    hub_b.close()
+
+
+def _envelope() -> Envelope:
+    return Envelope(src="b", dst="a", kind=MessageKind.INVOKE, payload=PAYLOAD)
+
+
+def test_sim_round_trip(benchmark, sim_pair):
+    """Reference: one request/reply over the simulated transport."""
+    benchmark(lambda: sim_pair.send(_envelope()))
+
+
+def test_codec_round_trip(benchmark):
+    """Pure framing cost: encode a request, decode it back."""
+    decoder = framing.FrameDecoder()
+
+    def round_trip():
+        data = framing.encode_request(_envelope(), 7)
+        return decoder.feed(data)
+
+    benchmark(round_trip)
+
+
+def test_tcp_round_trip(benchmark, tcp_pair):
+    """One request/reply over real loopback sockets."""
+    _hub_a, hub_b = tcp_pair
+    benchmark(lambda: hub_b.send(_envelope(), timeout=10.0))
+
+
+def test_overhead_summary(tcp_pair):
+    """The codec's per-message byte overhead is a small constant."""
+    rows = []
+    for size in (0, 64, 512, 8_192):
+        envelope = Envelope(
+            src="b", dst="a", kind=MessageKind.INVOKE, payload=b"x" * size
+        )
+        encoded = framing.encode_request(envelope, 1)
+        rows.append((size, len(encoded), len(encoded) - size))
+    print_table(
+        "T1: framing overhead by payload size",
+        ["payload B", "frame B", "overhead B"],
+        rows,
+    )
+    overheads = {overhead for _size, _frame, overhead in rows}
+    assert len(overheads) == 1, "framing overhead must not depend on payload size"
+    assert overheads.pop() < 64, "framing overhead must stay a small constant"

@@ -44,8 +44,10 @@ from repro.core.events import Event
 from repro.cluster.cluster import Cluster
 from repro.cluster.failures import FailureInjector
 from repro.cluster.topology import configure_star, configure_uniform, configure_wan
+from repro.errors import TransportCapabilityError, TransportError
 from repro.metrics import MetricsRegistry, merge_snapshots
 from repro.monitor.profiler import ProfilingSession
+from repro.net import SimTransport, TcpTransport, Transport, TransportGroup
 from repro.recovery import (
     CheckpointManager,
     CheckpointPolicy,
@@ -88,12 +90,18 @@ __all__ = [
     "Pull",
     "RecoveryManager",
     "Relocator",
+    "SimTransport",
     "Span",
     "SpanContext",
     "Stamp",
     "Stub",
+    "TcpTransport",
     "Trace",
     "Tracer",
+    "Transport",
+    "TransportCapabilityError",
+    "TransportError",
+    "TransportGroup",
     "assemble_traces",
     "chrome_trace_json",
     "compile_complet",

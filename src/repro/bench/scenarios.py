@@ -379,6 +379,64 @@ def script() -> dict:
     return _collect(cluster, ops=ops, virtual_seconds=cluster.now - t0)
 
 
+def transport() -> dict:
+    """SimTransport round-trips vs the TCP codec's per-message overhead.
+
+    The first half drives envelopes through the simulated transport (the
+    default backend); the second encodes the very same envelopes with
+    the length-prefixed TCP framing and decodes them back, so the area
+    pins both the simulated per-message accounting and the wire codec's
+    byte overhead.  Everything is counted, nothing timed: deterministic
+    on any machine.
+    """
+    from repro.net import Envelope, MessageKind, SimTransport
+    from repro.net import framing
+    from repro.sim.clock import VirtualClock
+    from repro.sim.scheduler import Scheduler
+
+    scheduler = Scheduler(VirtualClock())
+    net = SimTransport(
+        scheduler, default_bandwidth=1_000_000.0, default_latency=0.01
+    )
+    net.register("a", lambda env: b"\x00" + env.payload)
+    net.register("b", lambda env: b"\x00")
+    payloads = [b"p" * (64 + 16 * i) for i in range(50)]
+    _reset_counters()
+    t0 = scheduler.clock.now()
+    for payload in payloads:
+        net.send(
+            Envelope(src="b", dst="a", kind=MessageKind.INVOKE, payload=payload)
+        )
+    metrics = {
+        "ops": len(payloads),
+        "virtual_seconds": round(scheduler.clock.now() - t0, 9),
+        "sim_bytes": net.stats.bytes,
+        "sim_messages": net.stats.messages,
+    }
+
+    decoder = framing.FrameDecoder()
+    frame_bytes = 0
+    payload_bytes = 0
+    frames_decoded = 0
+    for request_id, payload in enumerate(payloads, start=1):
+        envelope = Envelope(
+            src="b", dst="a", kind=MessageKind.INVOKE, payload=payload
+        )
+        encoded = framing.encode_request(envelope, request_id)
+        encoded += framing.encode_reply(request_id, b"\x00" + payload)
+        frame_bytes += len(encoded)
+        payload_bytes += 2 * len(payload) + 1
+        frames_decoded += len(decoder.feed(encoded))
+    metrics["frame_bytes"] = frame_bytes
+    metrics["frame_overhead_bytes"] = frame_bytes - payload_bytes
+    metrics["frame_overhead_per_msg"] = round(
+        (frame_bytes - payload_bytes) / frames_decoded, 6
+    )
+    metrics["frames_decoded"] = frames_decoded
+    metrics["decoder_residue_bytes"] = decoder.pending_bytes
+    return metrics
+
+
 def taskfarm() -> dict:
     """The adaptive task farm application, static placement."""
     from repro.apps.taskfarm import Farm
@@ -440,6 +498,12 @@ SCENARIOS: dict[str, Scenario] = {
         ),
         Scenario("pipeline", pipeline, "items through a spread three-stage pipeline"),
         Scenario("script", script, "parse throughput and rule firing"),
+        Scenario(
+            "transport",
+            transport,
+            "simulated transport accounting vs TCP framing overhead",
+            targeted_metric="frame_overhead_per_msg",
+        ),
         Scenario("taskfarm", taskfarm, "the task-farm application end to end"),
     )
 }

@@ -1,20 +1,25 @@
 """Cluster harness: build and drive multi-Core FarGo deployments.
 
-The :class:`~repro.cluster.cluster.Cluster` owns the shared virtual
-clock, the simulated network, and a set of Cores.  Topology helpers
-shape the link matrix (LAN/WAN profiles), the failure injector schedules
-crashes and link degradation on the virtual timeline, and the workload
-module provides reusable complets for examples, tests and benchmarks.
+The :class:`~repro.cluster.cluster.Cluster` owns the shared clock, the
+transport (simulated network by default, per-Core TCP hubs with
+``transport="tcp"``), and a set of Cores.  Topology helpers shape the
+simulated link matrix (LAN/WAN profiles), the failure injector schedules
+crashes and link degradation through the transport's chaos hooks, and
+:mod:`repro.cluster.launch` runs Cores as separate OS processes over
+real TCP.
 """
 
-from repro.cluster.cluster import Cluster
+from repro.cluster.cluster import Cluster, TransportFactory
 from repro.cluster.topology import configure_star, configure_uniform, configure_wan
 from repro.cluster.failures import FailureInjector
+from repro.cluster.launch import CoreProcesses
 
 __all__ = [
     "Cluster",
+    "TransportFactory",
     "configure_star",
     "configure_uniform",
     "configure_wan",
     "FailureInjector",
+    "CoreProcesses",
 ]

@@ -144,7 +144,7 @@ class ChaosRun:
         up = [
             core.name
             for core in self.cluster.running_cores()
-            if self.cluster.network.is_up(core.name)
+            if self.cluster.transport.is_up(core.name)
         ]
         if not up:
             return
@@ -163,7 +163,7 @@ class ChaosRun:
     # -- invariants ------------------------------------------------------------------
 
     def _check_invariants(self) -> None:
-        network = self.cluster.network
+        network = self.cluster.transport
         hosts: dict = {}
         for core in self.cluster.running_cores():
             if not network.is_up(core.name):
@@ -196,7 +196,7 @@ class ChaosRun:
                 seat = min(
                     core.name
                     for core in self.cluster.running_cores()
-                    if self.cluster.network.is_up(core.name)
+                    if self.cluster.transport.is_up(core.name)
                 )
                 fresh = self.cluster.stub_at(seat, counter)
                 fresh.read()

@@ -1,22 +1,38 @@
-"""The Cluster: a set of Cores over one simulated network and clock."""
+"""The Cluster: a set of Cores over one transport and clock.
+
+The transport backend is pluggable (``transport=`` below): the default
+is the deterministic simulated network; ``transport="tcp"`` gives every
+Core its own real TCP hub (one listener socket per Core, loopback
+wiring), which is the in-process variant of the multi-process deployment
+in :mod:`repro.cluster.launch`.
+"""
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Iterator
+import time
+from collections.abc import Callable, Iterable, Iterator
 from typing import TYPE_CHECKING
 
 from repro.complet.anchor import Anchor
 from repro.complet.stub import Stub, stub_core, stub_target_id, stub_tracker
 from repro.core.admin import CoreAdmin
 from repro.core.core import Core
-from repro.errors import CoreNotFoundError
+from repro.errors import ConfigurationError, CoreNotFoundError
 from repro.metrics.registry import merge_snapshots
 from repro.net.retry import RetryPolicy
-from repro.net.simnet import NetworkStats, SimNetwork
-from repro.sim.clock import Clock, VirtualClock
+from repro.net.simnet import SimTransport
+from repro.net.tcp import TcpTransport
+from repro.net.transport import NetworkStats, Transport, TransportGroup
+from repro.sim.clock import Clock, RealClock, VirtualClock
 from repro.sim.scheduler import Scheduler
 from repro.trace.export import Trace, assemble_traces, chrome_trace_json
 from repro.trace.tracer import Span
+
+#: Factory signature for ``transport=``: builds one hub per Core.
+TransportFactory = Callable[[str, Scheduler], Transport]
+
+#: Granularity of the real-clock :meth:`Cluster.advance` pump.
+_PUMP_INTERVAL = 0.02
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.recovery import (
@@ -42,6 +58,7 @@ class Cluster:
         bandwidth: float = 1_000_000.0,
         latency: float = 0.01,
         clock: Clock | None = None,
+        transport: str | Transport | TransportFactory = "sim",
         eager_pointer_updates: bool = True,
         use_location_registry: bool = False,
         profile_cache_ttl: float = 1.0,
@@ -49,12 +66,45 @@ class Cluster:
         rpc_timeout: float | None = None,
         tracing: bool = False,
     ) -> None:
-        self.scheduler = Scheduler(clock if clock is not None else VirtualClock())
-        self.network = SimNetwork(
-            self.scheduler,
-            default_bandwidth=bandwidth,
-            default_latency=latency,
-        )
+        """``transport`` selects the substrate:
+
+        - ``"sim"`` (default) — one shared deterministic
+          :class:`~repro.net.simnet.SimTransport`; ``bandwidth`` and
+          ``latency`` configure its default links.
+        - ``"tcp"`` — a real :class:`~repro.net.tcp.TcpTransport` hub
+          per Core on loopback; the clock defaults to a
+          :class:`~repro.sim.clock.RealClock` and :meth:`advance`
+          becomes a real-time pump.
+        - a :class:`~repro.net.transport.Transport` instance — shared
+          by every Core (it must host multiple nodes).
+        - a callable ``(name, scheduler) -> Transport`` — builds one
+          hub per Core; hubs exposing ``local_address``/``add_peer``
+          (the TCP shape) are wired to each other automatically.
+        """
+        if clock is None:
+            clock = RealClock() if transport == "tcp" else VirtualClock()
+        self.scheduler = Scheduler(clock)
+        #: Per-Core hubs (empty when one shared transport carries all Cores).
+        self.transports: dict[str, Transport] = {}
+        self._shared_transport: Transport | None = None
+        self._transport_factory: TransportFactory | None = None
+        if transport == "sim":
+            self._shared_transport = SimTransport(
+                self.scheduler,
+                default_bandwidth=bandwidth,
+                default_latency=latency,
+            )
+        elif transport == "tcp":
+            self._transport_factory = lambda name, scheduler: TcpTransport(scheduler)
+        elif isinstance(transport, Transport):
+            self._shared_transport = transport
+        elif callable(transport):
+            self._transport_factory = transport
+        else:
+            raise ConfigurationError(
+                f"transport must be 'sim', 'tcp', a Transport, or a factory; "
+                f"got {transport!r}"
+            )
         self._eager_pointer_updates = eager_pointer_updates
         self._use_location_registry = use_location_registry
         self._profile_cache_ttl = profile_cache_ttl
@@ -79,8 +129,11 @@ class Cluster:
         core_kwargs.setdefault("retry_policy", self._retry_policy)
         core_kwargs.setdefault("rpc_timeout", self._rpc_timeout)
         core_kwargs.setdefault("tracing", self._tracing)
-        core = Core(name, self.network, self.scheduler, **core_kwargs)
+        hub = self._transport_for(name)
+        core = Core(name, hub, self.scheduler, **core_kwargs)
         self.cores[name] = core
+        if self._shared_transport is None:
+            self._wire_hub(name, hub)
         if self._detector_config is not None:
             self._attach_detector(core)
         if self.checkpoints is not None:
@@ -88,6 +141,43 @@ class Cluster:
         if self.recovery is not None:
             self.recovery.attach(core)
         return core
+
+    def _transport_for(self, name: str) -> Transport:
+        if self._shared_transport is not None:
+            return self._shared_transport
+        assert self._transport_factory is not None
+        hub = self._transport_factory(name, self.scheduler)
+        self.transports[name] = hub
+        return hub
+
+    def _wire_hub(self, name: str, hub: Transport) -> None:
+        """Teach per-Core hubs each other's addresses (TCP-shaped hubs)."""
+        local_address = getattr(hub, "local_address", None)
+        if local_address is None:
+            return
+        address = local_address(name)
+        for other, other_hub in self.transports.items():
+            if other == name:
+                continue
+            other_hub.add_peer(name, address)  # type: ignore[attr-defined]
+            hub.add_peer(other, other_hub.local_address(other))  # type: ignore[attr-defined]
+
+    @property
+    def transport(self) -> Transport:
+        """The cluster-wide transport view.
+
+        The shared hub when one transport carries every Core; otherwise
+        a :class:`~repro.net.transport.TransportGroup` over the per-Core
+        hubs (fresh each access, so it tracks Cores added later).
+        """
+        if self._shared_transport is not None:
+            return self._shared_transport
+        return TransportGroup(dict(self.transports))
+
+    @property
+    def network(self) -> Transport:
+        """Deprecated alias for :attr:`transport` (pre-protocol name)."""
+        return self.transport
 
     def core(self, name: str) -> Core:
         try:
@@ -114,8 +204,23 @@ class Cluster:
         return self.scheduler.clock.now()
 
     def advance(self, seconds: float) -> None:
-        """Sweep virtual time forward, firing samplers, watches, timers."""
-        self.scheduler.advance(seconds)
+        """Let ``seconds`` of cluster time pass, firing due timers.
+
+        On a virtual clock this is a deterministic sweep.  On a real
+        clock (the TCP backend) it becomes a pump: sleep in small steps
+        and fire whatever has come due, so the same test code drives
+        samplers, watches, and detectors on both backends.
+        """
+        if self.scheduler.clock.is_virtual:
+            self.scheduler.advance(seconds)
+            return
+        deadline = time.monotonic() + seconds
+        while True:
+            self.scheduler.fire_due()
+            remaining = deadline - time.monotonic()
+            if remaining <= 0.0:
+                return
+            time.sleep(min(_PUMP_INTERVAL, remaining))
 
     def drain(self) -> None:
         """Run everything already due — deferred continuations and any
@@ -130,13 +235,21 @@ class Cluster:
     # -- topology and failures -------------------------------------------------------------
 
     def set_link(self, a: str, b: str, **kwargs) -> None:
-        self.network.set_link(a, b, **kwargs)
+        self.transport.set_link(a, b, **kwargs)
 
     def partition(self, *groups: set[str]) -> None:
-        self.network.partition(*groups)
+        self.transport.partition(*groups)
 
     def heal_partition(self) -> None:
-        self.network.heal_partition()
+        self.transport.heal_partition()
+
+    def is_core_up(self, name: str) -> bool:
+        """Whether ``name`` is attached to the transport and not down."""
+        return self.transport.is_up(name)
+
+    def can_reach(self, src: str, dst: str) -> bool:
+        """Whether transport-level traffic from ``src`` reaches ``dst``."""
+        return self.transport.can_reach(src, dst)
 
     def shutdown_core(self, name: str) -> None:
         self.core(name).shutdown()
@@ -365,15 +478,27 @@ class Cluster:
 
     @property
     def stats(self) -> NetworkStats:
-        return self.network.stats
+        return self.transport.stats
 
     def reset_stats(self) -> None:
         """Zero the global network accounting (per-experiment measurement)."""
-        self.network.stats = NetworkStats()
+        self.transport.reset_stats()
 
     def shutdown_all(self) -> None:
         for core in self.running_cores():
             core.shutdown()
+
+    def close(self) -> None:
+        """Shut every Core down and release the transport(s).
+
+        A no-op beyond :meth:`shutdown_all` on the simulated backend;
+        on TCP it closes listener sockets and joins the loop threads.
+        """
+        self.shutdown_all()
+        if self._shared_transport is not None:
+            self._shared_transport.close()
+        for hub in self.transports.values():
+            hub.close()
 
     def __repr__(self) -> str:
         return f"<Cluster {self.core_names()} t={self.now:.3f}>"

@@ -24,7 +24,17 @@ from repro.sim.scheduler import Timer
 
 @dataclass(slots=True)
 class FailureInjector:
-    """Deterministic scheduler of environmental changes."""
+    """Deterministic scheduler of environmental changes.
+
+    Every injection goes through the transport-level chaos hooks, so
+    crash/revive, link cuts, latency, and partitions work on any
+    backend that advertises the capability — the simulated network and
+    real TCP alike.  A knob the backend does not model (e.g. bandwidth
+    shaping on TCP) raises
+    :class:`~repro.errors.TransportCapabilityError` when the injection
+    fires; check ``cluster.transport.supports(...)`` when scheduling
+    against an unknown backend.
+    """
 
     cluster: Cluster
     #: Log of injected changes: (time, description), for experiment reports.
@@ -116,7 +126,7 @@ class FailureInjector:
             time,
             "crash_core",
             f"core {name} crashes",
-            lambda: self.cluster.network.set_node_down(name),
+            lambda: self.cluster.transport.set_node_down(name),
         )
 
     def revive_core_at(self, time: float, name: str) -> Timer:
@@ -124,7 +134,7 @@ class FailureInjector:
             time,
             "revive_core",
             f"core {name} revives",
-            lambda: self.cluster.network.set_node_down(name, down=False),
+            lambda: self.cluster.transport.set_node_down(name, down=False),
         )
 
     def partition_at(self, time: float, *groups: set[str]) -> Timer:

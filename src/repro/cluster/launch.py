@@ -1,0 +1,252 @@
+"""Multi-process deployment: Cores as separate OS processes over TCP.
+
+This is the deployment shape of the paper — one stationary Core runtime
+per machine/process, complets moving between them — realised with
+:class:`~repro.net.tcp.TcpTransport`.  Two halves:
+
+- **Child**: ``python -m repro.cluster.launch --serve --name B --port N
+  --peer A=127.0.0.1:M ...`` runs one Core until it is shut down
+  (remotely via the ``shutdown`` admin operation, or by signal).  It
+  prints ``READY <name> <port>`` on stdout once its listener accepts.
+- **Parent**: :class:`CoreProcesses` preallocates a port per Core,
+  spawns the children with the full peer map, runs a local *driver*
+  Core on its own hub (the experimenter's seat: instantiate, move,
+  admin — everything goes through ordinary Core APIs over TCP), and
+  tears everything down on exit.
+
+The children inherit the parent's ``sys.path`` via ``PYTHONPATH`` so
+anchor classes defined in the driving program (e.g. a test suite's
+shared module) unpickle on the far side.  Cross-process recovery is out
+of scope: checkpoint/restore travels as bytes, but the
+:class:`~repro.recovery.RecoveryManager` needs in-process Core handles
+(see docs/TRANSPORT.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+
+from repro.core.core import Core
+from repro.errors import ConfigurationError, CoreError, TransportError
+from repro.net.tcp import TcpTransport
+from repro.sim.clock import RealClock
+from repro.sim.scheduler import Scheduler
+
+#: How often a serving child sweeps its scheduler for due timers.
+_SERVE_INTERVAL = 0.02
+
+#: stdout line a child prints once its listener is accepting.
+READY_PREFIX = "READY"
+
+
+def free_port(host: str = "127.0.0.1") -> int:
+    """Reserve an ephemeral port number (bind-to-zero trick).
+
+    The socket is closed again, so a race with another process is
+    possible but unlikely; good enough for localhost test deployments.
+    """
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((host, 0))
+        return sock.getsockname()[1]
+
+
+def _parse_peer(spec: str) -> tuple[str, tuple[str, int]]:
+    try:
+        name, address = spec.split("=", 1)
+        host, port = address.rsplit(":", 1)
+        return name, (host, int(port))
+    except ValueError:
+        raise ConfigurationError(
+            f"peer spec {spec!r} is not of the form name=host:port"
+        ) from None
+
+
+def serve(
+    name: str,
+    port: int,
+    peers: dict[str, tuple[str, int]],
+    *,
+    host: str = "127.0.0.1",
+    ready_stream=None,
+) -> None:
+    """Run one Core in this process until it shuts down.
+
+    Blocks; the loop alternates between sleeping and firing due timers,
+    which is how heartbeats, watches, and deferred shutdowns execute in
+    a real-clock process.
+    """
+    scheduler = Scheduler(RealClock())
+    transport = TcpTransport(scheduler, host=host, ports={name: port})
+    core = Core(name, transport, scheduler)
+    for peer_name, address in peers.items():
+        transport.add_peer(peer_name, address)
+    stream = ready_stream if ready_stream is not None else sys.stdout
+    print(f"{READY_PREFIX} {name} {transport.local_address(name)[1]}", file=stream, flush=True)
+    try:
+        while core.is_running:
+            scheduler.fire_due()
+            time.sleep(_SERVE_INTERVAL)
+    finally:
+        if core.is_running:
+            core.shutdown()
+        transport.close()
+
+
+@dataclass
+class CoreProcesses:
+    """A localhost multi-process deployment of Cores, driven in-process.
+
+    Usage::
+
+        with CoreProcesses(["A", "B"]) as procs:
+            driver = procs.driver          # a real Core in this process
+            stub = driver.instantiate(Message, "hello", at="A")
+            driver.move(stub, "B")
+
+    Every child is a separate Python interpreter running
+    :func:`serve`; the driver Core lives on its own
+    :class:`~repro.net.tcp.TcpTransport` hub in the calling process, so
+    all interaction is genuine TCP traffic.
+    """
+
+    names: list[str]
+    driver_name: str = "driver"
+    host: str = "127.0.0.1"
+    python: str = sys.executable
+    startup_timeout: float = 20.0
+    shutdown_timeout: float = 10.0
+
+    driver: Core | None = field(default=None, init=False)
+    transport: TcpTransport | None = field(default=None, init=False)
+    processes: dict[str, subprocess.Popen] = field(default_factory=dict, init=False)
+    addresses: dict[str, tuple[str, int]] = field(default_factory=dict, init=False)
+
+    def __enter__(self) -> "CoreProcesses":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def start(self) -> "CoreProcesses":
+        if self.driver is not None:
+            raise ConfigurationError("CoreProcesses is already started")
+        if self.driver_name in self.names:
+            raise ConfigurationError(
+                f"driver name {self.driver_name!r} collides with a child Core"
+            )
+        for name in self.names:
+            self.addresses[name] = (self.host, free_port(self.host))
+        self.addresses[self.driver_name] = (self.host, free_port(self.host))
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+        for name in self.names:
+            command = [
+                self.python, "-m", "repro.cluster.launch",
+                "--serve", "--name", name, "--host", self.host,
+                "--port", str(self.addresses[name][1]),
+            ]
+            for peer_name, (peer_host, peer_port) in self.addresses.items():
+                if peer_name != name:
+                    command += ["--peer", f"{peer_name}={peer_host}:{peer_port}"]
+            self.processes[name] = subprocess.Popen(
+                command,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+                env=env,
+            )
+
+        scheduler = Scheduler(RealClock())
+        self.transport = TcpTransport(
+            scheduler, host=self.host,
+            ports={self.driver_name: self.addresses[self.driver_name][1]},
+        )
+        self.driver = Core(self.driver_name, self.transport, scheduler)
+        for name in self.names:
+            self.transport.add_peer(name, self.addresses[name])
+        try:
+            self._await_ready()
+        except Exception:
+            self.stop()
+            raise
+        return self
+
+    def _await_ready(self) -> None:
+        """Block until every child's listener answers (READY + probe)."""
+        assert self.transport is not None
+        deadline = time.monotonic() + self.startup_timeout
+        for name in self.names:
+            process = self.processes[name]
+            while not self.transport.probe(name, timeout=1.0):
+                if process.poll() is not None:
+                    _out, err = process.communicate()
+                    raise CoreError(
+                        f"child Core {name!r} exited with status "
+                        f"{process.returncode} during startup:\n{err}"
+                    )
+                if time.monotonic() > deadline:
+                    raise CoreError(
+                        f"child Core {name!r} did not come up within "
+                        f"{self.startup_timeout}s"
+                    )
+                time.sleep(0.05)
+
+    def stop(self) -> None:
+        """Shut children down gracefully, then release the driver hub."""
+        driver = self.driver
+        for name, process in self.processes.items():
+            if process.poll() is not None:
+                continue
+            if driver is not None and driver.is_running:
+                try:
+                    # The delay lets the reply escape before the child's
+                    # listener closes.
+                    driver.admin(name, "shutdown", delay=0.1)
+                except (CoreError, TransportError):
+                    pass
+        for process in self.processes.values():
+            try:
+                process.wait(timeout=self.shutdown_timeout)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait(timeout=self.shutdown_timeout)
+        self.processes.clear()
+        if driver is not None and driver.is_running:
+            driver.shutdown()
+        if self.transport is not None:
+            self.transport.close()
+        self.driver = None
+        self.transport = None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cluster.launch",
+        description="Run one FarGo Core as an OS process over TCP.",
+    )
+    parser.add_argument("--serve", action="store_true", help="run a Core until shut down")
+    parser.add_argument("--name", help="Core name")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0, help="listener port (0 = ephemeral)")
+    parser.add_argument(
+        "--peer", action="append", default=[], metavar="NAME=HOST:PORT",
+        help="address of another Core (repeatable)",
+    )
+    args = parser.parse_args(argv)
+    if not args.serve or not args.name:
+        parser.error("--serve and --name are required")
+    peers = dict(_parse_peer(spec) for spec in args.peer)
+    serve(args.name, args.port, peers, host=args.host)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - subprocess entry point
+    sys.exit(main())

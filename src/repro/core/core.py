@@ -32,7 +32,7 @@ from repro.monitor.profiler import Profiler
 from repro.net.messages import Envelope, MessageKind
 from repro.net.peer import PeerInterface
 from repro.net.retry import RetryPolicy
-from repro.net.simnet import SimNetwork
+from repro.net.transport import Transport
 from repro.sim.scheduler import Scheduler
 from repro.trace.tracer import Tracer
 
@@ -58,7 +58,7 @@ class Core:
     def __init__(
         self,
         name: str,
-        network: SimNetwork,
+        transport: Transport,
         scheduler: Scheduler,
         *,
         eager_pointer_updates: bool = True,
@@ -79,7 +79,7 @@ class Core:
         self.retry_policy = retry_policy
         self.is_running = True
 
-        self.peer = PeerInterface(name, network)
+        self.peer = PeerInterface(name, transport)
         if retry_policy is not None:
             self.peer.configure_retry(retry_policy)
         if rpc_timeout is not None:
@@ -409,6 +409,16 @@ class Core:
             )
         if operation == "locator_forget":
             return self.locator.forget_core(kwargs["core"])
+        if operation == "shutdown":
+            # Remote shutdown (used by the multi-process launcher).  A
+            # small delay lets this reply reach the requester before the
+            # Core leaves the network and closes its listener.
+            delay = float(kwargs.get("delay", 0.0))
+            if delay > 0.0:
+                self.scheduler.call_after(delay, self.shutdown)
+            else:
+                self.shutdown()
+            return None
         raise CompletError(f"unknown admin operation {operation!r}")
 
     def _admin_checkpoint(self, complet_id_str: str) -> bytes:

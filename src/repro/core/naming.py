@@ -105,8 +105,8 @@ class NamingService:
         """
         if name in self._bindings:
             return self._bindings[name]
-        for core_name in self.core.peer.network.nodes():
-            if core_name == self.core.name or not self.core.peer.network.is_up(core_name):
+        for core_name in self.core.peer.peers():
+            if core_name == self.core.name or not self.core.peer.is_peer_up(core_name):
                 continue
             try:
                 return self.lookup_at(core_name, name)

@@ -167,7 +167,18 @@ class SerializationError(FarGoError):
 
 
 class TransportError(FarGoError):
-    """Low-level failure in the simulated network transport."""
+    """Low-level failure in the network transport (simulated or real)."""
+
+
+class TransportCapabilityError(TransportError):
+    """A transport was asked for a knob it does not model.
+
+    Raised by the default :class:`repro.net.transport.Transport` chaos
+    hooks: e.g. bandwidth shaping is meaningful on the simulated network
+    but not on a real TCP link, so ``TcpTransport.set_link(bandwidth=...)``
+    raises this instead of silently doing nothing.  Callers that want to
+    degrade gracefully check ``transport.supports(capability)`` first.
+    """
 
 
 # ---------------------------------------------------------------------------

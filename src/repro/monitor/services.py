@@ -163,11 +163,7 @@ def _latency(core: "Core", params: dict) -> float:
 
 
 def _link_bytes(core: "Core", params: dict) -> float:
-    peer = _require(params, "peer")
-    network = core.peer.network
-    outbound = network.link_stats(core.name, peer).bytes
-    inbound = network.link_stats(peer, core.name).bytes
-    return float(outbound + inbound)
+    return float(core.peer.link_bytes(_require(params, "peer")))
 
 
 # -- application services ----------------------------------------------------------------

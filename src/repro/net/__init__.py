@@ -1,11 +1,20 @@
 """Network substrate: the layer below the Core's Peer Interface.
 
 The paper implements Core-to-Core communication on Java RMI over real
-sockets.  Here the same roles are played by:
+sockets.  Here the substrate is pluggable behind one abstract protocol:
 
-- :mod:`repro.net.simnet` — a simulated network of named nodes connected
-  by links with configurable bandwidth and latency (mutable at runtime),
-  partitions, and full transfer accounting (messages, bytes, seconds).
+- :mod:`repro.net.transport` — the abstract :class:`Transport` protocol
+  (attach/send/post/close, peer addressing, stats and trace hooks,
+  capability-gated chaos) that :class:`RpcEndpoint` and
+  :class:`PeerInterface` depend on, plus :class:`TransportGroup` for
+  presenting per-Core hubs as one cluster-wide view.
+- :mod:`repro.net.simnet` — :class:`SimTransport`, a simulated network
+  of named nodes connected by links with configurable bandwidth and
+  latency (mutable at runtime), partitions, and full transfer
+  accounting.  Deterministic; the default backend for tests.
+- :mod:`repro.net.tcp` — :class:`TcpTransport`, real asyncio TCP
+  sockets with the length-prefixed framing of :mod:`repro.net.framing`,
+  so Cores run as separate OS processes (see :mod:`repro.cluster.launch`).
 - :mod:`repro.net.serializer` — pickle-based serialization with
   pluggable persistent-id hooks; *every* payload crossing a link is
   serialized and deserialized, so no object identity ever leaks between
@@ -16,9 +25,25 @@ sockets.  Here the same roles are played by:
   facade Cores use to talk to each other.
 """
 
+from repro.errors import TransportCapabilityError, TransportError
+from repro.net.framing import FrameDecoder, FramingError
 from repro.net.messages import Envelope, MessageKind
 from repro.net.serializer import Serializer
-from repro.net.simnet import Link, LinkStats, SimNetwork
+from repro.net.transport import (
+    CAP_BANDWIDTH,
+    CAP_LATENCY,
+    CAP_LINK_STATE,
+    CAP_NODE_DOWN,
+    CAP_PARTITION,
+    CAP_VIRTUAL_TIME,
+    LinkStats,
+    NetworkStats,
+    TraceLog,
+    Transport,
+    TransportGroup,
+)
+from repro.net.simnet import Link, SimNetwork, SimTransport, as_transport
+from repro.net.tcp import TcpTransport
 from repro.net.rpc import RpcEndpoint
 from repro.net.peer import PeerInterface
 
@@ -28,7 +53,24 @@ __all__ = [
     "Serializer",
     "Link",
     "LinkStats",
+    "NetworkStats",
+    "TraceLog",
+    "Transport",
+    "TransportGroup",
+    "TransportError",
+    "TransportCapabilityError",
     "SimNetwork",
+    "SimTransport",
+    "TcpTransport",
+    "as_transport",
+    "FrameDecoder",
+    "FramingError",
     "RpcEndpoint",
     "PeerInterface",
+    "CAP_NODE_DOWN",
+    "CAP_LINK_STATE",
+    "CAP_LATENCY",
+    "CAP_BANDWIDTH",
+    "CAP_PARTITION",
+    "CAP_VIRTUAL_TIME",
 ]

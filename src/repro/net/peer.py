@@ -13,16 +13,53 @@ from repro.net.messages import MessageKind
 from repro.net.retry import RetryPolicy
 from repro.net.rpc import RpcEndpoint, RpcHandler
 from repro.net.serializer import PLAIN, Serializer
-from repro.net.simnet import SimNetwork
+from repro.net.transport import LinkStats, Transport
 
 
 class PeerInterface:
-    """Typed facade over one Core's RPC endpoint."""
+    """Typed facade over one Core's RPC endpoint.
 
-    def __init__(self, core_name: str, network: SimNetwork) -> None:
+    Works against any :class:`Transport`; passing a bare
+    :class:`~repro.net.simnet.SimNetwork` still works through a
+    deprecation adapter.  Besides the messaging calls this facade also
+    exposes the protocol-level topology accessors (:meth:`peers`,
+    :meth:`is_peer_up`, :meth:`can_reach`, :meth:`link_stats`) so the
+    layers above never have to reach into the transport themselves.
+    """
+
+    def __init__(self, core_name: str, transport: Transport) -> None:
         self.core_name = core_name
-        self.network = network
-        self.endpoint = RpcEndpoint(core_name, network)
+        self.endpoint = RpcEndpoint(core_name, transport)
+        self.transport = self.endpoint.transport
+
+    @property
+    def network(self) -> Transport:
+        """Deprecated alias for :attr:`transport` (pre-protocol name)."""
+        return self.transport
+
+    # -- topology -------------------------------------------------------------
+
+    def peers(self) -> list[str]:
+        """Every node name known to the transport, this Core included."""
+        return self.transport.nodes()
+
+    def is_peer_up(self, name: str) -> bool:
+        """Whether ``name`` is attached and not administratively down."""
+        return self.transport.is_up(name)
+
+    def can_reach(self, dst: str) -> bool:
+        """Whether traffic from this Core can currently reach ``dst``."""
+        return self.transport.can_reach(self.core_name, dst)
+
+    def link_stats(self, dst: str) -> LinkStats:
+        """Directed traffic counters from this Core towards ``dst``."""
+        return self.transport.link_stats(self.core_name, dst)
+
+    def link_bytes(self, peer: str) -> int:
+        """Total bytes exchanged with ``peer`` (both directions)."""
+        outgoing = self.transport.link_stats(self.core_name, peer)
+        incoming = self.transport.link_stats(peer, self.core_name)
+        return outgoing.bytes + incoming.bytes
 
     # -- fault-tolerance configuration ----------------------------------------
 

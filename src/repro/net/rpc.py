@@ -39,7 +39,8 @@ from typing import TYPE_CHECKING
 from repro.errors import DeadlineExceededError, RemoteInvocationError, TransportError
 from repro.net.messages import Envelope, MessageKind
 from repro.net.retry import RetryObserver, RetryPolicy
-from repro.net.simnet import SimNetwork
+from repro.net.simnet import as_transport
+from repro.net.transport import Transport
 from repro.trace.tracer import context_from_headers
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -79,11 +80,18 @@ def _err_frame(body: object) -> bytes:
 
 
 class RpcEndpoint:
-    """One node's request/reply port on the simulated network."""
+    """One node's request/reply port on a :class:`Transport`.
 
-    def __init__(self, name: str, network: SimNetwork) -> None:
+    Any transport implementation works — the deterministic simulated
+    network for tests, real TCP for multi-process deployments.  Passing
+    a bare :class:`~repro.net.simnet.SimNetwork` still works through a
+    deprecation adapter; new code should construct a
+    :class:`~repro.net.simnet.SimTransport`.
+    """
+
+    def __init__(self, name: str, transport: Transport) -> None:
         self.name = name
-        self.network = network
+        self.transport = as_transport(transport)
         #: Observability hooks, attached by the owning Core (optional).
         self.tracer: "Tracer | None" = None
         self.metrics: "MetricsRegistry | None" = None
@@ -101,7 +109,12 @@ class RpcEndpoint:
         self.on_oneway_error: Callable[[Envelope, BaseException], None] | None = None
         #: Called as ``(dst, kind, attempt, delay, error)`` before a retry sleep.
         self.on_retry: Callable[[str, MessageKind, int, float, BaseException], None] | None = None
-        network.register(name, self._dispatch)
+        self.transport.register(name, self._dispatch)
+
+    @property
+    def network(self) -> Transport:
+        """Deprecated alias for :attr:`transport` (pre-protocol name)."""
+        return self.transport
 
     # -- configuration --------------------------------------------------------
 
@@ -175,19 +188,19 @@ class RpcEndpoint:
     ) -> bytes:
         limit = timeout if timeout is not None else self.timeout_for(kind)
         policy = retry if retry is not None else self.retry_for(kind)
-        started = self.network.scheduler.clock.now()
+        started = self.transport.scheduler.clock.now()
         if policy is None or policy.max_attempts <= 1:
             frame = self._attempt(dst, kind, payload, limit)
         else:
             frame = policy.run(
-                self.network.scheduler,
+                self.transport.scheduler,
                 lambda: self._attempt(dst, kind, payload, limit),
                 on_retry=self._retry_observer(dst, kind),
             )
         if self.metrics is not None:
             calls, durations = self._instruments_for(kind)
             calls.inc()
-            durations.observe(self.network.scheduler.clock.now() - started)
+            durations.observe(self.transport.scheduler.clock.now() - started)
         assert isinstance(frame, bytes)
         if frame[:1] == _OK_PREFIX:
             return frame[1:]
@@ -216,9 +229,9 @@ class RpcEndpoint:
         tracer = self.tracer
         if tracer is not None and tracer.enabled:
             envelope.headers.update(tracer.context_headers())
-        clock = self.network.scheduler.clock
+        clock = self.transport.scheduler.clock
         started = clock.now()
-        frame = self.network.send(envelope)
+        frame = self.transport.send(envelope, timeout=limit)
         elapsed = clock.now() - started
         if limit is not None and elapsed > limit:
             raise DeadlineExceededError(
@@ -264,11 +277,11 @@ class RpcEndpoint:
         )
         if self.metrics is not None:
             self.metrics.counter("rpc.posts", kind=kind.value).inc()
-        self.network.post(envelope)
+        self.transport.post(envelope)
 
     def close(self) -> None:
         """Detach from the network (no further traffic in or out)."""
-        self.network.deregister(self.name)
+        self.transport.deregister(self.name)
 
     # -- receiving ------------------------------------------------------------
 

@@ -17,9 +17,7 @@ from __future__ import annotations
 
 import itertools
 import logging
-from collections import Counter, deque
-from collections.abc import Callable
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import (
     ConfigurationError,
@@ -30,15 +28,35 @@ from repro.errors import (
     TransportError,
 )
 from repro.net.messages import Envelope, MessageKind
+from repro.net.transport import (
+    CAP_BANDWIDTH,
+    CAP_LATENCY,
+    CAP_LINK_STATE,
+    CAP_NODE_DOWN,
+    CAP_PARTITION,
+    CAP_VIRTUAL_TIME,
+    UNLIMITED,
+    LinkStats,
+    NetworkStats,
+    NodeHandler,
+    TraceLog,
+    Transport,
+)
 from repro.sim.scheduler import Scheduler
 
 logger = logging.getLogger(__name__)
 
-#: Handler installed by each node: consumes an envelope, returns reply bytes.
-NodeHandler = Callable[[Envelope], bytes]
-
-#: Bandwidth meaning "effectively infinite" (loopback, un-modelled links).
-UNLIMITED = float("inf")
+__all__ = [
+    "Link",
+    "LinkStats",
+    "NetworkStats",
+    "NodeHandler",
+    "SimNetwork",
+    "SimTransport",
+    "TraceLog",
+    "UNLIMITED",
+    "as_transport",
+]
 
 
 @dataclass(slots=True)
@@ -56,66 +74,6 @@ class Link:
         if self.bandwidth == UNLIMITED:
             return self.latency
         return self.latency + nbytes / self.bandwidth
-
-
-@dataclass(slots=True)
-class LinkStats:
-    """Cumulative accounting for one directed link."""
-
-    messages: int = 0
-    bytes: int = 0
-    seconds: float = 0.0
-
-    def record(self, nbytes: int, seconds: float) -> None:
-        self.messages += 1
-        self.bytes += nbytes
-        self.seconds += seconds
-
-
-@dataclass(slots=True)
-class NetworkStats:
-    """Global accounting across the whole network."""
-
-    messages: int = 0
-    bytes: int = 0
-    seconds: float = 0.0
-    by_kind: Counter = field(default_factory=Counter)
-
-    def record(self, kind: MessageKind, nbytes: int, seconds: float) -> None:
-        self.messages += 1
-        self.bytes += nbytes
-        self.seconds += seconds
-        self.by_kind[kind] += 1
-
-
-class TraceLog:
-    """Bounded log of recent envelopes, formatted lazily.
-
-    Appending stores a small tuple; the human-readable line (the hot-path
-    cost of string formatting per message) is only built when someone
-    actually iterates the log.
-    """
-
-    __slots__ = ("_entries",)
-
-    def __init__(self, capacity: int) -> None:
-        self._entries: deque[tuple[int, str, str, str, int]] = deque(maxlen=capacity)
-
-    def append(self, envelope: Envelope) -> None:
-        self._entries.append(
-            (envelope.msg_id, envelope.src, envelope.dst,
-             envelope.kind.value, len(envelope.payload))
-        )
-
-    def __len__(self) -> int:
-        return len(self._entries)
-
-    def __iter__(self):
-        for msg_id, src, dst, kind, nbytes in self._entries:
-            yield f"[{msg_id}] {src} -> {dst} {kind} ({nbytes}B)"
-
-    def clear(self) -> None:
-        self._entries.clear()
 
 
 class SimNetwork:
@@ -250,8 +208,14 @@ class SimNetwork:
 
     # -- delivery -------------------------------------------------------------
 
-    def send(self, envelope: Envelope) -> bytes:
-        """Deliver ``envelope`` and return the destination's reply bytes."""
+    def send(self, envelope: Envelope, timeout: float | None = None) -> bytes:
+        """Deliver ``envelope`` and return the destination's reply bytes.
+
+        ``timeout`` is accepted for :class:`~repro.net.transport.Transport`
+        signature parity and ignored: the simulated network is synchronous
+        in virtual time, so deadlines are enforced after the fact by the
+        RPC layer against the virtual clock.
+        """
         self._deliver(envelope)
         handler = self._handlers[envelope.dst]
         reply = handler(envelope)
@@ -313,3 +277,121 @@ class SimNetwork:
             # Quiet: transfer time moves the clock but never fires timers
             # mid-protocol; due work runs at the next explicit advance.
             self.scheduler.advance_quiet(seconds)
+
+
+class SimTransport(SimNetwork, Transport):
+    """The simulated network as a :class:`~repro.net.transport.Transport`.
+
+    This is the deterministic default backend: every chaos capability is
+    supported and every delivery charges virtual time, so a failure
+    scenario replays identically on any machine.  It *is* a
+    :class:`SimNetwork` — same links, partitions, and accounting — with
+    the protocol surface (capabilities, ``close``) added on top.
+    """
+
+    CAPABILITIES = frozenset(
+        {
+            CAP_NODE_DOWN,
+            CAP_LINK_STATE,
+            CAP_LATENCY,
+            CAP_BANDWIDTH,
+            CAP_PARTITION,
+            CAP_VIRTUAL_TIME,
+        }
+    )
+
+    def close(self) -> None:
+        """Detach every node; the simulated fabric itself has no resources."""
+        for name in list(self._handlers):
+            self.deregister(name)
+
+
+class _SimNetworkAdapter(Transport):
+    """Thin adapter presenting a bare :class:`SimNetwork` as a Transport.
+
+    Kept for compatibility with the pre-transport API where
+    ``PeerInterface``/``RpcEndpoint`` took a ``SimNetwork`` positionally;
+    new code should construct a :class:`SimTransport` (or any other
+    :class:`~repro.net.transport.Transport`) directly.
+    """
+
+    CAPABILITIES = SimTransport.CAPABILITIES
+
+    def __init__(self, network: SimNetwork) -> None:
+        self.network = network
+        self.scheduler = network.scheduler
+
+    @property
+    def stats(self) -> NetworkStats:  # type: ignore[override]
+        return self.network.stats
+
+    @property
+    def trace(self) -> TraceLog:  # type: ignore[override]
+        return self.network.trace
+
+    def register(self, name: str, handler: NodeHandler) -> None:
+        self.network.register(name, handler)
+
+    def deregister(self, name: str) -> None:
+        self.network.deregister(name)
+
+    def send(self, envelope: Envelope, timeout: float | None = None) -> bytes:
+        return self.network.send(envelope, timeout)
+
+    def post(self, envelope: Envelope) -> None:
+        self.network.post(envelope)
+
+    def nodes(self) -> list[str]:
+        return self.network.nodes()
+
+    def is_up(self, name: str) -> bool:
+        return self.network.is_up(name)
+
+    def can_reach(self, src: str, dst: str) -> bool:
+        return self.network.can_reach(src, dst)
+
+    def link_stats(self, src: str, dst: str) -> LinkStats:
+        return self.network.link_stats(src, dst)
+
+    def transfer_time(self, src: str, dst: str, nbytes: int) -> float:
+        return self.network.transfer_time(src, dst, nbytes)
+
+    def reset_stats(self) -> None:
+        self.network.stats = NetworkStats()
+
+    def set_node_down(self, name: str, down: bool = True) -> None:
+        self.network.set_node_down(name, down)
+
+    def set_link(self, a: str, b: str, **kwargs) -> None:
+        self.network.set_link(a, b, **kwargs)
+
+    def partition(self, *groups: set[str]) -> None:
+        self.network.partition(*groups)
+
+    def heal_partition(self) -> None:
+        self.network.heal_partition()
+
+
+def as_transport(substrate: "Transport | SimNetwork") -> Transport:
+    """Coerce the pre-redesign positional ``SimNetwork`` into a Transport.
+
+    Passing a bare :class:`SimNetwork` (rather than a
+    :class:`SimTransport` or other :class:`~repro.net.transport.Transport`)
+    is deprecated; the adapter keeps the old call sites working while
+    they migrate (see docs/API.md).
+    """
+    if isinstance(substrate, Transport):
+        return substrate
+    if isinstance(substrate, SimNetwork):
+        import warnings
+
+        warnings.warn(
+            "passing a bare SimNetwork is deprecated; construct a "
+            "SimTransport (repro.net.SimTransport) or any Transport instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return _SimNetworkAdapter(substrate)
+    raise TransportError(
+        f"expected a Transport (or legacy SimNetwork), got {type(substrate).__name__}"
+    )

@@ -184,7 +184,7 @@ class CheckpointManager:
         if (
             core is None
             or not core.is_running
-            or not self.cluster.network.is_up(name)
+            or not self.cluster.transport.is_up(name)
             or not core.repository.hosts(complet_id)
         ):
             return None
@@ -194,7 +194,7 @@ class CheckpointManager:
         hosts = [
             core
             for core in self.cluster.running_cores()
-            if self.cluster.network.is_up(core.name)
+            if self.cluster.transport.is_up(core.name)
             and core.repository.hosts(complet_id)
         ]
         if len(hosts) != 1:

@@ -133,7 +133,7 @@ class RecoveryManager:
             self.reconcile(revived)
 
     def _should_act(self, observer: str, failed: str) -> bool:
-        network = self.cluster.network
+        network = self.cluster.transport
         if not network.is_up(observer):
             return False  # a crashed Core's own detector still ticking
         if not network.is_up(failed):
@@ -172,7 +172,7 @@ class RecoveryManager:
         it can reach participate, which keeps a partition-side recovery
         inside its own component.
         """
-        network = self.cluster.network
+        network = self.cluster.transport
         started = self.cluster.scheduler.clock.now()
         self._handled.add(failed)
         survivors = [
@@ -321,7 +321,7 @@ class RecoveryManager:
         """
         self._handled.discard(revived)
         core = self.cluster.cores.get(revived)
-        network = self.cluster.network
+        network = self.cluster.transport
         if core is None or not core.is_running or not network.is_up(revived):
             return []
         dropped: list[str] = []
@@ -370,7 +370,7 @@ class RecoveryManager:
         return dropped
 
     def _live_copy_elsewhere(self, complet_id: CompletId, core: "Core") -> "Core | None":
-        network = self.cluster.network
+        network = self.cluster.transport
         for other in self.cluster.running_cores():
             if other is core or not network.is_up(other.name):
                 continue
@@ -392,7 +392,7 @@ class RecoveryManager:
         record = self.store.by_str(complet_id_str)
         if record is None:
             raise CompletError(f"no checkpoint stored for complet {complet_id_str!r}")
-        network = self.cluster.network
+        network = self.cluster.transport
         candidates = [
             core
             for core in self.cluster.running_cores()

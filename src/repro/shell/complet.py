@@ -139,11 +139,11 @@ class ShellComplet_(Anchor):
     # -- helpers ----------------------------------------------------------------------------
 
     def _find_host(self, complet_id: str) -> str | None:
-        network = self.core.peer.network
+        peer = self.core.peer
         if complet_id in self.core.admin(self.core.name, "complets"):
             return self.core.name
-        for core_name in network.nodes():
-            if core_name == self.core.name or not network.is_up(core_name):
+        for core_name in peer.peers():
+            if core_name == self.core.name or not peer.is_peer_up(core_name):
                 continue
             try:
                 if complet_id in self.core.admin(core_name, "complets"):

@@ -109,20 +109,32 @@ class LayoutMonitor:
         """
         from repro.util.bytesize import human_bytes
 
-        network = self.cluster.network
+        transport = self.cluster.transport
         names = [c.name for c in self.cluster.running_cores()]
+        # Configured bandwidth/latency only exist where the backend
+        # models links (simnet); elsewhere show observed traffic and
+        # live reachability instead of configuration.
+        link_model = getattr(transport, "link", None)
         lines = ["links (bandwidth / latency / observed traffic):"]
         for i, a in enumerate(names):
             for b in names[i + 1:]:
-                link = network.link(a, b)
-                forward = network.link_stats(a, b)
-                backward = network.link_stats(b, a)
-                state = "up" if link.up else "DOWN"
-                lines.append(
-                    f"  {a:<10} <-> {b:<10} {link.bandwidth / 1000:8.0f} KB/s  "
-                    f"{link.latency * 1000:6.1f} ms  "
-                    f"{human_bytes(forward.bytes + backward.bytes):>10}  {state}"
-                )
+                forward = transport.link_stats(a, b)
+                backward = transport.link_stats(b, a)
+                traffic = human_bytes(forward.bytes + backward.bytes)
+                if link_model is not None:
+                    link = link_model(a, b)
+                    state = "up" if link.up else "DOWN"
+                    lines.append(
+                        f"  {a:<10} <-> {b:<10} {link.bandwidth / 1000:8.0f} KB/s  "
+                        f"{link.latency * 1000:6.1f} ms  "
+                        f"{traffic:>10}  {state}"
+                    )
+                else:
+                    state = "up" if transport.can_reach(a, b) else "DOWN"
+                    lines.append(
+                        f"  {a:<10} <-> {b:<10} {'unmodelled':>8}  "
+                        f"{traffic:>10}  {state}"
+                    )
         if len(lines) == 1:
             lines.append("  (no links)")
         return "\n".join(lines)

@@ -5,14 +5,14 @@ import pytest
 from repro.net.messages import MessageKind
 from repro.net.peer import PeerInterface
 from repro.net.serializer import Serializer
-from repro.net.simnet import SimNetwork
+from repro.net.simnet import SimTransport
 from repro.sim.clock import VirtualClock
 from repro.sim.scheduler import Scheduler
 
 
 @pytest.fixture
 def peers():
-    net = SimNetwork(Scheduler(VirtualClock()))
+    net = SimTransport(Scheduler(VirtualClock()))
     return PeerInterface("a", net), PeerInterface("b", net)
 
 

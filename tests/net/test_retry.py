@@ -12,14 +12,14 @@ from repro.errors import (
 from repro.net.messages import MessageKind
 from repro.net.retry import NO_RETRY, RetryPolicy
 from repro.net.rpc import RpcEndpoint
-from repro.net.simnet import SimNetwork
+from repro.net.simnet import SimTransport
 from repro.sim.clock import VirtualClock
 from repro.sim.scheduler import Scheduler
 
 
 @pytest.fixture
 def net():
-    return SimNetwork(Scheduler(VirtualClock()))
+    return SimTransport(Scheduler(VirtualClock()))
 
 
 @pytest.fixture

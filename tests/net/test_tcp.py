@@ -1,0 +1,267 @@
+"""TcpTransport: real sockets on loopback, within one process."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import (
+    CoreDownError,
+    CoreUnreachableError,
+    DeadlineExceededError,
+    DuplicateCoreError,
+    TransportCapabilityError,
+    TransportError,
+)
+from repro.net import Envelope, MessageKind, TcpTransport
+from repro.net.retry import RetryPolicy
+
+pytestmark = pytest.mark.tcp
+
+
+def envelope(src: str, dst: str, payload: bytes = b"x") -> Envelope:
+    return Envelope(src=src, dst=dst, kind=MessageKind.HEARTBEAT, payload=payload)
+
+
+@pytest.fixture
+def pair():
+    """Two hubs, one node each, wired to each other."""
+    hub_a = TcpTransport(request_timeout=10.0, connect_timeout=5.0)
+    hub_b = TcpTransport(request_timeout=10.0, connect_timeout=5.0)
+    hub_a.register("a", lambda env: b"a-got:" + env.payload)
+    hub_b.register("b", lambda env: b"b-got:" + env.payload)
+    hub_a.add_peer("b", hub_b.local_address("b"))
+    hub_b.add_peer("a", hub_a.local_address("a"))
+    yield hub_a, hub_b
+    hub_a.close()
+    hub_b.close()
+
+
+class TestRequestReply:
+    def test_round_trip(self, pair):
+        hub_a, hub_b = pair
+        assert hub_b.send(envelope("b", "a", b"ping")) == b"a-got:ping"
+        assert hub_a.send(envelope("a", "b", b"pong")) == b"b-got:pong"
+
+    def test_concurrent_senders_multiplex_one_connection(self, pair):
+        _hub_a, hub_b = pair
+        results: list[bytes] = []
+        errors: list[BaseException] = []
+
+        def call(i: int) -> None:
+            try:
+                results.append(hub_b.send(envelope("b", "a", b"%d" % i)))
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=call, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=15)
+        assert not errors
+        assert sorted(results) == sorted(b"a-got:%d" % i for i in range(8))
+
+    def test_nested_synchronous_callback(self, pair):
+        """A handler that itself calls back over the network (A->B->A)."""
+        hub_a, hub_b = pair
+        hub_a.deregister("a")
+        hub_a.register(
+            "a", lambda env: b"a+" + hub_a.send(envelope("a", "b", b"nested"))
+        )
+        hub_b.add_peer("a", hub_a.local_address("a"))  # listener moved ports
+        assert hub_b.send(envelope("b", "a")) == b"a+b-got:nested"
+
+    def test_oneway_post(self, pair):
+        hub_a, hub_b = pair
+        seen = threading.Event()
+        hub_a.deregister("a")
+
+        def handler(env):
+            seen.set()
+            return b""
+
+        hub_a.register("a", handler)
+        hub_b.add_peer("a", hub_a.local_address("a"))  # listener moved ports
+        hub_b.post(envelope("b", "a", b"fire-and-forget"))
+        assert seen.wait(timeout=10)
+
+    def test_sender_side_stats(self, pair):
+        _hub_a, hub_b = pair
+        before = hub_b.stats.messages
+        hub_b.send(envelope("b", "a", b"12345"))
+        assert hub_b.stats.messages == before + 2  # request + reply
+        assert hub_b.link_stats("b", "a").bytes >= 5
+
+    def test_trace_records_envelopes(self, pair):
+        _hub_a, hub_b = pair
+        hub_b.send(envelope("b", "a"))
+        assert any("b -> a" in line for line in hub_b.trace)
+
+
+class TestErrors:
+    def test_handler_exception_travels_back_typed(self, pair):
+        hub_a, hub_b = pair
+        hub_a.deregister("a")
+
+        def failing(env):
+            raise CoreDownError("synthetic failure inside handler")
+
+        hub_a.register("a", failing)
+        hub_b.add_peer("a", hub_a.local_address("a"))  # listener moved ports
+        with pytest.raises(CoreDownError, match="synthetic"):
+            hub_b.send(envelope("b", "a"))
+
+    def test_unknown_destination(self, pair):
+        _hub_a, hub_b = pair
+        with pytest.raises(CoreUnreachableError):
+            hub_b.send(envelope("b", "nowhere"))
+
+    def test_connection_refused_maps_to_unreachable(self):
+        hub = TcpTransport(
+            reconnect=RetryPolicy(max_attempts=2, base_delay=0.01),
+            connect_timeout=2.0,
+        )
+        try:
+            hub.register("x", lambda env: b"")
+            port = hub.local_address("x")[1]
+            hub.add_peer("ghost", ("127.0.0.1", (port + 1) % 65535 or 1025))
+            with pytest.raises(CoreUnreachableError):
+                hub.send(envelope("x", "ghost"))
+        finally:
+            hub.close()
+
+    def test_timeout_raises_deadline_exceeded(self, pair):
+        import time
+
+        hub_a, hub_b = pair
+        hub_a.deregister("a")
+        hub_a.register("a", lambda env: time.sleep(3.0) or b"late")
+        with pytest.raises(DeadlineExceededError):
+            hub_b.send(envelope("b", "a"), timeout=0.3)
+
+    def test_duplicate_registration(self, pair):
+        hub_a, _hub_b = pair
+        with pytest.raises(DuplicateCoreError):
+            hub_a.register("a", lambda env: b"")
+
+    def test_deregistered_node_refuses_traffic(self, pair):
+        hub_a, hub_b = pair
+        hub_a.deregister("a")
+        hub_a.register("a2", lambda env: b"")  # keep the hub alive
+        # b's hub does not know "a" was deregistered; the remote hub
+        # answers with the typed refusal.
+        with pytest.raises((CoreDownError, CoreUnreachableError)):
+            hub_b.send(envelope("b", "a"))
+
+
+class TestReconnect:
+    def test_reconnects_after_peer_restart(self):
+        hub_a = TcpTransport()
+        hub_b = TcpTransport()
+        try:
+            hub_a.register("a", lambda env: b"v1:" + env.payload)
+            hub_b.register("b", lambda env: b"")
+            hub_b.add_peer("a", hub_a.local_address("a"))
+            hub_a.add_peer("b", hub_b.local_address("b"))
+            assert hub_b.send(envelope("b", "a", b"one")) == b"v1:one"
+            port = hub_a.local_address("a")[1]
+            hub_a.close()
+
+            # Restart "a" on the same port in a fresh hub.
+            hub_a2 = TcpTransport(ports={"a": port})
+            try:
+                hub_a2.register("a", lambda env: b"v2:" + env.payload)
+                hub_a2.add_peer("b", hub_b.local_address("b"))
+                # The cached connection is stale; the transport-level
+                # invalidation plus an RPC-style retry recovers.
+                policy = RetryPolicy(max_attempts=4, base_delay=0.05)
+
+                def attempt():
+                    return hub_b.send(envelope("b", "a", b"two"))
+
+                result = policy.run(hub_b.scheduler, attempt)
+                assert result == b"v2:two"
+            finally:
+                hub_a2.close()
+        finally:
+            hub_b.close()
+
+
+class TestChaos:
+    def test_node_down_refuses_at_sender(self, pair):
+        _hub_a, hub_b = pair
+        hub_b.set_node_down("a")
+        assert not hub_b.is_up("a")
+        assert not hub_b.can_reach("b", "a")
+        with pytest.raises(CoreDownError):
+            hub_b.send(envelope("b", "a"))
+        hub_b.set_node_down("a", down=False)
+        assert hub_b.send(envelope("b", "a", b"back")) == b"a-got:back"
+
+    def test_local_node_down_refuses_at_receiver(self, pair):
+        hub_a, hub_b = pair
+        hub_a.set_node_down("a")  # only a's own hub knows
+        with pytest.raises(CoreDownError):
+            hub_b.send(envelope("b", "a"))
+        hub_a.set_node_down("a", down=False)
+
+    def test_link_cut(self, pair):
+        _hub_a, hub_b = pair
+        hub_b.set_link("b", "a", up=False)
+        with pytest.raises(CoreUnreachableError):
+            hub_b.send(envelope("b", "a"))
+        hub_b.set_link("b", "a", up=True)
+        assert hub_b.send(envelope("b", "a", b"healed")) == b"a-got:healed"
+
+    def test_partition(self, pair):
+        _hub_a, hub_b = pair
+        hub_b.partition({"a"}, {"b"})
+        assert not hub_b.can_reach("b", "a")
+        with pytest.raises(CoreUnreachableError):
+            hub_b.send(envelope("b", "a"))
+        hub_b.heal_partition()
+        assert hub_b.can_reach("b", "a")
+
+    def test_injected_latency_is_reported(self, pair):
+        _hub_a, hub_b = pair
+        hub_b.set_link("b", "a", latency=0.01)
+        assert hub_b.transfer_time("b", "a", 100) == pytest.approx(0.01)
+        assert hub_b.send(envelope("b", "a", b"slow")) == b"a-got:slow"
+
+    def test_bandwidth_knob_is_simnet_only(self, pair):
+        _hub_a, hub_b = pair
+        with pytest.raises(TransportCapabilityError):
+            hub_b.set_link("b", "a", bandwidth=1000.0)
+
+
+class TestLifecycle:
+    def test_close_is_idempotent(self):
+        hub = TcpTransport()
+        hub.register("x", lambda env: b"")
+        hub.close()
+        hub.close()
+
+    def test_send_after_close_fails(self):
+        hub = TcpTransport()
+        hub.register("x", lambda env: b"")
+        hub.close()
+        with pytest.raises(TransportError):
+            hub.send(envelope("x", "x"))
+
+    def test_listener_port_released_after_close(self):
+        import socket
+
+        hub = TcpTransport()
+        hub.register("x", lambda env: b"")
+        port = hub.local_address("x")[1]
+        hub.close()
+        with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as probe:
+            probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            probe.bind(("127.0.0.1", port))  # must not raise
+
+    def test_probe(self, pair):
+        _hub_a, hub_b = pair
+        assert hub_b.probe("a", timeout=5.0)
+        assert not hub_b.probe("nonexistent", timeout=1.0)
