@@ -47,7 +47,22 @@ from repro.cluster.topology import configure_star, configure_uniform, configure_
 from repro.errors import TransportCapabilityError, TransportError
 from repro.metrics import MetricsRegistry, merge_snapshots
 from repro.monitor.profiler import ProfilingSession
-from repro.net import SimTransport, TcpTransport, Transport, TransportGroup
+from repro.net import (
+    BatchingTransport,
+    BatchPolicy,
+    SimTransport,
+    TcpTransport,
+    Transport,
+    TransportGroup,
+)
+from repro.store import (
+    FileStore,
+    InMemoryStore,
+    ObjectStore,
+    StoreClient,
+    StoreKey,
+    StoreProxy,
+)
 from repro.recovery import (
     CheckpointManager,
     CheckpointPolicy,
@@ -70,6 +85,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Anchor",
+    "BatchPolicy",
+    "BatchingTransport",
     "Carrier",
     "CheckpointManager",
     "CheckpointPolicy",
@@ -83,9 +100,12 @@ __all__ = [
     "Event",
     "FailureDetector",
     "FailureInjector",
+    "FileStore",
+    "InMemoryStore",
     "Link",
     "MetaRef",
     "MetricsRegistry",
+    "ObjectStore",
     "ProfilingSession",
     "Pull",
     "RecoveryManager",
@@ -94,6 +114,9 @@ __all__ = [
     "Span",
     "SpanContext",
     "Stamp",
+    "StoreClient",
+    "StoreKey",
+    "StoreProxy",
     "Stub",
     "TcpTransport",
     "Trace",

@@ -71,6 +71,7 @@ RULES: dict[str, RuleInfo] = _rules(
     ("FG202", "duplicate-typed reference to a mutable target", Severity.WARNING, "relocation"),
     ("FG203", "stamp target type missing at destination", Severity.WARNING, "relocation"),
     ("FG204", "conflicting relocation semantics on one edge", Severity.WARNING, "relocation"),
+    ("FG205", "large mutable duplicate without store offloading", Severity.WARNING, "relocation"),
     # movability checker
     ("FG301", "unpicklable complet field", Severity.ERROR, "movability"),
     ("FG302", "direct cross-complet reference", Severity.ERROR, "movability"),

@@ -1,4 +1,4 @@
-"""Relocation-semantics checker over a live topology (FG201–FG204).
+"""Relocation-semantics checker over a live topology (FG201–FG205).
 
 Builds the cluster-wide reference graph — every hosted complet, its
 closure weight (via the same pickle-based sizing the simulated network
@@ -14,6 +14,11 @@ declared semantics before any move enacts them:
   source could move to (with ``fallback="error"`` any such move aborts);
 - **FG204** one source holding pull *and* duplicate/stamp references to
   the same target — the move group cannot satisfy both.
+- **FG205** a large *mutable* complet referenced with ``duplicate``
+  semantics on a Core without effective store offloading: every move of
+  the source re-marshals and re-ships the whole closure (mutation
+  defeats both the clone cache and content-keyed dedup), which is
+  exactly the traffic :mod:`repro.store` exists to avoid.
 
 Closure scanning doubles as a deep movability pass: boundary violations
 and unpicklable state surface here as FG302/FG301.
@@ -106,6 +111,7 @@ def check_relocation(
     diagnostics.extend(_check_duplicate_mutability(graph))
     diagnostics.extend(_check_stamp_resolution(cluster, graph))
     diagnostics.extend(_check_mixed_semantics(graph))
+    diagnostics.extend(_check_store_offload(cluster, graph))
     return diagnostics
 
 
@@ -236,6 +242,46 @@ def _stores_into_self(node: ast.AST) -> bool:
                 return True
             base = base.value
     return False
+
+
+# -- FG205: large mutable duplicates without store offloading -----------------------
+
+
+def _check_store_offload(cluster: "Cluster", graph: _RefGraph) -> list[Diagnostic]:
+    from repro.store.proxy import DEFAULT_OFFLOAD_THRESHOLD
+
+    diagnostics = []
+    seen: set[str] = set()
+    for edge in graph.edges:
+        if edge.type_name != "duplicate" or edge.target in seen:
+            continue
+        size = graph.sizes.get(edge.target, 0)
+        if size < DEFAULT_OFFLOAD_THRESHOLD:
+            continue
+        cls = graph.classes.get(edge.target)
+        host = graph.hosts.get(edge.target)
+        if cls is None or host is None or not mutating_methods(cls):
+            continue
+        client = cluster.core(host).store_client
+        if client is not None and size >= client.threshold:
+            continue  # offloading will kick in; nothing to warn about
+        seen.add(edge.target)
+        remedy = (
+            "enable it with Cluster(store=...)"
+            if client is None
+            else f"its threshold ({human_bytes(client.threshold)}) exceeds "
+            f"the closure — lower store_threshold"
+        )
+        diagnostics.append(
+            diag(
+                "FG205",
+                f"complet {edge.target} ({human_bytes(size)}, mutable) is "
+                f"referenced with duplicate semantics but its host {host} "
+                f"does not offload it to the object store; every move of a "
+                f"holder re-ships the whole closure inline — {remedy}",
+            )
+        )
+    return diagnostics
 
 
 # -- FG203: stamp resolution --------------------------------------------------------

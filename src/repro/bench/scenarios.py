@@ -139,9 +139,29 @@ def invocation() -> dict:
         start = cluster.now
         counter.increment()
         latencies.append(cluster.now - start)
-    return _collect(
+    metrics = _collect(
         cluster, ops=200, virtual_seconds=cluster.now - t0, latencies=latencies
     )
+
+    # Bulk-argument segment: a 256 KiB payload echoed through a remote
+    # call, inline vs offloaded to the object store.
+    from repro.cluster.workload import Echo
+
+    bulk = {}
+    payload = "y" * 262_144
+    for label, kwargs in (("bulk_eager", {}), ("bulk_store", {"store": "memory"})):
+        bulk_cluster = Cluster(["a", "b"], **kwargs)
+        echo = Echo("bulk", _core=bulk_cluster["a"])
+        bulk_cluster.move(echo, "b")
+        _reset_counters(bulk_cluster)
+        assert echo.echo(payload) == payload
+        bulk[f"{label}_net_bytes"] = bulk_cluster.stats.bytes
+        bulk_cluster.close()
+    bulk["bulk_store_pct_of_eager"] = round(
+        100.0 * bulk["bulk_store_net_bytes"] / bulk["bulk_eager_net_bytes"], 6
+    )
+    metrics.update(bulk)
+    return metrics
 
 
 def monitoring() -> dict:
@@ -187,7 +207,25 @@ def movement() -> dict:
     t0 = cluster.now
     for destination in ("b", "a", "b", "a", "b", "a"):
         cluster.move(head, destination)
-    return _collect(cluster, ops=6, virtual_seconds=cluster.now - t0)
+    metrics = _collect(cluster, ops=6, virtual_seconds=cluster.now - t0)
+
+    # Heavy-move segment: a 1 MiB complet shipped eagerly vs offloaded
+    # through the object store (repro.store) — the payload crosses the
+    # link as a content-keyed proxy instead of inline bytes.
+    heavy = {}
+    for label, kwargs in (("heavy_eager", {}), ("heavy_store", {"store": "memory"})):
+        heavy_cluster = Cluster(["a", "b"], **kwargs)
+        source = DataSource(1_048_576, _core=heavy_cluster["a"])
+        _reset_counters(heavy_cluster)
+        heavy_cluster.move(source, "b")
+        heavy[f"{label}_net_bytes"] = heavy_cluster.stats.bytes
+        heavy[f"{label}_net_messages"] = heavy_cluster.stats.messages
+        heavy_cluster.close()
+    heavy["heavy_store_pct_of_eager"] = round(
+        100.0 * heavy["heavy_store_net_bytes"] / heavy["heavy_eager_net_bytes"], 6
+    )
+    metrics.update(heavy)
+    return metrics
 
 
 def tracking_modes() -> dict:
@@ -434,6 +472,132 @@ def transport() -> dict:
     )
     metrics["frames_decoded"] = frames_decoded
     metrics["decoder_residue_bytes"] = decoder.pending_bytes
+
+    # Batching segment: the same one-way burst raw vs coalesced through
+    # a BatchingTransport (repro.net.batching) — message count drops to
+    # ceil(N / max_messages) while every envelope still arrives.
+    from repro.net.batching import BatchingTransport, BatchPolicy
+
+    oneway = [
+        Envelope(src="b", dst="a", kind=MessageKind.EVENT_NOTIFY, payload=b"e" * 96)
+        for _ in range(64)
+    ]
+    raw_net = SimTransport(
+        Scheduler(VirtualClock()), default_bandwidth=1_000_000.0, default_latency=0.01
+    )
+    raw_net.register("a", lambda env: b"")
+    raw_net.register("b", lambda env: b"")
+    for envelope in oneway:
+        raw_net.post(envelope)
+    metrics["oneway_unbatched_messages"] = raw_net.stats.messages
+
+    batch_scheduler = Scheduler(VirtualClock())
+    batched = BatchingTransport(
+        SimTransport(
+            batch_scheduler, default_bandwidth=1_000_000.0, default_latency=0.01
+        ),
+        BatchPolicy(max_messages=16, max_delay=0.005),
+    )
+    delivered = []
+
+    def _deliver(env) -> bytes:
+        delivered.append(env)
+        return b""
+
+    batched.register("a", _deliver)
+    batched.register("b", lambda env: b"")
+    for envelope in oneway:
+        batched.post(envelope)
+    batch_scheduler.advance(0.1)  # drain deadline timers and deliveries
+    assert len(delivered) == len(oneway)
+    metrics["oneway_batched_messages"] = batched.stats.messages
+    metrics["batch_mean_occupancy_inv"] = round(
+        1.0 / max(batched.batch_stats.mean_occupancy, 1.0), 6
+    )
+    return metrics
+
+
+def store() -> dict:
+    """Large-payload offloading through the object store (repro.store).
+
+    Three segments, all virtual-clock deterministic:
+
+    - a 1 MiB complet moved eagerly vs offloaded (the headline
+      transport-byte reduction; ``store_move_pct_of_eager`` is the
+      targeted metric, lower is better);
+    - the same unchanged complet ping-ponged with the store on —
+      content keying makes every re-ship the same digest, so repeat
+      destinations resolve from their local cache (copy-on-first-read);
+    - a burst of large remote calls where arguments and replies cross
+      as proxies.
+    """
+    from repro.cluster.workload import DataSource, Echo
+
+    metrics: dict = {"ops": 0}
+
+    # Segment 1: one heavy move, eager vs store.
+    for label, kwargs in (("eager_move", {}), ("store_move", {"store": "memory"})):
+        cluster = Cluster(["a", "b"], **kwargs)
+        source = DataSource(1_048_576, _core=cluster["a"])
+        _reset_counters(cluster)
+        cluster.move(source, "b")
+        metrics[f"{label}_net_bytes"] = cluster.stats.bytes
+        metrics[f"{label}_net_messages"] = cluster.stats.messages
+        metrics["ops"] += 1
+        cluster.close()
+    metrics["store_move_pct_of_eager"] = round(
+        100.0 * metrics["store_move_net_bytes"] / metrics["eager_move_net_bytes"], 6
+    )
+
+    # Segment 2: copy-on-first-read.  Four holders each duplicate the
+    # *same* unchanged 256 KiB original when moved; the serving Core's
+    # clone cache re-marshals identical bytes, content keying maps them
+    # to one store entry (dedup puts), and the destination resolves the
+    # repeats from its local cache instead of re-reading the store.
+    from repro.complet.relocators import Duplicate
+    from repro.core.core import Core
+
+    cluster = Cluster(["a", "b", "c"], store="memory")
+    original = DataSource(262_144, _core=cluster["a"], _at="c")
+    holders = []
+    for index in range(4):
+        holder = Echo(f"holder{index}", _core=cluster["a"])
+        anchor = cluster["a"].repository.get(holder._fargo_target_id)
+        anchor.payload_ref = cluster.stub_at("a", original)
+        Core.get_meta_ref(anchor.payload_ref).set_relocator(Duplicate())
+        holders.append(holder)
+    _reset_counters(cluster)
+    for holder in holders:
+        cluster.move(holder, "b")
+        metrics["ops"] += 1
+    metrics["pingpong_net_bytes"] = cluster.stats.bytes
+    snap = cluster.store_snapshot()
+    clients = [view["client"] for view in snap["cores"].values() if view["enabled"]]
+    metrics["pingpong_cache_hits"] = sum(c["cache_hits"] for c in clients)
+    metrics["pingpong_store_hits"] = sum(c["store_hits"] for c in clients)
+    metrics["pingpong_resolve_misses"] = sum(c["misses"] for c in clients)
+    metrics["pingpong_bytes_saved"] = sum(c["bytes_saved"] for c in clients)
+    metrics["pingpong_dedup_puts"] = snap["store"]["stats"]["dedup_puts"]
+    cluster.close()
+
+    # Segment 3: bulk remote calls, argument and reply both offloaded.
+    cluster = Cluster(["a", "b"], store="memory")
+    echo = Echo("bulk", _core=cluster["a"])
+    cluster.move(echo, "b")
+    payload = "z" * 131_072
+    _reset_counters(cluster)
+    t0 = cluster.now
+    for _ in range(8):
+        assert echo.echo(payload) == payload
+        metrics["ops"] += 1
+    metrics["bulk_invoke_net_bytes"] = cluster.stats.bytes
+    metrics["bulk_invoke_net_messages"] = cluster.stats.messages
+    metrics["virtual_seconds"] = round(cluster.now - t0, 9)
+    store_backend = cluster.store_snapshot()["store"]["stats"]
+    metrics["store_puts"] = store_backend["puts"]
+    metrics["store_dedup_puts"] = store_backend["dedup_puts"]
+    metrics["store_misses"] = store_backend["misses"]
+    cluster.close()
     return metrics
 
 
@@ -503,6 +667,12 @@ SCENARIOS: dict[str, Scenario] = {
             transport,
             "simulated transport accounting vs TCP framing overhead",
             targeted_metric="frame_overhead_per_msg",
+        ),
+        Scenario(
+            "store",
+            store,
+            "large-payload offloading and content-keyed dedup",
+            targeted_metric="store_move_pct_of_eager",
         ),
         Scenario("taskfarm", taskfarm, "the task-farm application end to end"),
     )

@@ -9,6 +9,8 @@ in :mod:`repro.cluster.launch`.
 
 from __future__ import annotations
 
+import shutil
+import tempfile
 import time
 from collections.abc import Callable, Iterable, Iterator
 from typing import TYPE_CHECKING
@@ -19,10 +21,12 @@ from repro.core.admin import CoreAdmin
 from repro.core.core import Core
 from repro.errors import ConfigurationError, CoreNotFoundError
 from repro.metrics.registry import merge_snapshots
+from repro.net.batching import BatchingTransport, BatchPolicy
 from repro.net.retry import RetryPolicy
 from repro.net.simnet import SimTransport
 from repro.net.tcp import TcpTransport
 from repro.net.transport import NetworkStats, Transport, TransportGroup
+from repro.store import FileStore, InMemoryStore, ObjectStore
 from repro.sim.clock import Clock, RealClock, VirtualClock
 from repro.sim.scheduler import Scheduler
 from repro.trace.export import Trace, assemble_traces, chrome_trace_json
@@ -65,6 +69,9 @@ class Cluster:
         retry_policy: RetryPolicy | None = None,
         rpc_timeout: float | None = None,
         tracing: bool = False,
+        store: "str | bool | ObjectStore | None" = None,
+        store_threshold: int | None = None,
+        batching: "bool | BatchPolicy" = False,
     ) -> None:
         """``transport`` selects the substrate:
 
@@ -80,6 +87,19 @@ class Cluster:
         - a callable ``(name, scheduler) -> Transport`` — builds one
           hub per Core; hubs exposing ``local_address``/``add_peer``
           (the TCP shape) are wired to each other automatically.
+
+        ``store`` enables large-payload offloading (:mod:`repro.store`):
+        ``"memory"`` (or ``True``) shares one
+        :class:`~repro.store.InMemoryStore` across the Cores, ``"file"``
+        a cluster-owned :class:`~repro.store.FileStore` in a temporary
+        directory (removed by :meth:`close`), or pass an
+        :class:`~repro.store.ObjectStore` instance.  ``store_threshold``
+        overrides the per-Core offload threshold in bytes.
+
+        ``batching`` wraps every transport hub in a
+        :class:`~repro.net.batching.BatchingTransport`; pass ``True``
+        for the default :class:`~repro.net.batching.BatchPolicy` or a
+        policy instance for custom flush thresholds.
         """
         if clock is None:
             clock = RealClock() if transport == "tcp" else VirtualClock()
@@ -105,6 +125,38 @@ class Cluster:
                 f"transport must be 'sim', 'tcp', a Transport, or a factory; "
                 f"got {transport!r}"
             )
+        self._batch_policy: BatchPolicy | None = None
+        if batching:
+            self._batch_policy = (
+                batching if isinstance(batching, BatchPolicy) else BatchPolicy()
+            )
+            if self._shared_transport is not None:
+                self._shared_transport = BatchingTransport(
+                    self._shared_transport, self._batch_policy
+                )
+        self._store: ObjectStore | None = None
+        self._owned_store_dir: str | None = None
+        self._owns_store = False
+        if store is True:
+            store = "memory"
+        if store in (None, False):
+            pass
+        elif store == "memory":
+            self._store = InMemoryStore()
+            self._owns_store = True
+        elif store == "file":
+            root = tempfile.mkdtemp(prefix="repro-store-")
+            self._store = FileStore(root)
+            self._owned_store_dir = root
+            self._owns_store = True
+        elif isinstance(store, ObjectStore):
+            self._store = store
+        else:
+            raise ConfigurationError(
+                f"store must be 'memory', 'file', an ObjectStore, or None; "
+                f"got {store!r}"
+            )
+        self._store_threshold = store_threshold
         self._eager_pointer_updates = eager_pointer_updates
         self._use_location_registry = use_location_registry
         self._profile_cache_ttl = profile_cache_ttl
@@ -129,6 +181,8 @@ class Cluster:
         core_kwargs.setdefault("retry_policy", self._retry_policy)
         core_kwargs.setdefault("rpc_timeout", self._rpc_timeout)
         core_kwargs.setdefault("tracing", self._tracing)
+        core_kwargs.setdefault("store", self._store)
+        core_kwargs.setdefault("store_threshold", self._store_threshold)
         hub = self._transport_for(name)
         core = Core(name, hub, self.scheduler, **core_kwargs)
         self.cores[name] = core
@@ -147,6 +201,8 @@ class Cluster:
             return self._shared_transport
         assert self._transport_factory is not None
         hub = self._transport_factory(name, self.scheduler)
+        if self._batch_policy is not None:
+            hub = BatchingTransport(hub, self._batch_policy)
         self.transports[name] = hub
         return hub
 
@@ -474,6 +530,66 @@ class Cluster:
         per_core = [core.metrics.snapshot() for core in self.cores.values()]
         return {"cores": per_core, "cluster": merge_snapshots(per_core)}
 
+    @property
+    def store(self) -> "ObjectStore | None":
+        """The shared object store, or ``None`` when offloading is off."""
+        return self._store
+
+    def store_snapshot(self) -> dict:
+        """Object-store state: backend contents plus per-Core client stats.
+
+        ``{"enabled": False}`` when the cluster runs without a store;
+        otherwise the store's entry table and statistics under
+        ``"store"`` and each Core's resolve-cache counters under
+        ``"cores"``.
+        """
+        if self._store is None:
+            return {"enabled": False}
+        return {
+            "enabled": True,
+            "store": self._store.snapshot(),
+            "cores": {
+                name: core.store_view() for name, core in self.cores.items()
+            },
+        }
+
+    def _batching_transports(self) -> list[BatchingTransport]:
+        hubs: list[Transport | None] = [self._shared_transport]
+        hubs.extend(self.transports.values())
+        return [hub for hub in hubs if isinstance(hub, BatchingTransport)]
+
+    def batch_snapshot(self) -> dict:
+        """Aggregated envelope-batching statistics across all hubs."""
+        hubs = self._batching_transports()
+        if not hubs:
+            return {"enabled": False}
+        merged = {
+            "batches": 0,
+            "batched_messages": 0,
+            "passthrough_posts": 0,
+            "dropped_messages": 0,
+            "flush_triggers": {},
+        }
+        for hub in hubs:
+            snap = hub.batch_stats.snapshot()
+            for key in ("batches", "batched_messages",
+                        "passthrough_posts", "dropped_messages"):
+                merged[key] += snap[key]
+            for trigger, count in snap["flush_triggers"].items():
+                merged["flush_triggers"][trigger] = (
+                    merged["flush_triggers"].get(trigger, 0) + count
+                )
+        batches = merged["batches"]
+        merged["mean_occupancy"] = (
+            round(merged["batched_messages"] / batches, 6) if batches else 0.0
+        )
+        return {"enabled": True, **merged}
+
+    def flush_batches(self) -> None:
+        """Flush every pending batch queue now (test/benchmark barriers)."""
+        for hub in self._batching_transports():
+            hub.flush_all()
+
     # -- accounting -----------------------------------------------------------------------------
 
     @property
@@ -499,6 +615,11 @@ class Cluster:
             self._shared_transport.close()
         for hub in self.transports.values():
             hub.close()
+        if self._store is not None and self._owns_store:
+            self._store.close()
+        if self._owned_store_dir is not None:
+            shutil.rmtree(self._owned_store_dir, ignore_errors=True)
+            self._owned_store_dir = None
 
     def __repr__(self) -> str:
         return f"<Cluster {self.core_names()} t={self.now:.3f}>"

@@ -37,6 +37,7 @@ from repro.complet.tokens import CloneToken, InGroupToken, RefToken, StampToken
 from repro.complet.tracker import Tracker, TrackerAddress
 from repro.errors import CompletBoundaryError, CompletError, SerializationError
 from repro.net.serializer import Serializer
+from repro.store.proxy import StoreProxy
 from repro.util.ids import CompletId
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -44,6 +45,33 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 #: Tag wrapping every diverted reference in the pickle stream.
 _REF_TAG = "fargo-ref"
+
+#: Invocation-payload prefix: the marshaled body follows inline.
+_INLINE_PREFIX = b"\x00"
+#: Invocation-payload prefix: a pickled StoreProxy for the body follows.
+_OFFLOADED_PREFIX = b"\x01"
+
+
+def _offload_stream(
+    core: "Core", stream: bytes, kind: str
+) -> "bytes | StoreProxy":
+    """Substitute a store proxy for ``stream`` when the Core offloads."""
+    client = getattr(core, "store_client", None)
+    if client is None:
+        return stream
+    return client.offload(stream, kind=kind)
+
+
+def _resolve_stream(core: "Core", obj: "bytes | StoreProxy") -> bytes:
+    """Payload bytes for ``obj``, releasing the store reference if proxied."""
+    if not isinstance(obj, StoreProxy):
+        return obj
+    client = getattr(core, "store_client", None)
+    if client is not None:
+        return client.resolve(obj, release=True)
+    data = obj.fetch()
+    obj.release()
+    return data
 
 
 @dataclass(frozen=True, slots=True)
@@ -65,21 +93,28 @@ class CloneEntry:
     """One duplicate copy travelling in a movement payload.
 
     The clone's closure is a nested stream so that two copies of the
-    same original stay distinct objects at the destination.
+    same original stay distinct objects at the destination.  The stream
+    may travel as a :class:`~repro.store.StoreProxy` when the marshaling
+    Core offloads large payloads.
     """
 
     clone_id: CompletId
     anchor_ref: str
-    stream: bytes
+    stream: "bytes | StoreProxy"
 
 
 @dataclass(slots=True)
 class MovementPayload:
-    """Everything one MOVE_COMPLET message carries."""
+    """Everything one MOVE_COMPLET message carries.
+
+    With store offloading enabled, ``stream`` (and each clone entry's
+    stream) travels as a :class:`~repro.store.StoreProxy` instead of the
+    marshaled bytes, so a group move costs O(reference) transport bytes.
+    """
 
     source_core: str
     members: list[MemberInfo]
-    stream: bytes
+    stream: "bytes | StoreProxy"
     clones: list[CloneEntry] = field(default_factory=list)
 
     @property
@@ -174,11 +209,11 @@ class MovementMarshaler:
         for target_id, (clone_id, anchor) in self.plan.local_clones.items():
             if anchor is None:
                 continue  # remote clone, already prefabricated
-            clones.append(marshal_clone(self.core, anchor, clone_id))
+            clones.append(marshal_clone(self.core, anchor, clone_id, offload=True))
         return MovementPayload(
             source_core=self.core.name,
             members=members,
-            stream=stream,
+            stream=_offload_stream(self.core, stream, "move"),
             clones=clones,
         )
 
@@ -305,7 +340,12 @@ class CloneStreamCache:
 
 
 def marshal_clone(
-    core: "Core", anchor: Anchor, clone_id: CompletId, *, preserve_stamps: bool = False
+    core: "Core",
+    anchor: Anchor,
+    clone_id: CompletId,
+    *,
+    preserve_stamps: bool = False,
+    offload: bool = False,
 ) -> CloneEntry:
     """Marshal a *copy* of ``anchor``'s complet as a nested clone stream.
 
@@ -315,13 +355,24 @@ def marshal_clone(
     (used by persistence snapshots), ``stamp``-typed references keep
     their stamp semantics instead, so a restored complet re-resolves
     them against whatever the restore destination hosts.
+
+    ``offload`` lets the Core's store client substitute a proxy for a
+    large stream.  Only wire-bound entries (movement payloads, answered
+    CLONE_REQUESTs) opt in; persistence snapshots stay self-contained
+    bytes, valid long after any store entry would have been released.
+    Offloading composes with the clone-stream cache: an unchanged complet
+    re-marshals to the same bytes, hence the same content key, so repeat
+    duplicates land on one store entry and repeat readers hit their
+    resolve cache — and any state-version bump yields new bytes under a
+    new key (version-stamped invalidation).
     """
 
     cache: CloneStreamCache | None = getattr(core, "marshal_cache", None)
     if cache is not None:
         cached = cache.lookup(anchor, preserve_stamps)
         if cached is not None:
-            return CloneEntry(clone_id, _anchor_ref(anchor.__class__), cached)
+            wire = _offload_stream(core, cached, "clone") if offload else cached
+            return CloneEntry(clone_id, _anchor_ref(anchor.__class__), wire)
 
     deps: list[tuple[Stub, Relocator, TrackerAddress]] = []
 
@@ -357,7 +408,8 @@ def marshal_clone(
     stream = Serializer(encode_hook=encode).dumps(anchor)
     if cache is not None:
         cache.store(anchor, preserve_stamps, stream, deps)
-    return CloneEntry(clone_id, _anchor_ref(anchor.__class__), stream)
+    wire = _offload_stream(core, stream, "clone") if offload else stream
+    return CloneEntry(clone_id, _anchor_ref(anchor.__class__), wire)
 
 
 def unmarshal_clone(core: "Core", entry: CloneEntry) -> Anchor:
@@ -374,7 +426,7 @@ def unmarshal_clone(core: "Core", entry: CloneEntry) -> Anchor:
             memo[token] = core.references.materialize(token)
         return memo[token]
 
-    anchor = Serializer(decode_hook=decode).loads(entry.stream)
+    anchor = Serializer(decode_hook=decode).loads(_resolve_stream(core, entry.stream))
     if not isinstance(anchor, Anchor):
         raise SerializationError(
             f"clone stream for {entry.clone_id} did not contain an anchor"
@@ -415,11 +467,14 @@ class MovementUnmarshaler:
             repository.tracker_for(entry.clone_id, entry.anchor_ref)
 
         serializer = Serializer(decode_hook=self._decode)
-        movers, continuation = serializer.loads(self.payload.stream)  # type: ignore[misc]
+        stream = _resolve_stream(self.core, self.payload.stream)
+        movers, continuation = serializer.loads(stream)  # type: ignore[misc]
 
         clones: list[Anchor] = []
         for entry in self.payload.clones:
-            clone = Serializer(decode_hook=self._decode).loads(entry.stream)
+            clone = Serializer(decode_hook=self._decode).loads(
+                _resolve_stream(self.core, entry.stream)
+            )
             if not isinstance(clone, Anchor):
                 raise SerializationError(
                     f"clone stream for {entry.clone_id} did not contain an anchor"
@@ -442,6 +497,12 @@ class InvocationMarshaler:
     Used on both sides of every invocation — including invocations whose
     target happens to be colocated, because complets are "always
     considered remote to each other with respect to parameter passing".
+
+    Every payload carries a one-byte prefix: inline bodies follow it
+    directly; bodies above the Core's store ``offload_threshold`` are put
+    into the object store and the prefix is followed by a pickled
+    :class:`~repro.store.StoreProxy` instead, so a bulky argument or
+    result crosses the transport as a reference.
     """
 
     def __init__(self, core: "Core") -> None:
@@ -449,9 +510,29 @@ class InvocationMarshaler:
         self._encoder = Serializer(encode_hook=self._encode)
 
     def dumps(self, obj: object) -> bytes:
-        return self._encoder.dumps(obj)
+        data = self._encoder.dumps(obj)
+        wire = _offload_stream(self.core, data, "invoke")
+        if isinstance(wire, StoreProxy):
+            import pickle
+
+            return _OFFLOADED_PREFIX + pickle.dumps(wire)
+        return _INLINE_PREFIX + data
 
     def loads(self, data: bytes) -> object:
+        prefix, body = data[:1], data[1:]
+        if prefix == _OFFLOADED_PREFIX:
+            import pickle
+
+            proxy = pickle.loads(body)
+            if not isinstance(proxy, StoreProxy):
+                raise SerializationError(
+                    "offloaded invocation payload did not contain a store proxy"
+                )
+            body = _resolve_stream(self.core, proxy)
+        elif prefix != _INLINE_PREFIX:
+            raise SerializationError(
+                f"invocation payload has unknown prefix {prefix!r}"
+            )
         # Per-payload memo: equal tokens materialize to the same stub,
         # preserving the sharing structure of the argument graph.
         memo: dict = {}
@@ -462,7 +543,7 @@ class InvocationMarshaler:
                 memo[token] = self.core.references.materialize(token)
             return memo[token]
 
-        return Serializer(decode_hook=decode).loads(data)
+        return Serializer(decode_hook=decode).loads(body)
 
     def _encode(self, obj: object) -> object | None:
         if isinstance(obj, Stub):

@@ -163,6 +163,17 @@ class CoreAdmin:
         assert isinstance(result, dict)
         return result
 
+    def store(self) -> dict:
+        """The target Core's object-store view.
+
+        ``{"enabled": False}`` when that Core runs without a store;
+        otherwise its resolve-cache counters under ``"client"`` and the
+        backing store's entry table and statistics under ``"store"``.
+        """
+        result = self._op("store")
+        assert isinstance(result, dict)
+        return result
+
     def spans(self) -> list[dict]:
         """The target Core's finished spans, as plain dicts, oldest first."""
         result = self._op("spans")

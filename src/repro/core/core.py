@@ -34,6 +34,8 @@ from repro.net.peer import PeerInterface
 from repro.net.retry import RetryPolicy
 from repro.net.transport import Transport
 from repro.sim.scheduler import Scheduler
+from repro.store.proxy import DEFAULT_OFFLOAD_THRESHOLD, StoreClient
+from repro.store.store import ObjectStore
 from repro.trace.tracer import Tracer
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -67,6 +69,8 @@ class Core:
         retry_policy: RetryPolicy | None = None,
         rpc_timeout: float | None = None,
         tracing: bool = False,
+        store: "ObjectStore | None" = None,
+        store_threshold: int | None = None,
     ) -> None:
         self.name = name
         self.scheduler = scheduler
@@ -90,6 +94,20 @@ class Core:
         self.metrics = MetricsRegistry(name)
         self.peer.endpoint.tracer = self.tracer
         self.peer.endpoint.metrics = self.metrics
+        #: Large-payload offloading: when a store is attached, the marshal
+        #: layer ships payloads above the threshold as store proxies.
+        self.store_client: StoreClient | None = None
+        if store is not None:
+            self.store_client = StoreClient(
+                store,
+                threshold=(
+                    store_threshold
+                    if store_threshold is not None
+                    else DEFAULT_OFFLOAD_THRESHOLD
+                ),
+                metrics=self.metrics,
+                tracer=self.tracer,
+            )
         self.repository = Repository(self)
         #: Memoized clone streams keyed by (complet id, stamp mode); the
         #: marshal layer consults and fills this (see CloneStreamCache).
@@ -314,6 +332,16 @@ class Core:
             "active_profiles": self.profiler.active_profiles(),
         }
 
+    def store_view(self) -> dict:
+        """This Core's object-store view: client counters + store entries."""
+        if self.store_client is None:
+            return {"enabled": False}
+        return {
+            "enabled": True,
+            "client": self.store_client.stats_snapshot(),
+            "store": self.store_client.store.snapshot(),
+        }
+
     def admin(self, core_name: str, operation: str, **kwargs) -> object:
         """Run an administration operation on this or a remote Core."""
         if core_name == self.name:
@@ -383,6 +411,8 @@ class Core:
             )
         if operation == "profile_history":
             return self.profiler.history(kwargs["service"], **kwargs.get("params", {}))
+        if operation == "store":
+            return self.store_view()
         if operation == "metrics":
             return self.metrics.snapshot()
         if operation == "spans":

@@ -412,4 +412,6 @@ class MovementUnit:
         from repro.complet.marshal import marshal_clone
 
         clone_id = self.core.repository.new_complet_id(anchor)
-        return marshal_clone(self.core, anchor, clone_id)
+        # Offload: the entry crosses two links (here -> requester ->
+        # destination) but is resolved only once, at the destination.
+        return marshal_clone(self.core, anchor, clone_id, offload=True)

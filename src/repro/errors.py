@@ -182,6 +182,26 @@ class TransportCapabilityError(TransportError):
 
 
 # ---------------------------------------------------------------------------
+# Object store
+# ---------------------------------------------------------------------------
+
+
+class StoreError(FarGoError):
+    """Base class for object-store errors (see :mod:`repro.store`)."""
+
+
+class StoreMissError(StoreError):
+    """A store key could not be resolved to its payload bytes.
+
+    Raised when a :class:`repro.store.StoreProxy` arrives at a Core whose
+    store (or the proxy's own locator) no longer holds the entry — it was
+    evicted, or the backing store is gone.  The movement and invocation
+    layers surface this to the caller rather than silently shipping a
+    stale payload.
+    """
+
+
+# ---------------------------------------------------------------------------
 # Monitoring
 # ---------------------------------------------------------------------------
 

@@ -48,6 +48,8 @@ class MessageKind(str, Enum):
     # Administration (shell / viewer)
     ADMIN_QUERY = "admin_query"             # layout snapshots, complet lists
     CORE_SHUTDOWN = "core_shutdown"         # shutdown notification
+    # Transport-level aggregation (repro.net.batching)
+    BATCH = "batch"                         # several one-way envelopes, one transfer
 
     def __str__(self) -> str:  # pragma: no cover - display only
         return self.value

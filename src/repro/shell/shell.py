@@ -26,6 +26,7 @@ interactive REPL on top).  Commands::
     trace timeline <trace-id>               text flame chart of one trace
     trace export <file>                     Chrome trace_event JSON
     metrics [<core>]                        metrics (cluster-wide by default)
+    store [<core>]                          object-store contents and hit/miss stats
     snapshot <complet-id>                   checkpoint a complet into the shell
     restore <complet-id> [<core>] [keep]    restore a held snapshot on a Core
     failures                                injections, detector verdicts, recoveries
@@ -84,6 +85,7 @@ class FarGoShell:
             "lint": self._cmd_lint,
             "trace": self._cmd_trace,
             "metrics": self._cmd_metrics,
+            "store": self._cmd_store,
             "snapshot": self._cmd_snapshot,
             "restore": self._cmd_restore,
             "failures": self._cmd_failures,
@@ -285,6 +287,27 @@ class FarGoShell:
         snapshot = self.cluster.metrics_snapshot()["cluster"]
         return render_metrics(snapshot, title="cluster metrics")
 
+    def _cmd_store(self, args: list[str]) -> str:
+        """store [<core>] — the object store's contents (per-key size,
+        refcount, hits) plus client offload/resolve counters; one Core's
+        view with an argument, the cluster-wide picture without."""
+        if args:
+            view = self.admin(args[0]).store()
+            if not view.get("enabled"):
+                return f"(object store disabled at {args[0]})"
+            lines = [f"client at {args[0]}: {_render_store_client(view['client'])}"]
+            lines.extend(_render_store_backend(view["store"]))
+            return "\n".join(lines)
+        snap = self.cluster.store_snapshot()
+        if not snap.get("enabled"):
+            return "(object store disabled; create the Cluster with store=...)"
+        lines = list(_render_store_backend(snap["store"]))
+        for name in sorted(snap["cores"]):
+            view = snap["cores"][name]
+            if view.get("enabled"):
+                lines.append(f"client at {name}: {_render_store_client(view['client'])}")
+        return "\n".join(lines)
+
     def _cmd_snapshot(self, args: list[str]) -> str:
         """snapshot <complet-id> — checkpoint via the hosting Core's admin
         facade; the bytes are held by the shell for a later ``restore``."""
@@ -357,6 +380,32 @@ class FarGoShell:
             if complet_id in self.cluster.complets_at(core.name):
                 return core.name
         return None
+
+
+def _render_store_backend(snapshot: dict) -> list[str]:
+    stats = snapshot["stats"]
+    lines = [
+        f"{snapshot['backend']} store: {len(snapshot['entries'])} entries, "
+        f"{stats['puts']} puts ({stats['dedup_puts']} dedup), "
+        f"{stats['gets']} gets, {stats['misses']} misses, "
+        f"{stats['evictions']} evictions, "
+        f"{stats['bytes_put']}B in / {stats['bytes_served']}B out"
+    ]
+    for entry in snapshot["entries"]:
+        lines.append(
+            f"  {entry['digest'][:10]}  {entry['size']:>10}B  "
+            f"refs={entry['refcount']}  hits={entry['hits']}"
+        )
+    return lines
+
+
+def _render_store_client(client: dict) -> str:
+    return (
+        f"threshold={client['threshold']}B offloads={client['offloads']} "
+        f"saved={client['bytes_saved']}B resolves={client['resolves']} "
+        f"(cache {client['cache_hits']} / store {client['store_hits']} / "
+        f"miss {client['misses']})"
+    )
 
 
 def _parse_params(tokens: list[str]) -> dict:

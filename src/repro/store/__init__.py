@@ -1,0 +1,48 @@
+"""Large-payload offloading: a pluggable proxy object store.
+
+Heavy payloads (marshaled movement groups, clone streams, bulky
+invocation arguments) are ``put`` into a shared :class:`ObjectStore`
+once and cross the transport as tiny lazy-resolving
+:class:`StoreProxy` references, so moving a complet with megabytes of
+state costs O(reference) wire bytes instead of O(state).  See
+``docs/STORE.md`` for the design and tuning knobs, and ROADMAP item 2
+for the motivation.
+
+Enable per cluster with ``Cluster(..., store="memory")`` (or ``"file"``,
+or any :class:`ObjectStore` instance) — the marshal layer in
+:mod:`repro.complet.marshal` does the substitution transparently above
+the client's ``offload_threshold``.
+"""
+
+from repro.errors import StoreError, StoreMissError
+from repro.store.proxy import (
+    DEFAULT_OFFLOAD_THRESHOLD,
+    DEFAULT_RESOLVE_CACHE_CAPACITY,
+    StoreClient,
+    StoreProxy,
+)
+from repro.store.store import (
+    FileStore,
+    InMemoryStore,
+    ObjectStore,
+    StoreEntryInfo,
+    StoreKey,
+    StoreStats,
+    store_for_locator,
+)
+
+__all__ = [
+    "DEFAULT_OFFLOAD_THRESHOLD",
+    "DEFAULT_RESOLVE_CACHE_CAPACITY",
+    "FileStore",
+    "InMemoryStore",
+    "ObjectStore",
+    "StoreClient",
+    "StoreEntryInfo",
+    "StoreError",
+    "StoreKey",
+    "StoreMissError",
+    "StoreProxy",
+    "StoreStats",
+    "store_for_locator",
+]

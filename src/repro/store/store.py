@@ -1,0 +1,370 @@
+"""Content-keyed object stores: the shared substrate below payload proxies.
+
+Cross-Core traffic historically shipped every payload — marshaled
+movement groups, clone streams, bulky invocation arguments — through the
+transport in full.  An :class:`ObjectStore` decouples *placement* from
+*transfer*: the sender ``put``s the bytes once and ships a tiny
+:class:`~repro.store.proxy.StoreProxy` naming the entry; readers ``get``
+the bytes out of band and ``evict`` their reference when done.
+
+Entries are **content-keyed**: the :class:`StoreKey` is a digest of the
+bytes plus their length, so putting the same payload twice lands on one
+entry (with its reference count tracking how many shipped proxies are
+still outstanding).  Content keying is also what gives ``duplicate`` /
+``stamp`` relocation semantics their copy-on-first-read behaviour — an
+*unchanged* complet marshals to the same bytes, hence the same key, so a
+destination that already resolved the entry hits its local cache; any
+mutation bumps the anchor's state version, invalidates the clone-stream
+cache, and the fresh marshal lands under a *new* key (version-stamped
+invalidation without any coordination).
+
+Two backends ship:
+
+- :class:`InMemoryStore` — one shared dict, for the in-process backends
+  (the simulated network, loopback TCP hubs in one process).
+- :class:`FileStore` — a directory of blob files with sidecar refcounts,
+  readable across OS processes (the multi-process launcher's shape).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import threading
+import weakref
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import StoreError, StoreMissError
+
+#: Locator tags carried by proxies (see :meth:`ObjectStore.locator`).
+MEMORY_BACKEND = "memory"
+FILE_BACKEND = "file"
+
+
+@dataclass(frozen=True, slots=True)
+class StoreKey:
+    """Content address of one store entry: payload digest plus length."""
+
+    digest: str
+    size: int
+
+    @classmethod
+    def for_data(cls, data: bytes) -> "StoreKey":
+        return cls(hashlib.sha256(data).hexdigest(), len(data))
+
+    def short(self) -> str:
+        return self.digest[:10]
+
+
+@dataclass(slots=True)
+class StoreEntryInfo:
+    """Administrative view of one entry (shell ``store`` command)."""
+
+    key: StoreKey
+    refcount: int
+    hits: int
+
+    def to_dict(self) -> dict:
+        return {
+            "digest": self.key.digest,
+            "size": self.key.size,
+            "refcount": self.refcount,
+            "hits": self.hits,
+        }
+
+
+class StoreStats:
+    """Cumulative counters for one store instance."""
+
+    __slots__ = ("puts", "dedup_puts", "gets", "misses", "evictions",
+                 "bytes_put", "bytes_served")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.puts = 0
+        self.dedup_puts = 0
+        self.gets = 0
+        self.misses = 0
+        self.evictions = 0
+        self.bytes_put = 0
+        self.bytes_served = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "puts": self.puts,
+            "dedup_puts": self.dedup_puts,
+            "gets": self.gets,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "bytes_put": self.bytes_put,
+            "bytes_served": self.bytes_served,
+        }
+
+
+class ObjectStore(ABC):
+    """Shared payload store with ``put`` / ``get`` / ``evict``.
+
+    ``put`` is idempotent per content (a repeat put increments the
+    entry's reference count instead of storing a second copy); ``evict``
+    decrements and removes the entry when the count reaches zero, so a
+    balanced put-per-proxy / evict-per-read protocol leaves nothing
+    behind.  ``get`` never consumes.
+    """
+
+    stats: StoreStats
+
+    @abstractmethod
+    def put(self, data: bytes) -> StoreKey:
+        """Store ``data`` (or bump its refcount) and return its key."""
+
+    @abstractmethod
+    def get(self, key: StoreKey) -> bytes:
+        """The entry's bytes; raises :class:`StoreMissError` when absent."""
+
+    @abstractmethod
+    def evict(self, key: StoreKey) -> bool:
+        """Drop one reference; True when the entry was fully removed."""
+
+    @abstractmethod
+    def contains(self, key: StoreKey) -> bool:
+        """Whether the entry is currently resolvable here."""
+
+    @abstractmethod
+    def entries(self) -> list[StoreEntryInfo]:
+        """Administrative listing of live entries, insertion-ordered."""
+
+    @abstractmethod
+    def locator(self) -> tuple:
+        """Backend descriptor a proxy carries to self-resolve remotely."""
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+    def snapshot(self) -> dict:
+        """Stats plus the entry listing, for admin surfaces."""
+        return {
+            "backend": self.locator()[0],
+            "entries": [info.to_dict() for info in self.entries()],
+            "stats": self.stats.snapshot(),
+        }
+
+    def close(self) -> None:
+        """Release backend resources (a no-op for the in-memory store)."""
+
+
+# -- in-memory backend ---------------------------------------------------------
+
+#: Live in-memory stores by id, so proxies resolve within the process
+#: even at a Core whose own client is bound to a different store.
+_MEMORY_STORES: "weakref.WeakValueDictionary[str, InMemoryStore]" = (
+    weakref.WeakValueDictionary()
+)
+_memory_store_ids = itertools.count(1)
+
+
+class InMemoryStore(ObjectStore):
+    """One shared dict of entries: the in-process backend.
+
+    Every Core of a simulated (or loopback-TCP) cluster shares the same
+    instance, so a ``get`` at the destination is a local dict read — the
+    transport only ever carries the proxy.
+    """
+
+    def __init__(self) -> None:
+        self.store_id = f"mem-{next(_memory_store_ids)}"
+        self.stats = StoreStats()
+        #: digest -> [data, refcount, hits]
+        self._entries: dict[str, list] = {}
+        self._lock = threading.Lock()
+        _MEMORY_STORES[self.store_id] = self
+
+    def put(self, data: bytes) -> StoreKey:
+        key = StoreKey.for_data(data)
+        with self._lock:
+            entry = self._entries.get(key.digest)
+            if entry is None:
+                self._entries[key.digest] = [data, 1, 0]
+                self.stats.puts += 1
+                self.stats.bytes_put += key.size
+            else:
+                entry[1] += 1
+                self.stats.dedup_puts += 1
+        return key
+
+    def get(self, key: StoreKey) -> bytes:
+        with self._lock:
+            entry = self._entries.get(key.digest)
+            if entry is None:
+                self.stats.misses += 1
+                raise StoreMissError(
+                    f"store entry {key.short()} ({key.size}B) is not present"
+                )
+            entry[2] += 1
+            self.stats.gets += 1
+            self.stats.bytes_served += key.size
+            return entry[0]
+
+    def evict(self, key: StoreKey) -> bool:
+        with self._lock:
+            entry = self._entries.get(key.digest)
+            if entry is None:
+                return False
+            entry[1] -= 1
+            if entry[1] > 0:
+                return False
+            del self._entries[key.digest]
+            self.stats.evictions += 1
+            return True
+
+    def contains(self, key: StoreKey) -> bool:
+        return key.digest in self._entries
+
+    def entries(self) -> list[StoreEntryInfo]:
+        with self._lock:
+            return [
+                StoreEntryInfo(StoreKey(digest, len(data)), refcount, hits)
+                for digest, (data, refcount, hits) in self._entries.items()
+            ]
+
+    def locator(self) -> tuple:
+        return (MEMORY_BACKEND, self.store_id)
+
+    def __repr__(self) -> str:
+        return f"<InMemoryStore {self.store_id} ({len(self._entries)} entries)>"
+
+
+# -- file-backed backend -------------------------------------------------------
+
+
+class FileStore(ObjectStore):
+    """A directory of content-addressed blobs, shared across processes.
+
+    Each entry is a ``<digest>.blob`` file plus a ``<digest>.ref``
+    sidecar holding the reference count, so any process pointed at the
+    same directory (the multi-process launcher gives every Core the same
+    path) resolves proxies written by any other.  Refcount updates are
+    read-modify-write without inter-process locking: the movement
+    protocol's put-then-evict pairs are serialized per entry by the
+    protocol itself, which is all the accounting needs.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = StoreStats()
+        self._lock = threading.Lock()
+        #: digest -> hits (local accounting only; blobs are shared).
+        self._hits: dict[str, int] = {}
+
+    def _blob(self, digest: str) -> Path:
+        return self.root / f"{digest}.blob"
+
+    def _ref(self, digest: str) -> Path:
+        return self.root / f"{digest}.ref"
+
+    def _read_refcount(self, digest: str) -> int:
+        try:
+            return int(self._ref(digest).read_text())
+        except (OSError, ValueError):
+            return 0
+
+    def put(self, data: bytes) -> StoreKey:
+        key = StoreKey.for_data(data)
+        with self._lock:
+            blob = self._blob(key.digest)
+            if blob.exists():
+                self._ref(key.digest).write_text(
+                    str(self._read_refcount(key.digest) + 1)
+                )
+                self.stats.dedup_puts += 1
+            else:
+                blob.write_bytes(data)
+                self._ref(key.digest).write_text("1")
+                self.stats.puts += 1
+                self.stats.bytes_put += key.size
+        return key
+
+    def get(self, key: StoreKey) -> bytes:
+        with self._lock:
+            try:
+                data = self._blob(key.digest).read_bytes()
+            except OSError:
+                self.stats.misses += 1
+                raise StoreMissError(
+                    f"store entry {key.short()} ({key.size}B) is not present "
+                    f"under {self.root}"
+                ) from None
+            self._hits[key.digest] = self._hits.get(key.digest, 0) + 1
+            self.stats.gets += 1
+            self.stats.bytes_served += len(data)
+            return data
+
+    def evict(self, key: StoreKey) -> bool:
+        with self._lock:
+            blob = self._blob(key.digest)
+            if not blob.exists():
+                return False
+            remaining = self._read_refcount(key.digest) - 1
+            if remaining > 0:
+                self._ref(key.digest).write_text(str(remaining))
+                return False
+            blob.unlink(missing_ok=True)
+            self._ref(key.digest).unlink(missing_ok=True)
+            self._hits.pop(key.digest, None)
+            self.stats.evictions += 1
+            return True
+
+    def contains(self, key: StoreKey) -> bool:
+        return self._blob(key.digest).exists()
+
+    def entries(self) -> list[StoreEntryInfo]:
+        with self._lock:
+            infos = []
+            for blob in sorted(self.root.glob("*.blob")):
+                digest = blob.stem
+                infos.append(
+                    StoreEntryInfo(
+                        StoreKey(digest, blob.stat().st_size),
+                        self._read_refcount(digest),
+                        self._hits.get(digest, 0),
+                    )
+                )
+            return infos
+
+    def locator(self) -> tuple:
+        return (FILE_BACKEND, str(self.root))
+
+    def close(self) -> None:
+        """Forget the handle; the directory (shared) is left in place."""
+
+    def __repr__(self) -> str:
+        return f"<FileStore {self.root}>"
+
+
+# -- locator resolution --------------------------------------------------------
+
+#: FileStores opened to resolve foreign locators, one per directory.
+_FILE_STORES: dict[str, FileStore] = {}
+
+
+def store_for_locator(locator: tuple) -> ObjectStore:
+    """The store a proxy's locator names, opened/bound in this process."""
+    backend = locator[0]
+    if backend == MEMORY_BACKEND:
+        store = _MEMORY_STORES.get(locator[1])
+        if store is None:
+            raise StoreMissError(
+                f"in-memory store {locator[1]!r} is gone from this process"
+            )
+        return store
+    if backend == FILE_BACKEND:
+        path = str(locator[1])
+        store = _FILE_STORES.get(path)
+        if store is None:
+            store = _FILE_STORES[path] = FileStore(path)
+        return store
+    raise StoreError(f"unknown store backend in locator {locator!r}")

@@ -2,6 +2,8 @@
 
 from repro.analysis import check_relocation, mutating_methods
 from repro.cluster.cluster import Cluster
+from repro.complet.anchor import Anchor
+from repro.complet.stub import compile_complet
 from repro.cluster.workload import (
     DataSource,
     DataSource_,
@@ -14,6 +16,19 @@ from repro.cluster.workload import (
 
 def codes(cluster, **kwargs):
     return [d.code for d in check_relocation(cluster, **kwargs)]
+
+
+class Frozen_(Anchor):
+    """Bulky but immutable: no public method assigns into self."""
+
+    def __init__(self, blob: str = "") -> None:
+        self.blob = blob
+
+    def peek(self) -> int:
+        return len(self.blob)
+
+
+Frozen = compile_complet(Frozen_)
 
 
 def retype(cluster, host, source_idx, target_idx, type_name):
@@ -144,6 +159,51 @@ class TestFG204MixedSemantics:
         Worker(source, _core=cluster["a"], _at="a")
         retype(cluster, "a", 1, 0, "pull")
         assert "FG204" not in codes(cluster)
+
+
+class TestFG205StoreOffload:
+    """Large mutable duplicates should be offloaded through the store."""
+
+    def _duplicated_bulk_source(self, **cluster_kwargs):
+        cluster = Cluster(["a", "b"], **cluster_kwargs)
+        # DataSource_.read()/checksum() mutate (self.reads), and 200 KB
+        # clears the default 64 KiB offload threshold.
+        source = DataSource(size=200_000, _core=cluster["a"], _at="a")
+        Worker(source, _core=cluster["a"], _at="a")
+        retype(cluster, "a", 1, 0, "duplicate")
+        return cluster
+
+    def test_no_store_warns(self):
+        cluster = self._duplicated_bulk_source()
+        out = [d for d in check_relocation(cluster) if d.code == "FG205"]
+        assert len(out) == 1
+        assert "Cluster(store=...)" in out[0].message
+
+    def test_effective_store_is_clean(self):
+        cluster = self._duplicated_bulk_source(store="memory")
+        assert "FG205" not in codes(cluster)
+
+    def test_too_high_threshold_warns_with_remedy(self):
+        cluster = self._duplicated_bulk_source(
+            store="memory", store_threshold=10_000_000
+        )
+        out = [d for d in check_relocation(cluster) if d.code == "FG205"]
+        assert len(out) == 1
+        assert "store_threshold" in out[0].message
+
+    def test_small_duplicate_is_clean(self):
+        cluster = Cluster(["a", "b"])
+        source = DataSource(size=1_000, _core=cluster["a"], _at="a")
+        Worker(source, _core=cluster["a"], _at="a")
+        retype(cluster, "a", 1, 0, "duplicate")
+        assert "FG205" not in codes(cluster)
+
+    def test_immutable_bulk_duplicate_is_clean(self):
+        cluster = Cluster(["a", "b"])
+        frozen = Frozen("bulk" * 50_000, _core=cluster["a"], _at="a")
+        Worker(frozen, _core=cluster["a"], _at="a")
+        retype(cluster, "a", 1, 0, "duplicate")
+        assert "FG205" not in codes(cluster)
 
 
 class TestClusterAnalyze:

@@ -1,0 +1,237 @@
+"""Envelope batching over a wrapped transport: triggers, ordering, drops."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net import (
+    BatchPolicy,
+    BatchingTransport,
+    Envelope,
+    MessageKind,
+    SimTransport,
+)
+from repro.sim.clock import VirtualClock
+from repro.sim.scheduler import Scheduler
+
+
+def one_way(src: str, dst: str, payload: bytes = b"x") -> Envelope:
+    return Envelope(src=src, dst=dst, kind=MessageKind.EVENT_NOTIFY, payload=payload)
+
+
+def request(src: str, dst: str, payload: bytes = b"q") -> Envelope:
+    return Envelope(src=src, dst=dst, kind=MessageKind.ADMIN_QUERY, payload=payload)
+
+
+@pytest.fixture
+def sim():
+    return SimTransport(Scheduler(VirtualClock()))
+
+
+def batching(sim: SimTransport, **policy) -> BatchingTransport:
+    return BatchingTransport(sim, BatchPolicy(**policy)) if policy else BatchingTransport(sim)
+
+
+class Recorder:
+    """A node handler remembering every envelope it saw, in order."""
+
+    def __init__(self) -> None:
+        self.seen: list[Envelope] = []
+
+    def __call__(self, envelope: Envelope) -> bytes:
+        self.seen.append(envelope)
+        return b"ok"
+
+
+class TestFlushTriggers:
+    def test_posts_are_held_until_a_trigger(self, sim):
+        transport = batching(sim, max_messages=8)
+        received = Recorder()
+        transport.register("a", Recorder())
+        transport.register("b", received)
+        transport.post(one_way("a", "b"))
+        assert received.seen == []
+
+    def test_count_trigger_flushes_full_queue(self, sim):
+        transport = batching(sim, max_messages=4)
+        received = Recorder()
+        transport.register("a", Recorder())
+        transport.register("b", received)
+        for i in range(4):
+            transport.post(one_way("a", "b", bytes([i])))
+        assert [e.payload for e in received.seen] == [bytes([i]) for i in range(4)]
+        assert transport.batch_stats.flush_triggers == {"count": 1}
+        assert transport.batch_stats.batches == 1
+        assert transport.batch_stats.batched_messages == 4
+
+    def test_byte_budget_trigger(self, sim):
+        transport = batching(sim, max_messages=100, max_bytes=1_000)
+        received = Recorder()
+        transport.register("a", Recorder())
+        transport.register("b", received)
+        transport.post(one_way("a", "b", b"p" * 600))
+        assert received.seen == []
+        transport.post(one_way("a", "b", b"q" * 600))
+        assert len(received.seen) == 2
+        assert transport.batch_stats.flush_triggers == {"bytes": 1}
+
+    def test_deadline_trigger_under_virtual_clock(self, sim):
+        transport = batching(sim, max_messages=100, max_delay=0.005)
+        received = Recorder()
+        transport.register("a", Recorder())
+        transport.register("b", received)
+        transport.post(one_way("a", "b", b"1"))
+        transport.post(one_way("a", "b", b"2"))
+        assert received.seen == []
+        sim.scheduler.advance(0.005)
+        assert [e.payload for e in received.seen] == [b"1", b"2"]
+        assert transport.batch_stats.flush_triggers == {"deadline": 1}
+
+    def test_single_message_flush_skips_the_wrapper(self, sim):
+        transport = batching(sim, max_messages=100, max_delay=0.005)
+        received = Recorder()
+        transport.register("a", Recorder())
+        transport.register("b", received)
+        transport.post(one_way("a", "b"))
+        sim.scheduler.advance(0.01)
+        [envelope] = received.seen
+        assert envelope.kind is MessageKind.EVENT_NOTIFY  # not BATCH
+        assert transport.batch_stats.passthrough_posts == 1
+        assert transport.batch_stats.batches == 0
+
+    def test_wire_carries_one_batch_message(self, sim):
+        transport = batching(sim, max_messages=8)
+        transport.register("a", Recorder())
+        transport.register("b", Recorder())
+        for _ in range(8):
+            transport.post(one_way("a", "b"))
+        assert sim.stats.messages == 1
+        assert sim.stats.by_kind[MessageKind.BATCH] == 1
+
+
+class TestOrdering:
+    def test_send_flushes_same_link_first(self, sim):
+        transport = batching(sim, max_messages=100, max_delay=1.0)
+        received = Recorder()
+        transport.register("a", Recorder())
+        transport.register("b", received)
+        transport.post(one_way("a", "b", b"first"))
+        transport.post(one_way("a", "b", b"second"))
+        assert transport.send(request("a", "b", b"third")) == b"ok"
+        assert [e.payload for e in received.seen] == [b"first", b"second", b"third"]
+
+    def test_send_leaves_other_links_queued(self, sim):
+        transport = batching(sim, max_messages=100, max_delay=1.0)
+        b_received, c_received = Recorder(), Recorder()
+        transport.register("a", Recorder())
+        transport.register("b", b_received)
+        transport.register("c", c_received)
+        transport.post(one_way("a", "c", b"queued"))
+        transport.send(request("a", "b"))
+        assert c_received.seen == []
+        assert len(b_received.seen) == 1
+
+    def test_per_link_fifo_across_interleaved_posts(self, sim):
+        transport = batching(sim, max_messages=3)
+        b_received, c_received = Recorder(), Recorder()
+        transport.register("a", Recorder())
+        transport.register("b", b_received)
+        transport.register("c", c_received)
+        for i in range(3):
+            transport.post(one_way("a", "b", b"b%d" % i))
+            transport.post(one_way("a", "c", b"c%d" % i))
+        assert [e.payload for e in b_received.seen] == [b"b0", b"b1", b"b2"]
+        assert [e.payload for e in c_received.seen] == [b"c0", b"c1", b"c2"]
+
+    def test_prebatched_envelopes_pass_straight_through(self, sim):
+        from repro.net.serializer import PLAIN
+
+        transport = batching(sim, max_messages=100)
+        received = Recorder()
+        transport.register("a", Recorder())
+        transport.register("b", received)
+        inner = [one_way("a", "b", b"m1"), one_way("a", "b", b"m2")]
+        transport.post(
+            Envelope(
+                src="a", dst="b", kind=MessageKind.BATCH, payload=PLAIN.dumps(inner)
+            )
+        )
+        # Delivered immediately (never re-queued) and unpacked at the node.
+        assert [e.payload for e in received.seen] == [b"m1", b"m2"]
+
+
+class TestFailureAndLifecycle:
+    def test_flush_to_down_node_drops_quietly(self, sim):
+        transport = batching(sim, max_messages=100, max_delay=1.0)
+        transport.register("a", Recorder())
+        transport.register("b", Recorder())
+        transport.post(one_way("a", "b", b"1"))
+        transport.post(one_way("a", "b", b"2"))
+        sim.set_node_down("b")
+        transport.flush_all()  # must not raise
+        assert transport.batch_stats.dropped_messages == 2
+
+    def test_handler_failure_does_not_poison_the_batch(self, sim):
+        transport = batching(sim, max_messages=2)
+        seen = []
+
+        def flaky(envelope: Envelope) -> bytes:
+            seen.append(envelope.payload)
+            if envelope.payload == b"boom":
+                raise RuntimeError("handler bug")
+            return b""
+
+        transport.register("a", Recorder())
+        transport.register("b", flaky)
+        transport.post(one_way("a", "b", b"boom"))
+        transport.post(one_way("a", "b", b"fine"))
+        assert seen == [b"boom", b"fine"]
+
+    def test_deregister_flushes_pending_traffic(self, sim):
+        transport = batching(sim, max_messages=100, max_delay=1.0)
+        received = Recorder()
+        transport.register("a", Recorder())
+        transport.register("b", received)
+        transport.post(one_way("a", "b", b"late"))
+        transport.deregister("a")
+        assert [e.payload for e in received.seen] == [b"late"]
+
+    def test_close_flushes_pending_traffic(self, sim):
+        transport = batching(sim, max_messages=100, max_delay=1.0)
+        received = Recorder()
+        transport.register("a", Recorder())
+        transport.register("b", received)
+        transport.post(one_way("a", "b", b"tail"))
+        transport.close()
+        assert [e.payload for e in received.seen] == [b"tail"]
+        assert transport.batch_stats.flush_triggers.get("close", 0) == 0  # lone msg
+        assert transport.batch_stats.passthrough_posts == 1
+
+
+class TestDelegation:
+    def test_stats_and_capabilities_are_the_inner_transports(self, sim):
+        transport = batching(sim)
+        assert transport.stats is sim.stats
+        assert transport.capabilities() == sim.capabilities()
+
+    def test_nodes_and_reachability_delegate(self, sim):
+        transport = batching(sim)
+        transport.register("a", Recorder())
+        transport.register("b", Recorder())
+        assert transport.nodes() == ["a", "b"]
+        assert transport.is_up("a")
+        assert transport.can_reach("a", "b")
+        sim.set_node_down("b")
+        assert not transport.is_up("b")
+
+    def test_stats_snapshot_shape(self, sim):
+        transport = batching(sim, max_messages=2)
+        transport.register("a", Recorder())
+        transport.register("b", Recorder())
+        transport.post(one_way("a", "b"))
+        transport.post(one_way("a", "b"))
+        snap = transport.batch_stats.snapshot()
+        assert snap["batches"] == 1
+        assert snap["batched_messages"] == 2
+        assert snap["mean_occupancy"] == 2.0
+        assert snap["flush_triggers"] == {"count": 1}

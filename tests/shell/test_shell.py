@@ -124,6 +124,51 @@ class TestMonitoringCommands:
         assert shell.execute("feed") == "(no events)"
 
 
+class TestStoreCommand:
+    @pytest.fixture
+    def store_cluster(self):
+        from repro.cluster.cluster import Cluster
+        from repro.cluster.workload import DataSource
+
+        cluster = Cluster(["alpha", "beta"], store="memory")
+        source = DataSource(256 * 1024, _core=cluster["alpha"])
+        cluster.move(source, "beta")
+        yield cluster
+        cluster.close()
+
+    def test_store_disabled(self, cluster3, shell):
+        assert "disabled" in shell.execute("store")
+        assert "disabled" in shell.execute("store beta")
+
+    def test_cluster_wide_view(self, store_cluster):
+        shell = FarGoShell(store_cluster, home="alpha")
+        out = shell.execute("store")
+        assert "memory store:" in out
+        assert "client at alpha:" in out and "client at beta:" in out
+        assert "offloads=1" in out  # the moved payload went through once
+
+    def test_single_core_view(self, store_cluster):
+        shell = FarGoShell(store_cluster, home="alpha")
+        out = shell.execute("store beta")
+        assert out.startswith("client at beta:")
+        assert "resolves=1" in out
+        assert "alpha" not in out
+
+    def test_entries_render_with_refcounts(self, store_cluster):
+        from repro.store import StoreClient
+
+        # Park an unreleased entry so the listing has a row to show.
+        client = StoreClient(store_cluster.store, threshold=1)
+        proxy = client.offload(b"held" * 100)
+        shell = FarGoShell(store_cluster, home="alpha")
+        out = shell.execute("store")
+        assert proxy.key.digest[:10] in out
+        assert "refs=1" in out
+
+    def test_help_lists_store(self, shell):
+        assert "store" in shell.execute("help")
+
+
 class TestScriptCommand:
     def test_inline_script(self, cluster3, shell):
         out = shell.execute(

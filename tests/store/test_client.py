@@ -1,0 +1,119 @@
+"""The per-Core StoreClient: threshold, resolve cache, release balance."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StoreMissError
+from repro.metrics.registry import MetricsRegistry
+from repro.store import InMemoryStore, StoreClient, StoreProxy
+
+
+@pytest.fixture
+def backend():
+    return InMemoryStore()
+
+
+@pytest.fixture
+def client(backend):
+    return StoreClient(backend, threshold=1_024, cache_capacity=2)
+
+
+class TestOffload:
+    def test_below_threshold_passes_bytes_through(self, client, backend):
+        data = b"small"
+        assert client.offload(data) is data
+        assert backend.stats.puts == 0
+
+    def test_at_threshold_returns_proxy(self, client, backend):
+        data = b"p" * 1_024
+        proxy = client.offload(data)
+        assert isinstance(proxy, StoreProxy)
+        assert proxy.key.size == len(data)
+        assert proxy.locator == backend.locator()
+        assert backend.stats.puts == 1
+
+    def test_offload_counts_bytes_saved(self, backend):
+        metrics = MetricsRegistry()
+        client = StoreClient(backend, threshold=1_024, metrics=metrics)
+        client.offload(b"x" * 10_000)
+        assert metrics.counter_value("store.offloads") == 1
+        # Saved bytes discount the proxy's own wire footprint.
+        assert 0 < metrics.counter_value("store.bytes_saved") <= 10_000
+
+
+class TestResolve:
+    def test_inline_bytes_pass_through(self, client):
+        assert client.resolve(b"inline") == b"inline"
+
+    def test_proxy_resolves_to_original_bytes(self, client):
+        data = b"r" * 5_000
+        proxy = client.offload(data)
+        assert client.resolve(proxy) == data
+        snap = client.stats_snapshot()
+        assert snap["store_hits"] == 1
+        assert snap["cache_hits"] == 0
+
+    def test_repeat_resolve_hits_cache(self, client):
+        proxy = client.offload(b"c" * 5_000)
+        client.resolve(proxy)
+        client.resolve(proxy)
+        snap = client.stats_snapshot()
+        assert snap["store_hits"] == 1
+        assert snap["cache_hits"] == 1
+
+    def test_release_evicts_store_entry(self, client, backend):
+        proxy = client.offload(b"e" * 5_000)
+        client.resolve(proxy, release=True)
+        assert not backend.contains(proxy.key)
+        assert backend.stats.evictions == 1
+
+    def test_fresh_client_misses_after_release(self, backend):
+        sender = StoreClient(backend, threshold=1_024)
+        proxy = sender.offload(b"m" * 5_000)
+        sender.resolve(proxy, release=True)
+        receiver = StoreClient(backend, threshold=1_024)
+        with pytest.raises(StoreMissError):
+            receiver.resolve(proxy)
+        assert receiver.stats_snapshot()["misses"] == 1
+
+    def test_cache_is_lru_bounded(self, client):
+        proxies = [client.offload(bytes([i]) * 2_000) for i in range(3)]
+        for proxy in proxies:
+            client.resolve(proxy)
+        assert client.cache_len() == 2
+        # The oldest entry was evicted: resolving it is a store hit again.
+        client.resolve(proxies[0])
+        snap = client.stats_snapshot()
+        assert snap["store_hits"] == 4
+        assert snap["cache_hits"] == 0
+
+    def test_resolve_via_foreign_locator(self, backend):
+        # A proxy made elsewhere self-resolves through store_for_locator.
+        sender = StoreClient(backend, threshold=1_024)
+        proxy = sender.offload(b"f" * 4_096)
+        other_client = StoreClient(InMemoryStore(), threshold=1_024)
+        assert other_client.resolve(proxy) == b"f" * 4_096
+
+    def test_release_via_foreign_locator(self, backend):
+        sender = StoreClient(backend, threshold=1_024)
+        proxy = sender.offload(b"g" * 4_096)
+        other_client = StoreClient(InMemoryStore(), threshold=1_024)
+        other_client.resolve(proxy, release=True)
+        assert not backend.contains(proxy.key)
+
+
+class TestSnapshot:
+    def test_stats_snapshot_keys(self, client):
+        snap = client.stats_snapshot()
+        assert set(snap) == {
+            "threshold",
+            "offloads",
+            "bytes_saved",
+            "resolves",
+            "cache_hits",
+            "store_hits",
+            "misses",
+            "cache_entries",
+        }
+        assert snap["threshold"] == 1_024

@@ -1,0 +1,152 @@
+"""Content-keyed object-store backends: keys, refcounts, locators."""
+
+from __future__ import annotations
+
+import gc
+import hashlib
+
+import pytest
+
+from repro.errors import StoreError, StoreMissError
+from repro.store import FileStore, InMemoryStore, StoreKey
+from repro.store.store import store_for_locator
+
+
+@pytest.fixture(params=["memory", "file"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        backend = InMemoryStore()
+    else:
+        backend = FileStore(tmp_path / "blobs")
+    yield backend
+    backend.close()
+
+
+class TestStoreKey:
+    def test_key_is_sha256_plus_length(self):
+        data = b"some payload bytes"
+        key = StoreKey.for_data(data)
+        assert key.digest == hashlib.sha256(data).hexdigest()
+        assert key.size == len(data)
+
+    def test_same_content_same_key(self):
+        assert StoreKey.for_data(b"x" * 100) == StoreKey.for_data(b"x" * 100)
+        assert StoreKey.for_data(b"x" * 100) != StoreKey.for_data(b"y" * 100)
+
+    def test_short_form(self):
+        key = StoreKey.for_data(b"abc")
+        assert key.short() == key.digest[:10]
+
+
+class TestBackends:
+    def test_put_get_roundtrip(self, store):
+        data = b"payload" * 1_000
+        key = store.put(data)
+        assert store.get(key) == data
+        assert store.contains(key)
+        assert store.stats.puts == 1
+        assert store.stats.gets == 1
+        assert store.stats.bytes_put == len(data)
+        assert store.stats.bytes_served == len(data)
+
+    def test_get_missing_raises_and_counts(self, store):
+        ghost = StoreKey.for_data(b"never stored")
+        with pytest.raises(StoreMissError):
+            store.get(ghost)
+        assert store.stats.misses == 1
+        assert not store.contains(ghost)
+
+    def test_duplicate_put_dedups_to_one_entry(self, store):
+        data = b"d" * 4_096
+        k1 = store.put(data)
+        k2 = store.put(data)
+        assert k1 == k2
+        assert store.stats.puts == 1
+        assert store.stats.dedup_puts == 1
+        entries = store.entries()
+        assert len(entries) == 1
+        assert entries[0].refcount == 2
+
+    def test_evict_balances_refcount(self, store):
+        data = b"e" * 2_048
+        key = store.put(data)
+        store.put(data)
+        assert store.evict(key) is False  # one reference remains
+        assert store.contains(key)
+        assert store.evict(key) is True  # last reference removes it
+        assert not store.contains(key)
+        assert store.stats.evictions == 1
+        with pytest.raises(StoreMissError):
+            store.get(key)
+
+    def test_evict_of_absent_entry_is_noop(self, store):
+        assert store.evict(StoreKey.for_data(b"nothing")) is False
+        assert store.stats.evictions == 0
+
+    def test_entries_report_hits(self, store):
+        key = store.put(b"h" * 512)
+        store.get(key)
+        store.get(key)
+        [info] = store.entries()
+        assert info.key == key
+        assert info.hits == 2
+        assert info.refcount == 1
+
+    def test_len_counts_distinct_entries(self, store):
+        store.put(b"a" * 256)
+        store.put(b"b" * 256)
+        store.put(b"a" * 256)  # dedup
+        assert len(store) == 2
+
+    def test_snapshot_shape(self, store):
+        key = store.put(b"s" * 128)
+        snap = store.snapshot()
+        assert snap["backend"] in ("memory", "file")
+        assert snap["stats"]["puts"] == 1
+        [entry] = snap["entries"]
+        assert entry["digest"] == key.digest
+        assert entry["size"] == 128
+        assert entry["refcount"] == 1
+
+    def test_locator_resolves_back_to_served_bytes(self, store):
+        data = b"locate me" * 300
+        key = store.put(data)
+        resolved = store_for_locator(store.locator())
+        assert resolved.get(key) == data
+
+
+class TestFileStoreSharing:
+    def test_second_handle_on_same_directory_sees_entries(self, tmp_path):
+        writer = FileStore(tmp_path / "shared")
+        data = b"cross-process blob" * 100
+        key = writer.put(data)
+        reader = FileStore(tmp_path / "shared")
+        assert reader.get(key) == data
+        assert reader.evict(key) is True
+        assert not writer.contains(key)
+
+    def test_refcount_survives_reopen(self, tmp_path):
+        writer = FileStore(tmp_path / "shared")
+        key = writer.put(b"r" * 64)
+        writer.put(b"r" * 64)
+        reader = FileStore(tmp_path / "shared")
+        assert reader.evict(key) is False
+        assert reader.evict(key) is True
+
+
+class TestLocatorResolution:
+    def test_memory_locator_resolves_to_same_instance(self):
+        backend = InMemoryStore()
+        assert store_for_locator(backend.locator()) is backend
+
+    def test_memory_locator_of_dead_store_misses(self):
+        backend = InMemoryStore()
+        locator = backend.locator()
+        del backend
+        gc.collect()
+        with pytest.raises(StoreMissError):
+            store_for_locator(locator)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(StoreError):
+            store_for_locator(("carrier-pigeon", "coop-7"))
