@@ -3,17 +3,28 @@
 Usage::
 
     python -m repro.analysis PATH [PATH ...]
-        [--json] [--strict] [--args N] [--cluster-spec SPEC.json]
+        [--json | --sarif] [--strict] [--args N]
+        [--cluster-spec SPEC.json] [--plan PLAN.json]
 
 A ``.fgs`` path is checked as a layout script; a ``.py`` path is checked
 in complet mode (movability of every anchor class) *and* every embedded
 script found in it — a module-level string constant whose name contains
 ``SCRIPT`` — is checked as a script, with diagnostics mapped back to the
-Python file's lines.  Directories are walked recursively.
+Python file's lines.  Directories are walked recursively.  When the run
+collects more than one script, the interaction checker (FG401–FG404,
+cross-script FG108) runs over the whole set; embedded scripts join the
+set under a ``file:NAME`` label with script-relative lines.
 
 ``--cluster-spec`` points at a JSON file ``{"cores": [...],
 "complets": [...]}`` enabling Core/complet identifier resolution, the
 same checks :meth:`Cluster.analyze` runs against a live topology.
+``--plan`` points at a JSON move plan (see
+:meth:`repro.analysis.MovePlan.from_json`) checked as a batch against
+the topology and the collected scripts (FG405–FG409).
+
+Suppression comments that suppress nothing are reported as FG001
+(informational; ``--strict`` escalates them to warnings).  ``--sarif``
+emits SARIF 2.1.0 with the same records as ``--json``.
 
 Exit status: 1 when any error-severity diagnostic survives suppression
 (warnings too under ``--strict``), else 0.
@@ -23,6 +34,7 @@ from __future__ import annotations
 
 import argparse
 import ast
+import dataclasses
 import json
 import re
 import sys
@@ -33,10 +45,18 @@ from repro.analysis.diagnostics import (
     Severity,
     apply_suppressions,
     render_json,
+    render_sarif,
     render_text,
     sort_diagnostics,
+    unused_suppressions,
+)
+from repro.analysis.interaction import (
+    check_interaction,
+    coerce_scripts,
+    script_set_effects,
 )
 from repro.analysis.movability import check_complet_source
+from repro.analysis.plan import MovePlan, check_plan
 from repro.analysis.script_check import TopologyInfo, check_script
 
 #: File suffix of stand-alone layout scripts.
@@ -104,20 +124,34 @@ def extract_embedded_scripts(source: str) -> list[tuple[str, int, str, bool]]:
     return found
 
 
-def analyze_file(
+def collect_scripts(path: Path, source: str) -> list[tuple[str, str]]:
+    """``(script_source, label)`` pairs found in one file.
+
+    A ``.fgs`` file is one script labelled by its path; a ``.py`` file
+    contributes every embedded script under a ``path:NAME`` label.
+    """
+    name = str(path)
+    if path.suffix == SCRIPT_SUFFIX:
+        return [(source, name)]
+    return [
+        (text, f"{name}:{script_name}")
+        for script_name, _first_line, text, _exact in extract_embedded_scripts(source)
+    ]
+
+
+def file_diagnostics(
     path: Path,
+    source: str,
     *,
     topology: TopologyInfo | None = None,
     expected_args: int | None = None,
 ) -> list[Diagnostic]:
-    """Every diagnostic for one file, suppressions already applied."""
-    source = path.read_text(encoding="utf-8")
+    """Per-file diagnostics *before* suppression comments are applied."""
     name = str(path)
     if path.suffix == SCRIPT_SUFFIX:
-        diagnostics = check_script(
+        return check_script(
             source, topology=topology, expected_args=expected_args, file=name
         )
-        return apply_suppressions(diagnostics, source)
     diagnostics = list(check_complet_source(source, file=name))
     for _script_name, first_line, text, exact in extract_embedded_scripts(source):
         for d in check_script(
@@ -125,19 +159,42 @@ def analyze_file(
         ):
             line = first_line + d.line - 1 if exact and d.line else first_line
             diagnostics.append(d.at(line=line))
-    return apply_suppressions(diagnostics, source)
+    return diagnostics
+
+
+def analyze_file(
+    path: Path,
+    *,
+    topology: TopologyInfo | None = None,
+    expected_args: int | None = None,
+) -> list[Diagnostic]:
+    """Every diagnostic for one file, suppressions already applied.
+
+    Suppression comments that matched nothing come back as FG001.
+    """
+    source = path.read_text(encoding="utf-8")
+    diagnostics = file_diagnostics(
+        path, source, topology=topology, expected_args=expected_args
+    )
+    kept = apply_suppressions(diagnostics, source)
+    kept.extend(unused_suppressions(diagnostics, source, file=str(path)))
+    return kept
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description="Static verifier for layout scripts, relocation "
-        "semantics, and complet movability.",
+        "semantics, complet movability, and plan/interaction races.",
     )
-    parser.add_argument("paths", nargs="+", help="files or directories to check")
+    parser.add_argument("paths", nargs="*", help="files or directories to check")
     parser.add_argument("--json", action="store_true", help="emit JSON diagnostics")
     parser.add_argument(
-        "--strict", action="store_true", help="warnings also fail the run"
+        "--sarif", action="store_true", help="emit SARIF 2.1.0 diagnostics"
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="warnings also fail the run; FG001 escalates to a warning",
     )
     parser.add_argument(
         "--args", type=int, default=None, metavar="N",
@@ -148,7 +205,14 @@ def main(argv: list[str] | None = None) -> int:
         help='JSON file {"cores": [...], "complets": [...]} for identifier '
         "resolution",
     )
+    parser.add_argument(
+        "--plan", default=None, metavar="PLAN",
+        help="JSON move plan to check as a batch (FG405-FG409) against the "
+        "topology and the collected scripts",
+    )
     options = parser.parse_args(argv)
+    if not options.paths and options.plan is None:
+        parser.error("nothing to check: give paths and/or --plan")
 
     topology: TopologyInfo | None = None
     if options.cluster_spec is not None:
@@ -156,16 +220,72 @@ def main(argv: list[str] | None = None) -> int:
             topology = TopologyInfo.from_spec(json.load(f))
 
     diagnostics: list[Diagnostic] = []
+    scripts: list[tuple[str, str]] = []
+    sources: dict[str, str] = {}
+    per_file: dict[str, list[Diagnostic]] = {}
     for path in iter_target_files(options.paths):
         if not path.exists():
             print(f"error: no such file: {path}", file=sys.stderr)
             return 2
+        source = path.read_text(encoding="utf-8")
+        sources[str(path)] = source
+        per_file[str(path)] = file_diagnostics(
+            path, source, topology=topology, expected_args=options.args
+        )
+        scripts.extend(collect_scripts(path, source))
+
+    if scripts:
+        # Stand-alone scripts are anchored at their own file, so their
+        # suppression comments apply to interaction findings too; the
+        # findings join the per-file pools *before* suppression so a
+        # comment that silences only an interaction finding is not
+        # misreported as unused.
+        for d in check_interaction(scripts, topology=topology):
+            if d.file in per_file:
+                per_file[d.file].append(d)
+            else:
+                diagnostics.append(d)
+
+    for name, pre in per_file.items():
+        source = sources[name]
+        kept = apply_suppressions(pre, source)
+        kept.extend(unused_suppressions(pre, source, file=name))
+        diagnostics.extend(kept)
+
+    if options.plan is not None:
+        plan_path = Path(options.plan)
+        if not plan_path.exists():
+            print(f"error: no such file: {plan_path}", file=sys.stderr)
+            return 2
+        try:
+            plan = MovePlan.from_json(
+                plan_path.read_text(encoding="utf-8"), name=str(plan_path)
+            )
+        except (ValueError, KeyError) as exc:
+            print(f"error: bad plan {plan_path}: {exc}", file=sys.stderr)
+            return 2
         diagnostics.extend(
-            analyze_file(path, topology=topology, expected_args=options.args)
+            check_plan(
+                plan,
+                topology,
+                effects=script_set_effects(coerce_scripts(scripts)),
+            )
         )
 
+    if options.strict:
+        diagnostics = [
+            dataclasses.replace(d, severity=Severity.WARNING)
+            if d.code == "FG001"
+            else d
+            for d in diagnostics
+        ]
     diagnostics = sort_diagnostics(diagnostics)
-    print(render_json(diagnostics) if options.json else render_text(diagnostics))
+    if options.sarif:
+        print(render_sarif(diagnostics))
+    elif options.json:
+        print(render_json(diagnostics))
+    else:
+        print(render_text(diagnostics))
     failing = (
         any(d.severity is Severity.ERROR for d in diagnostics)
         or (options.strict and any(d.severity is Severity.WARNING for d in diagnostics))

@@ -53,6 +53,7 @@ def _rules(*entries: tuple[str, str, Severity, str]) -> dict[str, RuleInfo]:
 #: Stable catalog of every rule the analyzers can emit.
 RULES: dict[str, RuleInfo] = _rules(
     # framework
+    ("FG001", "unused suppression comment", Severity.INFO, "framework"),
     ("FG100", "source failed to parse", Severity.ERROR, "framework"),
     # script checker
     ("FG101", "undefined script variable", Severity.ERROR, "script"),
@@ -76,6 +77,17 @@ RULES: dict[str, RuleInfo] = _rules(
     ("FG301", "unpicklable complet field", Severity.ERROR, "movability"),
     ("FG302", "direct cross-complet reference", Severity.ERROR, "movability"),
     ("FG303", "captured callable cannot be marshaled", Severity.ERROR, "movability"),
+    # plan & interaction analysis
+    ("FG401", "concurrent move/move race on one complet", Severity.WARNING, "interaction"),
+    ("FG402", "cross-script move oscillation", Severity.WARNING, "interaction"),
+    ("FG403", "move races a failover/restore action", Severity.WARNING, "interaction"),
+    ("FG404", "retype race on one reference edge", Severity.WARNING, "interaction"),
+    ("FG405", "unsatisfiable plan step", Severity.ERROR, "plan"),
+    ("FG406", "conflicting destinations within one plan", Severity.ERROR, "plan"),
+    ("FG407", "self-preempting plan", Severity.ERROR, "plan"),
+    ("FG408", "no-op plan step", Severity.INFO, "plan"),
+    ("FG409", "plan step fights an installed layout rule", Severity.WARNING, "plan"),
+    ("FG410", "sanitizer-observed layout race", Severity.WARNING, "interaction"),
 )
 
 
@@ -200,6 +212,45 @@ def apply_suppressions(
     return kept
 
 
+def unused_suppressions(
+    diagnostics: list[Diagnostic], source: str, *, file: str | None = None
+) -> list[Diagnostic]:
+    """FG001 findings for suppression comments that suppress nothing.
+
+    ``diagnostics`` must be the *pre-suppression* report for ``source``:
+    a ``# fargo: ignore`` that matches no finding on its line — or whose
+    bracketed code list names codes no finding on that line carries — is
+    dead weight that hides future regressions (ruff's unused-``noqa``).
+    """
+    by_line: dict[int, set[str]] = {}
+    for d in diagnostics:
+        by_line.setdefault(d.line, set()).add(d.code)
+    findings: list[Diagnostic] = []
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _IGNORE_RE.search(text)
+        if match is None:
+            continue
+        present = by_line.get(lineno, set())
+        codes = match.group(1)
+        if codes is None or not codes.strip():
+            if present:
+                continue
+            message = "unused blanket suppression: no diagnostic on this line"
+        else:
+            wanted = [c.strip().upper() for c in codes.split(",") if c.strip()]
+            dead = [c for c in wanted if c not in present]
+            if not dead:
+                continue
+            message = (
+                f"unused suppression of {', '.join(dead)}: "
+                f"no such diagnostic on this line"
+            )
+        findings.append(
+            diag("FG001", message, file=file, line=lineno, column=match.start() + 1)
+        )
+    return findings
+
+
 # -- reporters --------------------------------------------------------------------
 
 
@@ -220,3 +271,71 @@ def render_json(diagnostics: list[Diagnostic]) -> str:
     return json.dumps(
         [d.to_dict() for d in sort_diagnostics(diagnostics)], indent=2
     )
+
+
+#: SARIF severity levels for the three severities.
+_SARIF_LEVELS = {"error": "error", "warning": "warning", "info": "note"}
+
+
+def render_sarif(diagnostics: list[Diagnostic]) -> str:
+    """The report as SARIF 2.1.0 (the format CI annotation actions eat).
+
+    Results carry the same fields as :meth:`Diagnostic.to_dict` — the
+    JSON reporter and this one are two projections of one record shape.
+    """
+    ordered = sort_diagnostics(diagnostics)
+    used = sorted({d.code for d in ordered})
+    rules = [
+        {
+            "id": code,
+            "name": RULES[code].title if code in RULES else code,
+            "defaultConfiguration": {
+                "level": _SARIF_LEVELS[RULES[code].severity.value]
+                if code in RULES
+                else "warning",
+            },
+        }
+        for code in used
+    ]
+    rule_index = {code: i for i, code in enumerate(used)}
+    results = []
+    for d in ordered:
+        record = d.to_dict()
+        result = {
+            "ruleId": record["code"],
+            "ruleIndex": rule_index[record["code"]],
+            "level": _SARIF_LEVELS[record["severity"]],
+            "message": {"text": record["message"]},
+        }
+        if record["file"] is not None:
+            region: dict = {}
+            if record["line"]:
+                region = {
+                    "startLine": record["line"],
+                    "startColumn": max(1, record["column"]),
+                }
+            location = {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": record["file"]},
+                }
+            }
+            if region:
+                location["physicalLocation"]["region"] = region
+            result["locations"] = [location]
+        results.append(result)
+    document = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.analysis",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2)

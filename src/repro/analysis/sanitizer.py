@@ -1,0 +1,283 @@
+"""LayoutSanitizer: dynamic race detection for layout operations.
+
+The static interaction checker (FG401–FG404) over-approximates; this is
+its runtime cross-check, in the spirit of ThreadSanitizer.  Every move,
+restore, and retype the cluster performs is stamped with a vector clock;
+two operations on the same subject that are **concurrent** (neither
+happens-before the other) and **conflicting** (they would leave the
+layout in an order-dependent state) are recorded as an
+:class:`ObservedRace`, counted on the ``sanitizer.races`` metric of the
+Core that completed the race, and — when tracing is on — emitted as a
+``sanitizer:race`` span.
+
+Clock structure:
+
+- every Core has a **persistent context** (its name keys the clock);
+- every layout-rule firing gets an **ephemeral context** forked from the
+  join of the event-origin Core's clock and the enclosing context, so
+  operations issued by one firing are ordered among themselves but
+  concurrent with other firings;
+- a move's stamp travels with it: the sender stashes it per
+  ``(subject, destination)`` before phase two, the receiving Core joins
+  it into its persistent clock *before* ``completArrived`` is published
+  (anything the arrival triggers is ordered after the move), and the
+  sender joins it at commit (anything ``moveCompleted`` triggers
+  likewise).  An aborted move pops the stash.
+
+The sanitizer is one shared in-process object — it supports the
+simulated and in-process TCP backends; the multi-process launcher runs
+without it.  Enable with ``Cluster(sanitize=True)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.analysis.diagnostics import Diagnostic, diag
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.core import Core
+
+__all__ = ["LayoutSanitizer", "ObservedRace"]
+
+#: Retained operations per subject; races against older operations than
+#: this are missed, which bounds memory on long chaos runs.
+_HISTORY = 16
+
+
+def _happens_before(a: dict[str, int], b: dict[str, int]) -> bool:
+    return all(b.get(key, 0) >= ticks for key, ticks in a.items())
+
+
+def _concurrent(a: dict[str, int], b: dict[str, int]) -> bool:
+    return not _happens_before(a, b) and not _happens_before(b, a)
+
+
+def _conflicting(a: "_Op", b: "_Op") -> bool:
+    kinds = (a.kind, b.kind)
+    if "move" in kinds and "restore" in kinds:
+        # A restore re-materialises the complet wherever the checkpoint
+        # policy says; any concurrent move fights it regardless of
+        # destinations.
+        return True
+    if a.kind != b.kind:
+        return False
+    # Same kind: order only matters when the destinations/types differ.
+    return a.detail != b.detail
+
+
+@dataclass(frozen=True, slots=True)
+class _Op:
+    kind: str                 # "move" | "restore" | "retype"
+    subject: str
+    detail: str               # destination Core or new reference type
+    stamp: dict[str, int]
+    core: str                 # Core that issued the operation
+    label: str                # issuing context (rule label or Core name)
+    time: float
+
+
+@dataclass(frozen=True, slots=True)
+class ObservedRace:
+    """Two concurrent conflicting layout operations on one subject."""
+
+    subject: str
+    first_kind: str
+    first_detail: str
+    first_label: str
+    second_kind: str
+    second_detail: str
+    second_label: str
+    #: Core whose operation completed the race.
+    core: str
+    time: float
+
+    def describe(self) -> str:
+        return (
+            f"layout race on {self.subject!r}: {self.first_kind} to "
+            f"{self.first_detail!r} (by {self.first_label}) is concurrent "
+            f"with {self.second_kind} to {self.second_detail!r} "
+            f"(by {self.second_label})"
+        )
+
+    def to_diagnostic(self) -> Diagnostic:
+        return diag("FG410", self.describe(), file=f"<core:{self.core}>")
+
+
+class _Context:
+    __slots__ = ("id", "label", "clock")
+
+    def __init__(self, context_id: str, label: str, clock: dict[str, int]):
+        self.id = context_id
+        self.label = label
+        self.clock = clock
+
+
+class LayoutSanitizer:
+    """Shared per-cluster happens-before tracker for layout operations."""
+
+    def __init__(self, *, history: int = _HISTORY) -> None:
+        #: Persistent per-Core clocks, keyed by Core name.
+        self._clocks: dict[str, dict[str, int]] = {}
+        #: Active ephemeral contexts (the simulation is single-threaded,
+        #: and nested firings nest their contexts).
+        self._stack: list[_Context] = []
+        self._ops: dict[str, deque[_Op]] = {}
+        #: In-flight move stamps, keyed by (subject, destination).
+        self._pending: dict[tuple[str, str], list[dict[str, int]]] = {}
+        self._history = history
+        self._ids = itertools.count(1)
+        self.races: list[ObservedRace] = []
+
+    # -- contexts --------------------------------------------------------------------
+
+    def _persistent(self, core_name: str) -> dict[str, int]:
+        return self._clocks.setdefault(core_name, {})
+
+    @contextmanager
+    def rule_context(self, label: str, origin: str):
+        """Scope for one rule firing, ordered after ``origin``'s clock.
+
+        Operations recorded inside are mutually ordered but concurrent
+        with other firings — which is exactly what makes two rules
+        moving the same complet from one event frontier a race.
+        """
+        base = dict(self._persistent(origin))
+        enclosing = self._stack[-1] if self._stack else None
+        if enclosing is not None:
+            for key, ticks in enclosing.clock.items():
+                if base.get(key, 0) < ticks:
+                    base[key] = ticks
+        context = _Context(f"rule#{next(self._ids)}", label, base)
+        self._stack.append(context)
+        try:
+            yield context
+        finally:
+            self._stack.pop()
+
+    def _current(self, core: "Core") -> tuple[str, dict[str, int], str]:
+        if self._stack:
+            context = self._stack[-1]
+            return context.id, context.clock, context.label
+        return core.name, self._persistent(core.name), core.name
+
+    # -- recording -------------------------------------------------------------------
+
+    def record(
+        self,
+        kind: str,
+        subject: str,
+        *,
+        core: "Core",
+        detail: str,
+        actor: str | None = None,
+    ) -> dict[str, int]:
+        """Stamp one layout operation; detect races against history.
+
+        Returns the operation's stamp (the caller threads it through the
+        move protocol via :meth:`pending_move`/:meth:`commit_move`).
+
+        ``actor`` names a serialized logical actor (e.g. the cluster's
+        recovery manager): the operation is ordered after every earlier
+        operation of that actor and joined into both the actor's and the
+        issuing Core's clocks — two *recoveries* never race each other,
+        while a rule's move still races a concurrent recovery.
+        """
+        key, clock, label = self._current(core)
+        if actor is not None:
+            self._join(clock, self._persistent(actor))
+        clock[key] = clock.get(key, 0) + 1
+        stamp = dict(clock)
+        if actor is not None:
+            self._join(self._persistent(actor), stamp)
+            self._join(self._persistent(core.name), stamp)
+        op = _Op(
+            kind=kind,
+            subject=subject,
+            detail=detail,
+            stamp=stamp,
+            core=core.name,
+            label=label,
+            time=core.scheduler.clock.now(),
+        )
+        history = self._ops.get(subject)
+        if history:
+            for prior in history:
+                if _conflicting(prior, op) and _concurrent(prior.stamp, stamp):
+                    self._report(prior, op, core)
+        if history is None:
+            history = self._ops[subject] = deque(maxlen=self._history)
+        history.append(op)
+        return stamp
+
+    def _report(self, first: _Op, second: _Op, core: "Core") -> None:
+        race = ObservedRace(
+            subject=second.subject,
+            first_kind=first.kind,
+            first_detail=first.detail,
+            first_label=first.label,
+            second_kind=second.kind,
+            second_detail=second.detail,
+            second_label=second.label,
+            core=core.name,
+            time=second.time,
+        )
+        self.races.append(race)
+        core.metrics.counter("sanitizer.races").inc()
+        tracer = core.tracer
+        if tracer.enabled:
+            with tracer.span(
+                "sanitizer:race",
+                category="sanitizer",
+                subject=race.subject,
+                kinds=f"{first.kind}/{second.kind}",
+                first=first.label,
+                second=second.label,
+            ):
+                pass
+
+    # -- move-protocol joins -----------------------------------------------------------
+
+    def pending_move(
+        self, subject: str, destination: str, stamp: dict[str, int]
+    ) -> None:
+        """Stash a move's stamp until it arrives (or aborts)."""
+        self._pending.setdefault((subject, destination), []).append(stamp)
+
+    def abort_move(self, subject: str, destination: str) -> None:
+        stamps = self._pending.get((subject, destination))
+        if stamps:
+            stamps.pop()
+
+    def arrive(self, subject: str, core: "Core") -> None:
+        """Join an arriving move's stamp into the destination's clock.
+
+        Called *before* ``completArrived`` is published, so every rule
+        the arrival fires is ordered after the move that caused it.
+        """
+        stamps = self._pending.get((subject, core.name))
+        if not stamps:
+            return
+        self._join(self._persistent(core.name), stamps.pop(0))
+
+    def commit_move(
+        self, subject: str, core: "Core", stamp: dict[str, int]
+    ) -> None:
+        """Join a committed move's stamp into the *sender's* clock."""
+        self._join(self._persistent(core.name), stamp)
+
+    @staticmethod
+    def _join(clock: dict[str, int], stamp: dict[str, int]) -> None:
+        for key, ticks in stamp.items():
+            if clock.get(key, 0) < ticks:
+                clock[key] = ticks
+
+    # -- reporting -------------------------------------------------------------------
+
+    def diagnostics(self) -> list[Diagnostic]:
+        """Every observed race as an FG410 diagnostic."""
+        return [race.to_diagnostic() for race in self.races]

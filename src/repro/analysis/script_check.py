@@ -481,7 +481,7 @@ class _ScriptChecker:
                     edges.setdefault(src, set()).add(dest)
                     spans.setdefault((src, dest), span if span is not None else rule.span)
 
-        for cycle in _find_cycles(edges):
+        for cycle in find_cycles(edges):
             path = " -> ".join([*cycle, cycle[0]])
             self._emit(
                 "FG108",
@@ -491,22 +491,26 @@ class _ScriptChecker:
             )
 
     def _literal_cores(self, expr: Expr | None) -> list[str] | None:
-        """Literal core names of a listenAt clause, or None if dynamic/absent."""
-        if expr is None:
-            return None
-        if isinstance(expr, Literal) and isinstance(expr.value, str):
-            return [expr.value]
-        if isinstance(expr, ListExpr):
-            names = [
-                item.value
-                for item in expr.items
-                if isinstance(item, Literal) and isinstance(item.value, str)
-            ]
-            return names if len(names) == len(expr.items) else None
+        return literal_listen_cores(expr)
+
+
+def literal_listen_cores(expr: Expr | None) -> list[str] | None:
+    """Literal core names of a listenAt clause, or None if dynamic/absent."""
+    if expr is None:
         return None
+    if isinstance(expr, Literal) and isinstance(expr.value, str):
+        return [expr.value]
+    if isinstance(expr, ListExpr):
+        names = [
+            item.value
+            for item in expr.items
+            if isinstance(item, Literal) and isinstance(item.value, str)
+        ]
+        return names if len(names) == len(expr.items) else None
+    return None
 
 
-def _find_cycles(edges: dict[str, set[str]]) -> list[list[str]]:
+def find_cycles(edges: dict[str, set[str]]) -> list[list[str]]:
     """Simple cycles (each reported once, rotated to its smallest node)."""
     cycles: list[list[str]] = []
     reported: set[tuple[str, ...]] = set()

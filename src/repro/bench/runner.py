@@ -37,8 +37,8 @@ SCHEMA_VERSION = 1
 #: from docs/BENCHMARKS.md; deterministic runs normally diff by 0).
 REGRESSION_TOLERANCE = 0.15
 
-#: Metrics recorded for context only, never compared.
-UNCOMPARED_METRICS = frozenset({"wall_seconds"})
+#: Metrics recorded for context only, never compared (wall-derived).
+UNCOMPARED_METRICS = frozenset({"wall_seconds", "sanitizer_overhead_pct"})
 
 #: Metric names where a larger value is an improvement.
 _HIGHER_BETTER_SUFFIXES = ("_per_vsec",)

@@ -317,11 +317,25 @@ def tracing() -> dict:
 
 
 def analysis() -> dict:
-    """Static checking of a large policy script and an app module."""
-    import inspect
+    """Static checking: scripts, an app module, interactions, and plans.
 
-    from repro.analysis import check_complet_source, check_script
+    ``sanitizer_overhead_pct`` is the wall-clock cost of running the
+    move workload with ``Cluster(sanitize=True)`` relative to the same
+    workload without it; wall-derived, so recorded for context only.
+    """
+    import inspect
+    import time
+
+    from repro.analysis import (
+        MovePlan,
+        PlannedMove,
+        check_complet_source,
+        check_interaction,
+        check_plan,
+        check_script,
+    )
     from repro.cluster import workload
+    from repro.cluster.workload import Counter
 
     script = "\n".join(
         f'on completArrived listenAt [core{i}] do move c{i} to "sink{i}" end'
@@ -331,8 +345,50 @@ def analysis() -> dict:
     for _ in range(3):
         diagnostics += len(check_script(script))
     diagnostics += len(check_complet_source(inspect.getsource(workload)))
+
+    # Interaction checking over a whole installed set (FG401-FG404).
+    racy = "\n".join(
+        f'on completArrived do move "c{i % 10}" to "sink{i % 7}" end'
+        for i in range(40)
+    )
+    interaction_diagnostics = len(
+        check_interaction([(script, "<a>"), (racy, "<b>")])
+    )
+
+    # Plan checking throughput: one 200-step batch, three passes.
+    plan = MovePlan(
+        [PlannedMove(f"c{i}", f"sink{i % 7}") for i in range(200)],
+        name="<bench-plan>",
+        locations={f"c{i}": "origin" for i in range(200)},
+    )
+    plan_ops = 0
+    plan_diagnostics = 0
+    for _ in range(3):
+        plan_diagnostics += len(check_plan(plan))
+        plan_ops += len(plan.moves)
+
+    def _move_workload(sanitize: bool) -> float:
+        cluster = Cluster(["a", "b"], sanitize=sanitize)
+        counter = Counter(0, _core=cluster["a"])
+        started = time.perf_counter()
+        for _ in range(25):
+            cluster.move(counter, "b")
+            cluster.move(counter, "a")
+        return time.perf_counter() - started
+
+    plain = min(_move_workload(False) for _ in range(3))
+    sanitized = min(_move_workload(True) for _ in range(3))
+    overhead = 100.0 * (sanitized - plain) / plain if plain > 0 else 0.0
+
     _reset_counters()
-    return {"ops": 4, "diagnostics_total": diagnostics}
+    return {
+        "ops": 4,
+        "diagnostics_total": diagnostics,
+        "interaction_diagnostics_total": interaction_diagnostics,
+        "plan_ops": plan_ops,
+        "plan_diagnostics_total": plan_diagnostics,
+        "sanitizer_overhead_pct": round(overhead, 2),
+    }
 
 
 def adaptive_layout() -> dict:

@@ -86,11 +86,12 @@ class ChaosRun:
         cores: int = 4,
         events: int = 6,
         tracing: bool = False,
+        sanitize: bool = False,
     ) -> None:
         self.seed = seed
         self.rng = random.Random(seed)
         self.names = [f"core{i}" for i in range(cores)]
-        self.cluster = Cluster(self.names, tracing=tracing)
+        self.cluster = Cluster(self.names, tracing=tracing, sanitize=sanitize)
         self.detector = DetectorConfig()
         self.cluster.enable_recovery(detector=self.detector)
         self.injector = FailureInjector(self.cluster)
@@ -224,6 +225,14 @@ class ChaosRun:
         driver.cancel()
         self._check_final_reachability()
         assert self.cluster.recovery is not None
+        if self.cluster.sanitizer is not None:
+            # No layout script drives this workload, so every operation
+            # the cluster performs is causally ordered — an observed
+            # race means the happens-before bookkeeping itself broke.
+            for race in self.cluster.sanitizer.races:
+                self.report.violations.append(
+                    f"unexplained layout race: {race.describe()}"
+                )
         self.report.injections = self.injector.injected_count()
         self.report.recoveries = len(self.cluster.recovery.reports)
         self.report.duration = self.cluster.now
@@ -231,13 +240,20 @@ class ChaosRun:
 
 
 def run_seeds(
-    seeds: list[int], *, cores: int = 4, events: int = 6, tracing: bool = False
+    seeds: list[int],
+    *,
+    cores: int = 4,
+    events: int = 6,
+    tracing: bool = False,
+    sanitize: bool = False,
 ) -> tuple[list[ChaosReport], "ChaosRun | None"]:
     """Run each seed; returns the reports and the first failing run."""
     reports: list[ChaosReport] = []
     first_failure: ChaosRun | None = None
     for seed in seeds:
-        run = ChaosRun(seed, cores=cores, events=events, tracing=tracing)
+        run = ChaosRun(
+            seed, cores=cores, events=events, tracing=tracing, sanitize=sanitize
+        )
         reports.append(run.execute())
         if not reports[-1].passed and first_failure is None:
             first_failure = run
@@ -256,11 +272,16 @@ def main(argv: list[str] | None = None) -> int:
         "--trace", default=None, metavar="FILE",
         help="write a Chrome trace of the first failing run to FILE",
     )
+    parser.add_argument(
+        "--sanitize", action="store_true",
+        help="run with the LayoutSanitizer on; any observed layout race "
+        "is a violation (this workload performs no concurrent layout ops)",
+    )
     options = parser.parse_args(argv)
     seeds = [int(s) for s in options.seeds.split(",") if s.strip()]
     reports, first_failure = run_seeds(
         seeds, cores=options.cores, events=options.events,
-        tracing=options.trace is not None,
+        tracing=options.trace is not None, sanitize=options.sanitize,
     )
     for report in reports:
         print(report.summary())

@@ -72,6 +72,7 @@ class Cluster:
         store: "str | bool | ObjectStore | None" = None,
         store_threshold: int | None = None,
         batching: "bool | BatchPolicy" = False,
+        sanitize: bool = False,
     ) -> None:
         """``transport`` selects the substrate:
 
@@ -100,6 +101,14 @@ class Cluster:
         :class:`~repro.net.batching.BatchingTransport`; pass ``True``
         for the default :class:`~repro.net.batching.BatchPolicy` or a
         policy instance for custom flush thresholds.
+
+        ``sanitize`` attaches a shared
+        :class:`~repro.analysis.sanitizer.LayoutSanitizer`: every move,
+        restore, and retype is stamped with a vector clock, concurrent
+        conflicting operations are recorded as races
+        (``cluster.sanitizer.races``, the ``sanitizer.races`` metric,
+        and FG410 diagnostics from :meth:`analyze`).  In-process
+        backends only.
         """
         if clock is None:
             clock = RealClock() if transport == "tcp" else VirtualClock()
@@ -168,6 +177,15 @@ class Cluster:
         self.recovery: "RecoveryManager | None" = None
         self.checkpoints: "CheckpointManager | None" = None
         self._detector_config: "DetectorConfig | None" = None
+        #: Script engines attached to this cluster (interaction analysis
+        #: reads their installed scripts).
+        self._engines: list = []
+        #: Shared dynamic race detector (``sanitize=True``), or None.
+        self.sanitizer = None
+        if sanitize:
+            from repro.analysis.sanitizer import LayoutSanitizer
+
+            self.sanitizer = LayoutSanitizer()
         for name in names:
             self.add_core(name)
 
@@ -185,6 +203,7 @@ class Cluster:
         core_kwargs.setdefault("store_threshold", self._store_threshold)
         hub = self._transport_for(name)
         core = Core(name, hub, self.scheduler, **core_kwargs)
+        core.sanitizer = self.sanitizer
         self.cores[name] = core
         if self._shared_transport is None:
             self._wire_hub(name, hub)
@@ -461,28 +480,48 @@ class Cluster:
         via_core = self.core(via) if via is not None else self.core(target)
         return CoreAdmin(via_core, target)
 
+    def register_engine(self, engine) -> None:
+        """Attach a :class:`~repro.script.ScriptEngine` for analysis.
+
+        Engines self-register on construction; :meth:`analyze` reads
+        their installed scripts for the interaction checks.
+        """
+        if engine not in self._engines:
+            self._engines.append(engine)
+
     def analyze(
         self,
         script: str | None = None,
         *,
         expected_args: int | None = None,
+        plan=None,
     ) -> list:
         """Static diagnostics for the cluster's current state.
 
         Runs the relocation-semantics checker over the live reference
-        graph and the movability checker over every hosted anchor; with
-        ``script`` it also verifies the layout script against the actual
-        topology (Core and complet names resolve).  Returns a sorted
+        graph, the movability checker over every hosted anchor, and the
+        interaction checker (FG401–FG404, cross-script FG108) over every
+        installed script; with ``script`` it also verifies the candidate
+        layout script against the actual topology (Core and complet
+        names resolve) and includes it in the interaction set.  ``plan``
+        — a :class:`~repro.analysis.MovePlan` — is vetted against the
+        topology and the installed rules (FG405–FG409).  When the
+        cluster runs with ``sanitize=True``, every race the sanitizer
+        has observed so far is reported as FG410.  Returns a sorted
         list of :class:`repro.analysis.Diagnostic`.
         """
         from repro.analysis import (
             TopologyInfo,
             check_anchor_live,
+            check_interaction,
+            check_plan,
             check_relocation,
             check_script,
+            script_set_effects,
             sort_diagnostics,
         )
 
+        topology = TopologyInfo.from_cluster(self)
         diagnostics = list(check_relocation(self))
         for core in self.running_cores():
             for anchor in core.repository.anchors():
@@ -491,10 +530,24 @@ class Cluster:
             diagnostics.extend(
                 check_script(
                     script,
-                    topology=TopologyInfo.from_cluster(self),
+                    topology=topology,
                     expected_args=expected_args,
                 )
             )
+        installed = [
+            pair for engine in self._engines for pair in engine.installed
+        ]
+        pool = list(installed)
+        if script is not None:
+            pool.append((script, "<candidate>"))
+        if pool:
+            diagnostics.extend(check_interaction(pool, topology=topology))
+        if plan is not None:
+            diagnostics.extend(
+                check_plan(plan, topology, effects=script_set_effects(installed))
+            )
+        if self.sanitizer is not None:
+            diagnostics.extend(self.sanitizer.diagnostics())
         return sort_diagnostics(diagnostics)
 
     # -- observability -------------------------------------------------------------------------

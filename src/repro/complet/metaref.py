@@ -51,6 +51,13 @@ class MetaRef:
         old, self._relocator = self._relocator, relocator
         core = self._stub._fargo_core
         if core is not None:
+            if core.sanitizer is not None:
+                core.sanitizer.record(
+                    "retype",
+                    f"ref:{self.get_target_id()}",
+                    core=core,
+                    detail=relocator.type_name,
+                )
             core.events.publish(
                 "referenceRetyped",
                 target=str(self.get_target_id()),

@@ -39,6 +39,7 @@ from repro.store.store import ObjectStore
 from repro.trace.tracer import Tracer
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.sanitizer import LayoutSanitizer
     from repro.monitor.profiler import ProfilingSession
     from repro.util.ids import CompletId
 
@@ -124,6 +125,9 @@ class Core:
         #: layer (:meth:`repro.cluster.Cluster.enable_recovery`).  Every
         #: Core answers heartbeats whether or not it runs a detector.
         self.detector: object | None = None
+        #: Shared dynamic race detector, attached by the cluster when
+        #: built with ``sanitize=True`` (:mod:`repro.analysis.sanitizer`).
+        self.sanitizer: "LayoutSanitizer | None" = None
 
         self.peer.register(MessageKind.HEARTBEAT, self._handle_heartbeat)
         self.peer.register_raw(MessageKind.INSTANTIATE, self._handle_instantiate)

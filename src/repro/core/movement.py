@@ -160,6 +160,18 @@ class MovementUnit:
         self, anchor: Anchor, destination: str, continuation: Continuation | None
     ) -> None:
         plan = MovementPlan(self.core, anchor)
+        sanitizer = self.core.sanitizer
+        stamps: dict[str, dict] = {}
+        if sanitizer is not None:
+            # Stamp every group member now, while the issuing context
+            # (the rule firing, if any) is still active; the stamps are
+            # joined at the destination before completArrived fires.
+            for complet_id in plan.movers:
+                subject = str(complet_id)
+                stamps[subject] = sanitizer.record(
+                    "move", subject, core=self.core, detail=destination
+                )
+                sanitizer.pending_move(subject, destination, stamps[subject])
         for mover in plan.movers.values():
             with execution_context(self.core, mover.complet_id):
                 mover.pre_departure(destination)
@@ -179,10 +191,18 @@ class MovementUnit:
             )
         except Exception as exc:
             # Phase two never committed: undo phase one and keep hosting.
+            if sanitizer is not None:
+                for subject in stamps:
+                    sanitizer.abort_move(subject, destination)
             self._abort_departure(plan, anchor, destination, exc)
             raise
         addresses: dict[CompletId, object] = PLAIN.loads(raw_reply)  # type: ignore[assignment]
         self._moves_sent.inc()
+        if sanitizer is not None:
+            # The commit orders everything the sender publishes next
+            # (completDeparted, moveCompleted) after the move itself.
+            for subject, stamp in stamps.items():
+                sanitizer.commit_move(subject, self.core, stamp)
 
         for complet_id, mover in plan.movers.items():
             tracker = self.core.repository.existing_tracker(complet_id)
@@ -318,6 +338,12 @@ class MovementUnit:
             for complet_id, address in addresses.items():
                 self.core.locator.publish(complet_id, address)  # type: ignore[arg-type]
 
+        if self.core.sanitizer is not None:
+            # Join each in-flight move's stamp into this Core's clock
+            # before completArrived fires: rules the arrival triggers
+            # are ordered after the move that caused it.
+            for anchor in arrivals:
+                self.core.sanitizer.arrive(str(anchor.complet_id), self.core)
         for anchor in arrivals:
             with execution_context(self.core, anchor.complet_id):
                 anchor.post_arrival()

@@ -257,6 +257,11 @@ class RecoveryManager:
             report.skipped.append(str(original))
             return
         recovered = dest.metrics.counter("recovery.complets_recovered")
+        if dest.sanitizer is not None:
+            dest.sanitizer.record(
+                "restore", str(original), core=dest, detail=dest.name,
+                actor="recovery",
+            )
         try:
             snap = persistence.Snapshot.from_bytes(record.data)
             degraded = not identity_safe
@@ -406,6 +411,11 @@ class RecoveryManager:
             if not candidates:
                 raise CoreNotFoundError("no running Core to restore on")
             dest = min(candidates, key=lambda core: (len(core.repository), core.name))
+        if dest.sanitizer is not None:
+            dest.sanitizer.record(
+                "restore", complet_id_str, core=dest, detail=dest.name,
+                actor="recovery",
+            )
         snap = persistence.Snapshot.from_bytes(record.data)
         if any(core.repository.hosts(record.complet_id) for core in candidates):
             stub = persistence.restore(dest, snap)

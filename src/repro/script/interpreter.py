@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import importlib
 import logging
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from collections.abc import Callable
 from typing import TYPE_CHECKING
@@ -146,6 +147,10 @@ class ScriptEngine:
         self._args: tuple = ()
         self._actions: dict[str, Callable[..., object]] = {}
         self._active: list[_ActiveRule] = []
+        #: Scripts this engine has activated, as ``(Script, label)``
+        #: pairs — the cluster's interaction analysis reads them.
+        self.installed: list[tuple[Script, str]] = []
+        cluster.register_engine(self)
         from repro.script.stdlib import register_stdlib
 
         register_stdlib(self)
@@ -187,6 +192,9 @@ class ScriptEngine:
 
     def run_script(self, script: Script, args: tuple | list = ()) -> Script:
         self._args = tuple(args)
+        self.installed.append(
+            (script, f"<{self.core.name}:script#{len(self.installed) + 1}>")
+        )
         for statement in script.statements:
             if isinstance(statement, Assignment):
                 self._globals[statement.name] = self._eval(statement.value, self._globals)
@@ -207,6 +215,7 @@ class ScriptEngine:
             for timer in active.timers:
                 timer.cancel()
         self._active.clear()
+        self.installed.clear()
 
     @property
     def active_rules(self) -> list[_ActiveRule]:
@@ -412,15 +421,27 @@ class ScriptEngine:
     def _fire(self, rule: Rule, active: _ActiveRule, event: Event) -> None:
         active.fired_count += 1
         tracer = self.core.tracer
-        if tracer.enabled:
-            # The rule's actions run under one script span, so whatever
-            # they trigger (moves, retypes, calls) stays in the trace of
-            # the event that fired the rule.
-            with tracer.span(
-                f"script:{rule.event}", category="script", trigger=event.name
-            ):
-                self._run_rule(rule, event)
-        else:
+        sanitizer = self.core.sanitizer
+        with ExitStack() as stack:
+            if sanitizer is not None:
+                # Each firing is its own happens-before context, forked
+                # from the event's origin: two rules reacting to one
+                # frontier run concurrently as far as layout operations
+                # are concerned, which is what the sanitizer checks.
+                stack.enter_context(
+                    sanitizer.rule_context(
+                        f"rule(on {rule.event})@{self.core.name}", event.origin
+                    )
+                )
+            if tracer.enabled:
+                # The rule's actions run under one script span, so whatever
+                # they trigger (moves, retypes, calls) stays in the trace of
+                # the event that fired the rule.
+                stack.enter_context(
+                    tracer.span(
+                        f"script:{rule.event}", category="script", trigger=event.name
+                    )
+                )
             self._run_rule(rule, event)
 
     def _run_rule(self, rule: Rule, event: Event) -> None:

@@ -126,3 +126,110 @@ class TestMain:
         f = tmp_path / "s.fgs"
         f.write_text("on timer() do  # fargo: ignore[FG104]\n log \"x\"\nend\n")
         assert main([str(f)]) == 1
+
+
+class TestUnusedSuppressionReporting:
+    def test_unused_suppression_is_fg001_but_exits_zero(self, tmp_path, capsys):
+        f = tmp_path / "s.fgs"
+        f.write_text('on timer(5) do  # fargo: ignore[FG109]\n log "x"\nend\n')
+        assert main([str(f)]) == 0
+        assert "FG001" in capsys.readouterr().out
+
+    def test_strict_escalates_fg001_to_a_failing_warning(self, tmp_path, capsys):
+        f = tmp_path / "s.fgs"
+        f.write_text('on timer(5) do  # fargo: ignore[FG109]\n log "x"\nend\n')
+        assert main(["--strict", str(f)]) == 1
+        assert "warning FG001" in capsys.readouterr().out
+
+    def test_used_suppression_is_not_reported(self, tmp_path, capsys):
+        f = tmp_path / "s.fgs"
+        f.write_text("on timer() do  # fargo: ignore[FG109]\n log \"x\"\nend\n")
+        assert main([str(f)]) == 0
+        assert "FG001" not in capsys.readouterr().out
+
+
+class TestSarif:
+    def test_sarif_reporter(self, tmp_path, capsys):
+        f = tmp_path / "bad.fgs"
+        f.write_text(BAD_SCRIPT)
+        assert main(["--sarif", str(f)]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["version"] == "2.1.0"
+        results = document["runs"][0]["results"]
+        assert [r["ruleId"] for r in results] == ["FG109"]
+        uri = results[0]["locations"][0]["physicalLocation"]["artifactLocation"]
+        assert uri["uri"] == str(f)
+
+
+class TestInteractionAcrossFiles:
+    def test_two_script_files_race_as_fg401(self, tmp_path, capsys):
+        (tmp_path / "app.fgs").write_text(
+            'on completArrived listenAt [a] do move "w" to "d" end\n'
+        )
+        (tmp_path / "ops.fgs").write_text(
+            'on completArrived listenAt [b] do move "w" to "e" end\n'
+        )
+        assert main([str(tmp_path)]) == 0  # FG401 is a warning
+        out = capsys.readouterr().out
+        assert "FG401" in out
+
+    def test_single_file_runs_no_interaction_pass(self, tmp_path, capsys):
+        (tmp_path / "app.fgs").write_text(
+            'on completArrived listenAt [a] do move "w" to "d" end\n'
+        )
+        assert main([str(tmp_path)]) == 0
+        assert "no diagnostics" in capsys.readouterr().out
+
+    def test_interaction_findings_respect_suppressions(self, tmp_path, capsys):
+        (tmp_path / "app.fgs").write_text(
+            'on completArrived listenAt [a] do move "w" to "d" end\n'
+        )
+        (tmp_path / "ops.fgs").write_text(
+            'on completArrived listenAt [b] do move "w" to "e" end'
+            "  # fargo: ignore[FG401]\n"
+        )
+        assert main([str(tmp_path)]) == 0
+        assert "FG401" not in capsys.readouterr().out
+
+
+class TestPlanChecking:
+    def test_self_preempting_plan_fails(self, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        plan.write_text(json.dumps({
+            "locations": {"w": "c1"},
+            "moves": [
+                {"complet": "w", "to": "c2", "from": "c1"},
+                {"complet": "w", "to": "c1"},
+            ],
+        }))
+        assert main(["--plan", str(plan)]) == 1
+        out = capsys.readouterr().out
+        assert "FG407" in out and str(plan) in out
+
+    def test_plan_checked_against_collected_scripts(self, tmp_path, capsys):
+        (tmp_path / "app.fgs").write_text(
+            'on completArrived listenAt [c2] do move "w" to "c3" end\n'
+        )
+        plan = tmp_path / "plan.json"
+        plan.write_text(json.dumps([{"complet": "w", "to": "c2"}]))
+        assert main(["--plan", str(plan), str(tmp_path / "app.fgs")]) == 0
+        assert "FG409" in capsys.readouterr().out
+
+    def test_clean_plan_alone_is_ok(self, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        plan.write_text(json.dumps([{"complet": "w", "to": "c2"}]))
+        assert main(["--plan", str(plan)]) == 0
+        assert "no diagnostics" in capsys.readouterr().out
+
+    def test_bad_plan_exits_two(self, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        plan.write_text('[{"complet": "w"}]')
+        assert main(["--plan", str(plan)]) == 2
+        assert main(["--plan", str(tmp_path / "missing.json")]) == 2
+
+    def test_no_paths_and_no_plan_is_a_usage_error(self, capsys):
+        import pytest
+
+        with pytest.raises(SystemExit) as excinfo:
+            main([])
+        assert excinfo.value.code == 2

@@ -11,9 +11,11 @@ from repro.analysis.diagnostics import (
     diag,
     has_errors,
     render_json,
+    render_sarif,
     render_text,
     sort_diagnostics,
     suppressed_lines,
+    unused_suppressions,
     worst_severity,
 )
 
@@ -24,11 +26,14 @@ class TestCatalog:
         for code, rule in RULES.items():
             assert rule.code == code
             assert rule.title
-            assert rule.family in {"framework", "script", "relocation", "movability"}
+            assert rule.family in {
+                "framework", "script", "relocation", "movability",
+                "interaction", "plan",
+            }
 
-    def test_families_cover_all_three_analyzers(self):
+    def test_families_cover_all_analyzers(self):
         families = {rule.family for rule in RULES.values()}
-        assert {"script", "relocation", "movability"} <= families
+        assert {"script", "relocation", "movability", "interaction", "plan"} <= families
 
     def test_severity_ordering(self):
         assert Severity.ERROR.rank > Severity.WARNING.rank > Severity.INFO.rank
@@ -102,6 +107,31 @@ class TestSuppression:
         assert apply_suppressions(diags, "plain\n") == diags
 
 
+class TestUnusedSuppressions:
+    def test_matching_suppression_is_not_reported(self):
+        source = "bad  # fargo: ignore[FG104]\n"
+        diags = [diag("FG104", "x", line=1)]
+        assert unused_suppressions(diags, source) == []
+
+    def test_blanket_on_clean_line_is_fg001(self):
+        findings = unused_suppressions([], "fine  # fargo: ignore\n", file="s.fgs")
+        assert [d.code for d in findings] == ["FG001"]
+        assert findings[0].severity is Severity.INFO
+        assert (findings[0].file, findings[0].line) == ("s.fgs", 1)
+        assert "unused blanket suppression" in findings[0].message
+
+    def test_wrong_code_is_fg001_naming_the_dead_codes(self):
+        source = "bad  # fargo: ignore[FG104, FG105]\n"
+        diags = [diag("FG104", "x", line=1)]
+        (finding,) = unused_suppressions(diags, source)
+        assert "FG105" in finding.message
+        assert "FG104" not in finding.message
+
+    def test_blanket_with_any_diagnostic_is_used(self):
+        source = "bad  # fargo: ignore\n"
+        assert unused_suppressions([diag("FG104", "x", line=1)], source) == []
+
+
 class TestReporters:
     def test_render_text_summary(self):
         out = render_text([diag("FG101", "e", line=1), diag("FG107", "w", line=2)])
@@ -123,6 +153,42 @@ class TestReporters:
                 "column": 0,
             }
         ]
+
+    def test_render_sarif_shape(self):
+        document = json.loads(
+            render_sarif(
+                [
+                    diag("FG104", "unknown Core", file="s.fgs", line=2, column=5),
+                    diag("FG107", "duplicate", file="s.fgs", line=4),
+                ]
+            )
+        )
+        assert document["version"] == "2.1.0"
+        (run,) = document["runs"]
+        assert run["tool"]["driver"]["name"] == "repro.analysis"
+        rules = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+        assert rules == {"FG104", "FG107"}
+        results = run["results"]
+        assert [r["ruleId"] for r in results] == ["FG104", "FG107"]
+        assert results[0]["level"] == "error"
+        assert results[1]["level"] == "warning"
+        location = results[0]["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "s.fgs"
+        assert location["region"] == {"startLine": 2, "startColumn": 5}
+
+    def test_render_sarif_empty_report(self):
+        document = json.loads(render_sarif([]))
+        assert document["runs"][0]["results"] == []
+
+    def test_sarif_and_json_share_the_record_shape(self):
+        d = diag("FG104", "m", file="f.fgs", line=3)
+        json_record = json.loads(render_json([d]))[0]
+        sarif_result = json.loads(render_sarif([d]))["runs"][0]["results"][0]
+        assert sarif_result["ruleId"] == json_record["code"]
+        assert sarif_result["message"]["text"] == json_record["message"]
+        physical = sarif_result["locations"][0]["physicalLocation"]
+        assert physical["artifactLocation"]["uri"] == json_record["file"]
+        assert physical["region"]["startLine"] == json_record["line"]
 
     def test_diagnostic_is_hashable_and_frozen(self):
         d = diag("FG101", "x")
