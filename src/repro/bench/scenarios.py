@@ -36,6 +36,10 @@ class Scenario:
     #: The metric this area's hot-path fix targets (compared in the
     #: BENCH file's pre-fix/post-fix entries); None for coverage areas.
     targeted_metric: str | None = None
+    #: Areas that drive real OS processes run outside the real-clock
+    #: ban; their timing metrics must use the ``_wall_seconds`` suffix
+    #: so the runner never compares them across machines.
+    real_clock: bool = False
 
 
 def _reset_counters(cluster: Cluster | None = None) -> None:
@@ -672,6 +676,68 @@ def taskfarm() -> dict:
     return metrics
 
 
+def supervision() -> dict:
+    """SIGKILL-to-healed restart of a real child process (MTTR).
+
+    The only real-clock area: it spawns OS processes, kills one, and
+    times the supervisor's detect → respawn → restore → repair cycle.
+    Timing metrics carry the ``_wall_seconds`` suffix (recorded for
+    context, never compared across machines); the counts — restarts,
+    restored identities, completed post-rebirth invocations — are
+    deterministic and regression-checked.
+    """
+    import os
+    import shutil
+    import signal as signal_module
+    import tempfile
+    import time as real_time
+
+    from repro.cluster import CoreProcesses, Supervisor
+    from repro.cluster.workload import Counter as WorkCounter
+
+    checkpoint_dir = tempfile.mkdtemp(prefix="repro-bench-supervision-")
+    metrics: dict = {}
+    try:
+        with CoreProcesses(
+            ["w1", "w2"], checkpoint_dir=checkpoint_dir, checkpoint_interval=0.1
+        ) as procs:
+            with Supervisor(procs, poll_interval=0.02) as supervisor:
+                counter = WorkCounter(0, _core=procs.driver, _at="w1")
+                for _ in range(5):
+                    counter.increment()
+                original_id = str(counter._fargo_target_id)
+                from repro.recovery import FileCheckpointStore
+
+                store = FileCheckpointStore(checkpoint_dir)
+                deadline = real_time.monotonic() + 20.0
+                while not store.hosted_at("w1") and real_time.monotonic() < deadline:
+                    real_time.sleep(0.02)
+                killed_at = real_time.monotonic()
+                os.kill(procs.processes["w1"].pid, signal_module.SIGKILL)
+                deadline = real_time.monotonic() + 30.0
+                while real_time.monotonic() < deadline:
+                    child = supervisor.state()["children"]["w1"]
+                    if child["restarts"] >= 1 and child["status"] == "running":
+                        break
+                    real_time.sleep(0.02)
+                healed_at = real_time.monotonic()
+                child = supervisor.state()["children"]["w1"]
+                post_value = counter.read()  # pre-kill stub, reborn host
+                metrics["supervisor_restarts"] = child["restarts"]
+                metrics["identity_preserved"] = int(
+                    original_id in procs.driver.admin("w1", "complets")
+                )
+                metrics["post_rebirth_reads"] = int(post_value >= 0)
+                metrics["kill_to_healed_wall_seconds"] = round(
+                    healed_at - killed_at, 4
+                )
+                mttr = child["last_mttr"]
+                metrics["mttr_wall_seconds"] = round(mttr, 4) if mttr else 0.0
+    finally:
+        shutil.rmtree(checkpoint_dir, ignore_errors=True)
+    return metrics
+
+
 SCENARIOS: dict[str, Scenario] = {
     scenario.name: scenario
     for scenario in (
@@ -731,5 +797,11 @@ SCENARIOS: dict[str, Scenario] = {
             targeted_metric="store_move_pct_of_eager",
         ),
         Scenario("taskfarm", taskfarm, "the task-farm application end to end"),
+        Scenario(
+            "supervision",
+            supervision,
+            "SIGKILL-to-healed restart of a real child process (MTTR)",
+            real_clock=True,
+        ),
     )
 }

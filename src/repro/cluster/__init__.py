@@ -13,6 +13,7 @@ from repro.cluster.cluster import Cluster, TransportFactory
 from repro.cluster.topology import configure_star, configure_uniform, configure_wan
 from repro.cluster.failures import FailureInjector
 from repro.cluster.launch import CoreProcesses
+from repro.cluster.supervisor import RestartPolicy, Supervisor
 
 __all__ = [
     "Cluster",
@@ -22,4 +23,6 @@ __all__ = [
     "configure_wan",
     "FailureInjector",
     "CoreProcesses",
+    "RestartPolicy",
+    "Supervisor",
 ]

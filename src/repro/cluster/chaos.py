@@ -28,12 +28,28 @@ Invariants checked throughout the run:
 Run from the command line (exits non-zero on any violation)::
 
     python -m repro.cluster.chaos --seeds 1,2,3 --trace chaos_trace.json
+
+With ``--real`` the harness leaves the simulation: a
+:class:`ProcessChaosRun` spawns the Cores as OS processes
+(:class:`~repro.cluster.launch.CoreProcesses` with a shared durable
+checkpoint directory), puts them under a
+:class:`~repro.cluster.supervisor.Supervisor`, and the seeded schedule
+SIGKILLs/SIGTERMs children mid-workload.  The invariants gain a real
+**MTTR bound**: after every kill the deployment must return to
+full-heal reachability — child respawned, checkpoints restored with
+identity preserved, pre-kill references answering — within
+``mttr_budget`` wall seconds, or the run fails.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import random
+import shutil
+import signal
+import tempfile
+import time
 from dataclasses import dataclass, field
 
 from repro.cluster.cluster import Cluster
@@ -239,6 +255,179 @@ class ChaosRun:
         return self.report
 
 
+class ProcessChaosRun:
+    """Seeded kill-and-heal chaos against real OS-process Cores.
+
+    The schedule (which child dies, by which signal, after how long) is
+    drawn from the seed; the clock is real, so run *outcomes* are not
+    bit-reproducible — what is checked instead are the supervision
+    guarantees: every kill heals within ``mttr_budget`` wall seconds,
+    restored complets keep their identities, pre-kill references keep
+    working, and every request failure in between is a typed error.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        *,
+        cores: int = 2,
+        kills: int = 2,
+        mttr_budget: float = 20.0,
+        tracing: bool = False,
+    ) -> None:
+        from repro.cluster.launch import CoreProcesses
+
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.names = [f"core{i}" for i in range(cores)]
+        self.kills = kills
+        self.mttr_budget = mttr_budget
+        self.tracing = tracing
+        self.checkpoint_dir = tempfile.mkdtemp(prefix="repro-chaos-ckpt-")
+        self.procs = CoreProcesses(
+            self.names,
+            checkpoint_dir=self.checkpoint_dir,
+            checkpoint_interval=0.2,
+        )
+        self.supervisor = None
+        self.report = ChaosReport(seed=seed)
+        self._counters = []
+        self._ids: list[str] = []
+        self._spans: list = []
+
+    # -- workload ----------------------------------------------------------
+
+    def _drive(self, rounds: int) -> None:
+        for _ in range(rounds):
+            counter = self.rng.choice(self._counters)
+            try:
+                counter.increment()
+                self.report.requests_ok += 1
+            except FarGoError:
+                self.report.typed_errors += 1
+            except Exception as exc:  # noqa: BLE001 - the invariant under test
+                self.report.violations.append(
+                    f"untyped failure during real-process chaos: {exc!r}"
+                )
+            time.sleep(0.02)
+
+    def _await_heal(self, victim: str) -> float | None:
+        """Wall seconds until the supervisor reports ``victim`` healed."""
+        assert self.supervisor is not None
+        started = time.monotonic()
+        deadline = started + self.mttr_budget
+        while time.monotonic() < deadline:
+            child = self.supervisor.state()["children"][victim]
+            if child["status"] == "running" and child["restarts"] > 0:
+                return time.monotonic() - started
+            if child["status"] == "failed":
+                return None  # escalated: the budget can never be met
+            time.sleep(0.05)
+        return None
+
+    # -- execution ---------------------------------------------------------
+
+    def execute(self) -> ChaosReport:
+        from repro.cluster.supervisor import RestartPolicy, Supervisor
+
+        started = time.monotonic()
+        try:
+            self.procs.start()
+            if self.tracing:
+                self.procs.driver.tracer.enabled = True
+            self.supervisor = Supervisor(
+                self.procs,
+                policy=RestartPolicy(max_restarts=self.kills + 1, window=300.0),
+            ).start()
+            for name in self.names:
+                counter = Counter(0, _core=self.procs.driver, _at=name)
+                self._counters.append(counter)
+                self._ids.append(str(counter._fargo_target_id))
+            self._drive(5)
+            time.sleep(0.5)  # first durable checkpoints land
+            restart_total = 0
+            for _ in range(self.kills):
+                victim = self.rng.choice(self.names)
+                kind = self.rng.choice((signal.SIGKILL, signal.SIGTERM))
+                process = self.procs.processes[victim]
+                os.kill(process.pid, kind)
+                self.report.injections += 1
+                mttr = self._await_heal(victim)
+                if mttr is None:
+                    self.report.violations.append(
+                        f"{victim} (killed by {signal.Signals(kind).name}) did not "
+                        f"heal within the {self.mttr_budget:.0f}s MTTR budget"
+                    )
+                    break
+                restart_total += 1
+                self._drive(5)
+                time.sleep(0.3)  # fresh checkpoints before the next kill
+            self.report.recoveries = restart_total
+            self._check_final_reachability()
+        finally:
+            self.report.duration = time.monotonic() - started
+            if self.procs.driver is not None:
+                self._spans = self.procs.driver.tracer.spans()
+            self.close()
+        return self.report
+
+    def _check_final_reachability(self) -> None:
+        for counter, original_id in zip(self._counters, self._ids):
+            try:
+                counter.read()
+            except Exception as exc:  # noqa: BLE001 - report, do not raise
+                self.report.violations.append(
+                    f"counter {original_id} unreachable after heal: {exc!r}"
+                )
+        # Identity preservation: the reborn hosts answer for the same ids.
+        hosted: set[str] = set()
+        for name in self.names:
+            try:
+                hosted.update(self.procs.driver.admin(name, "complets"))
+            except FarGoError:
+                continue
+        for original_id in self._ids:
+            if original_id not in hosted:
+                self.report.violations.append(
+                    f"identity {original_id} lost across process restarts"
+                )
+
+    def chrome_trace_json(self, *, indent: int | None = None) -> str:
+        """Driver-side spans (supervisor:restart included) as Chrome JSON."""
+        from repro.trace.export import chrome_trace_json
+
+        driver = self.procs.driver
+        spans = driver.tracer.spans() if driver is not None else self._spans
+        return chrome_trace_json(spans, indent=indent)
+
+    def close(self) -> None:
+        if self.supervisor is not None:
+            self.supervisor.stop()
+        self.procs.stop()
+        shutil.rmtree(self.checkpoint_dir, ignore_errors=True)
+
+
+def run_process_seeds(
+    seeds: list[int],
+    *,
+    cores: int = 2,
+    kills: int = 2,
+    mttr_budget: float = 20.0,
+    tracing: bool = False,
+) -> tuple[list[ChaosReport], "ProcessChaosRun | None"]:
+    """Run each seed against real processes; reports + first failing run."""
+    reports: list[ChaosReport] = []
+    first_failure: ProcessChaosRun | None = None
+    for seed in seeds:
+        run = ProcessChaosRun(
+            seed, cores=cores, kills=kills, mttr_budget=mttr_budget, tracing=tracing
+        )
+        reports.append(run.execute())
+        if not reports[-1].passed and first_failure is None:
+            first_failure = run
+    return reports, first_failure
+
+
 def run_seeds(
     seeds: list[int],
     *,
@@ -277,18 +466,42 @@ def main(argv: list[str] | None = None) -> int:
         help="run with the LayoutSanitizer on; any observed layout race "
         "is a violation (this workload performs no concurrent layout ops)",
     )
+    parser.add_argument(
+        "--real", action="store_true",
+        help="run against real OS-process Cores under a Supervisor: the "
+        "seeded schedule SIGKILLs/SIGTERMs children mid-workload and the "
+        "MTTR invariant bounds every heal",
+    )
+    parser.add_argument(
+        "--kills", type=int, default=2,
+        help="process-kill events per seed (--real mode only)",
+    )
+    parser.add_argument(
+        "--mttr-budget", type=float, default=20.0,
+        help="wall seconds each kill must heal within (--real mode only)",
+    )
     options = parser.parse_args(argv)
     seeds = [int(s) for s in options.seeds.split(",") if s.strip()]
-    reports, first_failure = run_seeds(
-        seeds, cores=options.cores, events=options.events,
-        tracing=options.trace is not None, sanitize=options.sanitize,
-    )
+    if options.real:
+        reports, first_failure = run_process_seeds(
+            seeds, cores=options.cores, kills=options.kills,
+            mttr_budget=options.mttr_budget, tracing=options.trace is not None,
+        )
+    else:
+        reports, first_failure = run_seeds(
+            seeds, cores=options.cores, events=options.events,
+            tracing=options.trace is not None, sanitize=options.sanitize,
+        )
     for report in reports:
         print(report.summary())
     failed = [r for r in reports if not r.passed]
     if failed and first_failure is not None and options.trace:
+        if isinstance(first_failure, ProcessChaosRun):
+            trace_json = first_failure.chrome_trace_json(indent=2)
+        else:
+            trace_json = first_failure.cluster.chrome_trace_json(indent=2)
         with open(options.trace, "w", encoding="utf-8") as handle:
-            handle.write(first_failure.cluster.chrome_trace_json(indent=2))
+            handle.write(trace_json)
         print(f"wrote Chrome trace of seed {first_failure.seed} to {options.trace}")
     print(f"{len(reports) - len(failed)}/{len(reports)} seeds passed")
     return 1 if failed else 0

@@ -16,27 +16,39 @@ per machine/process, complets moving between them — realised with
 
 The children inherit the parent's ``sys.path`` via ``PYTHONPATH`` so
 anchor classes defined in the driving program (e.g. a test suite's
-shared module) unpickle on the far side.  Cross-process recovery is out
-of scope: checkpoint/restore travels as bytes, but the
-:class:`~repro.recovery.RecoveryManager` needs in-process Core handles
-(see docs/TRANSPORT.md).
+shared module) unpickle on the far side.
+
+Cross-process recovery rides on durable checkpoints: pass
+``checkpoint_dir`` and every child periodically snapshots its hosted
+complets into a shared :class:`~repro.recovery.FileCheckpointStore`
+there; a child started with ``--recover`` (what the
+:class:`~repro.cluster.supervisor.Supervisor` does when it respawns a
+dead one) restores the complets its predecessor last checkpointed —
+identity preserved — before announcing READY (see docs/FAILURES.md).
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import os
 import socket
 import subprocess
 import sys
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.core import Core
-from repro.errors import ConfigurationError, CoreError, TransportError
+from repro.errors import ConfigurationError, CoreError, FarGoError, TransportError
 from repro.net.tcp import TcpTransport
 from repro.sim.clock import RealClock
 from repro.sim.scheduler import Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.recovery.store import FileCheckpointStore
+
+logger = logging.getLogger(__name__)
 
 #: How often a serving child sweeps its scheduler for due timers.
 _SERVE_INTERVAL = 0.02
@@ -68,6 +80,107 @@ def _parse_peer(spec: str) -> tuple[str, tuple[str, int]]:
         ) from None
 
 
+class ChildCheckpointer:
+    """Periodic durable checkpoints of every complet a child Core hosts.
+
+    The in-process :class:`~repro.recovery.CheckpointManager` protects
+    individual complets through the cluster harness; a child process has
+    no harness, so this standalone checkpointer sweeps the whole
+    repository instead — every hosted complet, with its local pull-group
+    — into the shared :class:`~repro.recovery.FileCheckpointStore`.
+    Each record names this Core as host, which is exactly what a
+    successor process (``--recover``) and the cluster-side
+    :class:`~repro.recovery.RecoveryManager` key on.
+    """
+
+    def __init__(
+        self, core: Core, store: "FileCheckpointStore", interval: float = 0.5
+    ) -> None:
+        if interval <= 0.0:
+            raise ConfigurationError(f"checkpoint interval must be positive: {interval}")
+        self.core = core
+        self.store = store
+        self.interval = interval
+        self._timer = None
+
+    def start(self) -> None:
+        self._timer = self.core.scheduler.call_every(self.interval, self.sweep)
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def sweep(self) -> int:
+        """Checkpoint every hosted complet once; records written."""
+        from repro.core import persistence
+        from repro.recovery.checkpoint import local_pull_group
+        from repro.recovery.store import CheckpointRecord
+
+        core = self.core
+        written = 0
+        now = core.scheduler.clock.now()
+        taken = core.metrics.counter("checkpoint.taken")
+        for complet_id in core.repository.complet_ids():
+            anchor = core.repository.get(complet_id)
+            if anchor is None:
+                continue
+            group = tuple(
+                member.complet_id for member in local_pull_group(core, anchor)
+            )
+            try:
+                snap = persistence.snapshot(core, anchor)
+            except FarGoError:
+                logger.warning(
+                    "durable checkpoint of %s at %s failed",
+                    complet_id, core.name, exc_info=True,
+                )
+                continue
+            self.store.put(
+                CheckpointRecord(
+                    complet_id=complet_id,
+                    data=snap.to_bytes(),
+                    taken_at=now,
+                    host=core.name,
+                    group=group,
+                )
+            )
+            taken.inc()
+            written += 1
+        return written
+
+
+def restore_from_store(core: Core, store: "FileCheckpointStore") -> list[str]:
+    """Restore the complets ``core``'s predecessor last checkpointed.
+
+    Runs in a freshly-started child before it announces READY: every
+    record whose last known host is this Core's name is brought back
+    under its *original* identity (the repository is empty and no
+    registry entry can contradict a newborn process, so
+    ``keep_identity`` cannot be refused locally).  Returns the restored
+    ids' display forms.
+    """
+    from repro.core import persistence
+
+    restored: list[str] = []
+    for record in store.hosted_at(core.name):
+        try:
+            snap = persistence.Snapshot.from_bytes(record.data)
+            stub = persistence.restore(core, snap, keep_identity=True)
+        except FarGoError:
+            logger.warning(
+                "restore of %s at reborn %s failed",
+                record.complet_id, core.name, exc_info=True,
+            )
+            continue
+        from repro.complet.stub import stub_target_id, stub_tracker
+
+        new_id = stub_target_id(stub)
+        core.locator.publish(new_id, stub_tracker(stub).address)
+        restored.append(str(new_id))
+    return restored
+
+
 def serve(
     name: str,
     port: int,
@@ -75,18 +188,39 @@ def serve(
     *,
     host: str = "127.0.0.1",
     ready_stream=None,
+    checkpoint_dir: str | None = None,
+    checkpoint_interval: float = 0.5,
+    recover: bool = False,
 ) -> None:
     """Run one Core in this process until it shuts down.
 
     Blocks; the loop alternates between sleeping and firing due timers,
     which is how heartbeats, watches, and deferred shutdowns execute in
-    a real-clock process.
+    a real-clock process.  With ``checkpoint_dir`` the Core durably
+    checkpoints its hosted complets every ``checkpoint_interval``
+    seconds; with ``recover`` it first restores whatever its predecessor
+    last checkpointed there (identity preserved), *before* READY — so a
+    supervisor's successful probe implies the state is back.
     """
     scheduler = Scheduler(RealClock())
     transport = TcpTransport(scheduler, host=host, ports={name: port})
     core = Core(name, transport, scheduler)
     for peer_name, address in peers.items():
         transport.add_peer(peer_name, address)
+    checkpointer = None
+    if checkpoint_dir is not None:
+        from repro.recovery.store import FileCheckpointStore
+
+        store = FileCheckpointStore(checkpoint_dir)
+        if recover:
+            restored = restore_from_store(core, store)
+            if restored:
+                print(
+                    f"RESTORED {name} {len(restored)} {' '.join(restored)}",
+                    file=sys.stderr, flush=True,
+                )
+        checkpointer = ChildCheckpointer(core, store, checkpoint_interval)
+        checkpointer.start()
     stream = ready_stream if ready_stream is not None else sys.stdout
     print(f"{READY_PREFIX} {name} {transport.local_address(name)[1]}", file=stream, flush=True)
     try:
@@ -94,6 +228,14 @@ def serve(
             scheduler.fire_due()
             time.sleep(_SERVE_INTERVAL)
     finally:
+        if checkpointer is not None:
+            # A last sweep on graceful shutdown; a SIGKILLed child relies
+            # on its periodic sweeps instead.
+            try:
+                checkpointer.sweep()
+            except FarGoError:
+                pass
+            checkpointer.stop()
         if core.is_running:
             core.shutdown()
         transport.close()
@@ -122,6 +264,10 @@ class CoreProcesses:
     python: str = sys.executable
     startup_timeout: float = 20.0
     shutdown_timeout: float = 10.0
+    #: Shared durable-checkpoint directory; children checkpoint their
+    #: hosted complets there and a respawned child restores from it.
+    checkpoint_dir: str | None = None
+    checkpoint_interval: float = 0.5
 
     driver: Core | None = field(default=None, init=False)
     transport: TcpTransport | None = field(default=None, init=False)
@@ -145,24 +291,8 @@ class CoreProcesses:
             self.addresses[name] = (self.host, free_port(self.host))
         self.addresses[self.driver_name] = (self.host, free_port(self.host))
 
-        env = dict(os.environ)
-        env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
         for name in self.names:
-            command = [
-                self.python, "-m", "repro.cluster.launch",
-                "--serve", "--name", name, "--host", self.host,
-                "--port", str(self.addresses[name][1]),
-            ]
-            for peer_name, (peer_host, peer_port) in self.addresses.items():
-                if peer_name != name:
-                    command += ["--peer", f"{peer_name}={peer_host}:{peer_port}"]
-            self.processes[name] = subprocess.Popen(
-                command,
-                stdout=subprocess.PIPE,
-                stderr=subprocess.PIPE,
-                text=True,
-                env=env,
-            )
+            self.spawn_child(name)
 
         scheduler = Scheduler(RealClock())
         self.transport = TcpTransport(
@@ -179,25 +309,71 @@ class CoreProcesses:
             raise
         return self
 
+    def command_for(self, name: str, *, recover: bool = False) -> list[str]:
+        """The argv that runs child Core ``name`` (used for respawns too)."""
+        command = [
+            self.python, "-m", "repro.cluster.launch",
+            "--serve", "--name", name, "--host", self.host,
+            "--port", str(self.addresses[name][1]),
+        ]
+        for peer_name, (peer_host, peer_port) in self.addresses.items():
+            if peer_name != name:
+                command += ["--peer", f"{peer_name}={peer_host}:{peer_port}"]
+        if self.checkpoint_dir is not None:
+            command += [
+                "--checkpoint-dir", self.checkpoint_dir,
+                "--checkpoint-interval", str(self.checkpoint_interval),
+            ]
+            if recover:
+                command.append("--recover")
+        return command
+
+    def spawn_child(self, name: str, *, recover: bool = False) -> subprocess.Popen:
+        """(Re-)spawn child Core ``name`` on its preallocated address.
+
+        With ``recover=True`` the child restores its predecessor's
+        durable checkpoints before READY (requires ``checkpoint_dir``).
+        Replaces any previous process handle for ``name``; the caller is
+        responsible for the old process being gone.
+        """
+        if name not in self.addresses:
+            raise ConfigurationError(f"unknown child Core {name!r}")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+        process = subprocess.Popen(
+            self.command_for(name, recover=recover),
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        self.processes[name] = process
+        return process
+
+    def await_child(self, name: str, timeout: float | None = None) -> None:
+        """Block until child ``name``'s listener answers (probe)."""
+        assert self.transport is not None
+        budget = timeout if timeout is not None else self.startup_timeout
+        deadline = time.monotonic() + budget
+        process = self.processes[name]
+        while not self.transport.probe(name, timeout=1.0):
+            if process.poll() is not None:
+                _out, err = process.communicate()
+                raise CoreError(
+                    f"child Core {name!r} exited with status "
+                    f"{process.returncode} during startup:\n{err}"
+                )
+            if time.monotonic() > deadline:
+                raise CoreError(
+                    f"child Core {name!r} did not come up within {budget}s"
+                )
+            time.sleep(0.05)
+
     def _await_ready(self) -> None:
         """Block until every child's listener answers (READY + probe)."""
-        assert self.transport is not None
         deadline = time.monotonic() + self.startup_timeout
         for name in self.names:
-            process = self.processes[name]
-            while not self.transport.probe(name, timeout=1.0):
-                if process.poll() is not None:
-                    _out, err = process.communicate()
-                    raise CoreError(
-                        f"child Core {name!r} exited with status "
-                        f"{process.returncode} during startup:\n{err}"
-                    )
-                if time.monotonic() > deadline:
-                    raise CoreError(
-                        f"child Core {name!r} did not come up within "
-                        f"{self.startup_timeout}s"
-                    )
-                time.sleep(0.05)
+            self.await_child(name, timeout=max(0.1, deadline - time.monotonic()))
 
     def stop(self) -> None:
         """Shut children down gracefully, then release the driver hub."""
@@ -240,11 +416,30 @@ def main(argv: list[str] | None = None) -> int:
         "--peer", action="append", default=[], metavar="NAME=HOST:PORT",
         help="address of another Core (repeatable)",
     )
+    parser.add_argument(
+        "--checkpoint-dir", default=None,
+        help="shared FileCheckpointStore directory for durable checkpoints",
+    )
+    parser.add_argument(
+        "--checkpoint-interval", type=float, default=0.5,
+        help="seconds between durable checkpoint sweeps",
+    )
+    parser.add_argument(
+        "--recover", action="store_true",
+        help="restore this Core's last durable checkpoints before READY",
+    )
     args = parser.parse_args(argv)
     if not args.serve or not args.name:
         parser.error("--serve and --name are required")
+    if args.recover and not args.checkpoint_dir:
+        parser.error("--recover requires --checkpoint-dir")
     peers = dict(_parse_peer(spec) for spec in args.peer)
-    serve(args.name, args.port, peers, host=args.host)
+    serve(
+        args.name, args.port, peers, host=args.host,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_interval=args.checkpoint_interval,
+        recover=args.recover,
+    )
     return 0
 
 

@@ -143,6 +143,28 @@ class CoreAdmin:
         assert isinstance(result, dict)
         return result
 
+    def supervisor_state(self) -> dict:
+        """Per-child supervision state at the target Core.
+
+        Restart counts, backoff state, and last exit cause for every
+        supervised child process; empty when no
+        :class:`~repro.cluster.supervisor.Supervisor` is attached there
+        (only the multi-process driver Core carries one).
+        """
+        result = self._op("supervisor")
+        assert isinstance(result, dict)
+        return result
+
+    def hosted_trackers(self) -> dict:
+        """CompletId -> local TrackerAddress for the target's hosted complets."""
+        result = self._op("hosted_trackers")
+        assert isinstance(result, dict)
+        return result
+
+    def add_peer(self, peer: str, address: tuple) -> None:
+        """Update the target Core's address book for a (re)spawned peer."""
+        self._op("add_peer", peer=peer, address=tuple(address))
+
     def repair_trackers(self, failed: str, relocated: dict) -> int:
         """Repair trackers at the target Core that forward to a dead Core."""
         result = self._op("repair_trackers", failed=failed, relocated=relocated)

@@ -128,6 +128,10 @@ class Core:
         #: Shared dynamic race detector, attached by the cluster when
         #: built with ``sanitize=True`` (:mod:`repro.analysis.sanitizer`).
         self.sanitizer: "LayoutSanitizer | None" = None
+        #: Process supervisor, attached by
+        #: :class:`repro.cluster.supervisor.Supervisor` to the Core it
+        #: drives re-admission from (the multi-process driver).
+        self.supervisor: object | None = None
 
         self.peer.register(MessageKind.HEARTBEAT, self._handle_heartbeat)
         self.peer.register_raw(MessageKind.INSTANTIATE, self._handle_instantiate)
@@ -437,6 +441,30 @@ class Core:
             if self.detector is None:
                 return {}
             return self.detector.state()  # type: ignore[attr-defined]
+        if operation == "supervisor":
+            if self.supervisor is None:
+                return {}
+            return self.supervisor.state()  # type: ignore[attr-defined]
+        if operation == "hosted_trackers":
+            # Original CompletId -> local TrackerAddress, for every
+            # complet hosted here.  The supervisor repairs survivors'
+            # trackers toward a reborn Core with exactly this map.
+            hosted = {}
+            for complet_id in self.repository.complet_ids():
+                tracker = self.repository.existing_tracker(complet_id)
+                if tracker is not None and tracker.is_local:
+                    hosted[complet_id] = tracker.address
+            return hosted
+        if operation == "add_peer":
+            # Address-book update: a peer respawned (possibly on a fresh
+            # port); stale pooled connections to it are invalidated.
+            add_peer = getattr(self.peer.transport, "add_peer", None)
+            if add_peer is None:
+                raise CompletError(
+                    f"transport of Core {self.name!r} has no address book"
+                )
+            add_peer(kwargs["peer"], tuple(kwargs["address"]))
+            return None
         if operation == "repair_trackers":
             return self.references.repair_dead_core(
                 kwargs["failed"], kwargs.get("relocated", {})

@@ -22,7 +22,11 @@ Entry point: :meth:`repro.cluster.cluster.Cluster.enable_recovery`.
 from repro.recovery.checkpoint import CheckpointManager, CheckpointPolicy
 from repro.recovery.detector import DetectorConfig, FailureDetector
 from repro.recovery.recovery import RecoveryManager, RecoveryReport
-from repro.recovery.store import CheckpointRecord, CheckpointStore
+from repro.recovery.store import (
+    CheckpointRecord,
+    CheckpointStore,
+    FileCheckpointStore,
+)
 
 __all__ = [
     "CheckpointManager",
@@ -31,6 +35,7 @@ __all__ = [
     "CheckpointStore",
     "DetectorConfig",
     "FailureDetector",
+    "FileCheckpointStore",
     "RecoveryManager",
     "RecoveryReport",
 ]

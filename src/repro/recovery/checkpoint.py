@@ -43,6 +43,32 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 logger = logging.getLogger(__name__)
 
 
+def local_pull_group(host: "Core", anchor: Anchor) -> list[Anchor]:
+    """``anchor`` plus local complets pulled along when it moves.
+
+    Shared by the cluster-wide :class:`CheckpointManager` and the
+    standalone child-process checkpointer in
+    :mod:`repro.cluster.launch`.
+    """
+    members = [anchor]
+    seen = {anchor.complet_id}
+    queue = [anchor]
+    while queue:
+        for stub in compute_closure(queue.pop()).outgoing:
+            if not isinstance(stub_meta(stub).get_relocator(), Pull):
+                continue
+            target_id = stub_target_id(stub)
+            if target_id in seen:
+                continue
+            member = host.repository.get(target_id)
+            if member is None:
+                continue
+            seen.add(target_id)
+            members.append(member)
+            queue.append(member)
+    return members
+
+
 @dataclass(frozen=True, slots=True)
 class CheckpointPolicy:
     """When a protected complet gets (re-)checkpointed.
@@ -202,24 +228,7 @@ class CheckpointManager:
         return hosts[0]
 
     def _pull_group(self, host: "Core", anchor: Anchor) -> list[Anchor]:
-        """``anchor`` plus local complets pulled along when it moves."""
-        members = [anchor]
-        seen = {anchor.complet_id}
-        queue = [anchor]
-        while queue:
-            for stub in compute_closure(queue.pop()).outgoing:
-                if not isinstance(stub_meta(stub).get_relocator(), Pull):
-                    continue
-                target_id = stub_target_id(stub)
-                if target_id in seen:
-                    continue
-                member = host.repository.get(target_id)
-                if member is None:
-                    continue
-                seen.add(target_id)
-                members.append(member)
-                queue.append(member)
-        return members
+        return local_pull_group(host, anchor)
 
     # -- event hooks -------------------------------------------------------------
 

@@ -7,11 +7,29 @@ complet identity; each knows which Core hosted the complet when the
 checkpoint was taken (recovery restores exactly the complets whose last
 known host died) and which pull-group it was captured with (the group is
 restored together, honoring relocation semantics).
+
+Two backends:
+
+- :class:`CheckpointStore` — the in-memory default; survives simulated
+  Core crashes (the harness outlives them) but not the process.
+- :class:`FileCheckpointStore` — durable and cross-process, layered on
+  the content-keyed :class:`~repro.store.store.FileStore`: snapshot
+  bytes land as refcounted blobs (an unchanged complet re-checkpoints
+  to the *same* blob), while a per-complet JSON manifest — written
+  atomically via rename — tracks generations.  Old generations are
+  garbage-collected past ``keep_generations``.  A respawned Core
+  process pointed at the same directory reads the newest generation
+  written by its predecessor, which is what makes supervised
+  crash-restart recovery possible.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.util.ids import CompletId
 
@@ -68,3 +86,195 @@ class CheckpointStore:
 
     def __repr__(self) -> str:
         return f"<CheckpointStore {len(self._records)} records>"
+
+
+# -- durable, cross-process backend -------------------------------------------
+
+
+def _id_to_json(complet_id: CompletId) -> list:
+    return [complet_id.birth_core, complet_id.serial, complet_id.type_name]
+
+
+def _id_from_json(fields: list) -> CompletId:
+    return CompletId(str(fields[0]), int(fields[1]), str(fields[2]))
+
+
+class FileCheckpointStore(CheckpointStore):
+    """Durable checkpoints in a directory shared across OS processes.
+
+    Layout under ``root``::
+
+        blobs/                   content-keyed FileStore (snapshot bytes)
+        <id-digest>/MANIFEST.json   per-complet generation manifest
+
+    The manifest names the complet (its id contains ``/`` so directories
+    use a digest of the display form instead), the latest generation,
+    and per-generation blob keys + placement facts.  Writes go through a
+    temp file and :func:`os.replace`, so a reader in another process —
+    or a respawned successor of a SIGKILLed writer — always sees either
+    the previous manifest or the complete new one, never a torn write.
+    Every read consults the disk, so records written by one process are
+    immediately visible to every other one pointed at the directory.
+    """
+
+    MANIFEST = "MANIFEST.json"
+
+    def __init__(self, root: str | Path, keep_generations: int = 3) -> None:
+        super().__init__()
+        from repro.store.store import FileStore
+
+        if keep_generations < 1:
+            raise ValueError(f"keep_generations must be >= 1, got {keep_generations}")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.keep_generations = keep_generations
+        self._blobs = FileStore(self.root / "blobs")
+
+    # -- directory layout --------------------------------------------------
+
+    def _slot(self, complet_id: CompletId) -> Path:
+        digest = hashlib.sha256(str(complet_id).encode()).hexdigest()[:16]
+        return self.root / digest
+
+    def _manifest_path(self, slot: Path) -> Path:
+        return slot / self.MANIFEST
+
+    def _read_manifest(self, slot: Path) -> dict | None:
+        try:
+            return json.loads(self._manifest_path(slot).read_text())
+        except (OSError, ValueError):
+            return None
+
+    def _write_manifest(self, slot: Path, manifest: dict) -> None:
+        slot.mkdir(parents=True, exist_ok=True)
+        tmp = slot / f"{self.MANIFEST}.tmp.{os.getpid()}"
+        tmp.write_text(json.dumps(manifest, indent=1, sort_keys=True))
+        os.replace(tmp, self._manifest_path(slot))
+
+    def _record_from(self, manifest: dict, generation: dict) -> CheckpointRecord:
+        from repro.store.store import StoreKey
+
+        data = self._blobs.get(StoreKey(generation["digest"], generation["size"]))
+        return CheckpointRecord(
+            complet_id=_id_from_json(manifest["complet_id"]),
+            data=data,
+            taken_at=float(generation["taken_at"]),
+            host=str(generation["host"]),
+            group=tuple(_id_from_json(g) for g in generation["group"]),
+        )
+
+    def _latest(self, manifest: dict) -> dict | None:
+        for generation in manifest.get("generations", []):
+            if generation["gen"] == manifest.get("latest"):
+                return generation
+        return None
+
+    # -- CheckpointStore API ----------------------------------------------
+
+    def put(self, record: CheckpointRecord) -> None:
+        slot = self._slot(record.complet_id)
+        manifest = self._read_manifest(slot) or {
+            "complet_id": _id_to_json(record.complet_id),
+            "display": str(record.complet_id),
+            "latest": 0,
+            "generations": [],
+        }
+        key = self._blobs.put(record.data)
+        generation = {
+            "gen": int(manifest["latest"]) + 1,
+            "digest": key.digest,
+            "size": key.size,
+            "taken_at": record.taken_at,
+            "host": record.host,
+            "group": [_id_to_json(g) for g in record.group],
+        }
+        manifest["latest"] = generation["gen"]
+        manifest["generations"].append(generation)
+        # Generation GC: evict blob references past the retention window.
+        from repro.store.store import StoreKey
+
+        while len(manifest["generations"]) > self.keep_generations:
+            stale = manifest["generations"].pop(0)
+            self._blobs.evict(StoreKey(stale["digest"], stale["size"]))
+        self._write_manifest(slot, manifest)
+
+    def get(self, complet_id: CompletId) -> CheckpointRecord | None:
+        manifest = self._read_manifest(self._slot(complet_id))
+        if manifest is None:
+            return None
+        generation = self._latest(manifest)
+        if generation is None:
+            return None
+        try:
+            return self._record_from(manifest, generation)
+        except Exception:
+            return None
+
+    def generations(self, complet_id: CompletId) -> list[dict]:
+        """Retained generation metadata, oldest first (admin surface)."""
+        manifest = self._read_manifest(self._slot(complet_id))
+        if manifest is None:
+            return []
+        return list(manifest.get("generations", []))
+
+    def _manifests(self) -> list[dict]:
+        manifests = []
+        for slot in sorted(self.root.iterdir()):
+            if not slot.is_dir() or slot.name == "blobs":
+                continue
+            manifest = self._read_manifest(slot)
+            if manifest is not None:
+                manifests.append(manifest)
+        return manifests
+
+    def by_str(self, complet_id_str: str) -> CheckpointRecord | None:
+        for manifest in self._manifests():
+            complet_id = _id_from_json(manifest["complet_id"])
+            if (
+                str(complet_id) == complet_id_str
+                or complet_id.short() == complet_id_str
+            ):
+                return self.get(complet_id)
+        return None
+
+    def ids(self) -> list[CompletId]:
+        found = []
+        for manifest in self._manifests():
+            complet_id = _id_from_json(manifest["complet_id"])
+            if self._latest(manifest) is not None:
+                found.append(complet_id)
+        return sorted(found, key=str)
+
+    def hosted_at(self, core_name: str) -> list[CheckpointRecord]:
+        records = []
+        for manifest in self._manifests():
+            generation = self._latest(manifest)
+            if generation is None or generation["host"] != core_name:
+                continue
+            try:
+                records.append(self._record_from(manifest, generation))
+            except Exception:
+                continue
+        return sorted(records, key=lambda r: str(r.complet_id))
+
+    def discard(self, complet_id: CompletId) -> None:
+        from repro.store.store import StoreKey
+
+        slot = self._slot(complet_id)
+        manifest = self._read_manifest(slot)
+        if manifest is None:
+            return
+        for generation in manifest.get("generations", []):
+            self._blobs.evict(StoreKey(generation["digest"], generation["size"]))
+        manifest["generations"] = []
+        manifest["latest"] = 0
+        self._write_manifest(slot, manifest)
+
+    def __len__(self) -> int:
+        return len(self.ids())
+
+    def __contains__(self, complet_id: CompletId) -> bool:
+        return self.get(complet_id) is not None
+
+    def __repr__(self) -> str:
+        return f"<FileCheckpointStore {self.root} ({len(self)} records)>"

@@ -30,6 +30,7 @@ interactive REPL on top).  Commands::
     snapshot <complet-id>                   checkpoint a complet into the shell
     restore <complet-id> [<core>] [keep]    restore a held snapshot on a Core
     failures                                injections, detector verdicts, recoveries
+    supervisor [<core>]                     per-child restart counts and backoff state
     help                                    this text
 """
 
@@ -89,6 +90,7 @@ class FarGoShell:
             "snapshot": self._cmd_snapshot,
             "restore": self._cmd_restore,
             "failures": self._cmd_failures,
+            "supervisor": self._cmd_supervisor,
             "help": self._cmd_help,
         }
         #: Snapshots held by the shell, keyed by the complet id taken.
@@ -369,6 +371,52 @@ class FarGoShell:
     def attach_injector(self, injector) -> None:
         """Show ``injector``'s log in the ``failures`` command."""
         self._injector = injector
+
+    def _cmd_supervisor(self, args: list[str]) -> str:
+        """supervisor [<core>] — per-child supervision state.
+
+        Only the driver Core of a multi-process deployment carries a
+        :class:`~repro.cluster.supervisor.Supervisor`; with no argument,
+        every Core is asked and the first non-empty answer is shown.
+        """
+        if args:
+            candidates = [args[0]]
+        else:
+            candidates = self.cluster.core_names()
+        state: dict = {}
+        seat = ""
+        for name in candidates:
+            try:
+                state = self.admin(name).supervisor_state()
+            except FarGoError:
+                continue
+            if state:
+                seat = name
+                break
+        if not state:
+            return "(no supervisor attached)"
+        policy = state.get("policy", {})
+        lines = [
+            f"supervisor at {seat}: "
+            f"{'running' if state.get('running') else 'stopped'}, "
+            f"budget {policy.get('max_restarts')}/{policy.get('window', 0):.0f}s, "
+            f"healthy after {policy.get('healthy_after', 0):.0f}s"
+        ]
+        for child, view in sorted(state.get("children", {}).items()):
+            mttr = view.get("last_mttr")
+            lines.append(
+                f"  {child:<12} {view['status']:<12} "
+                f"restarts {view['restarts']} "
+                f"(window {view['recent_restarts']}, streak {view['streak']}) "
+                f"next backoff {view['next_backoff']:.2f}s"
+                + (f"  mttr {mttr:.2f}s" if mttr is not None else "")
+                + (f"  last exit: {view['last_exit']}" if view.get("last_exit") else "")
+            )
+            if view.get("escalated_to"):
+                lines.append(
+                    "               escalated to: " + ", ".join(view["escalated_to"])
+                )
+        return "\n".join(lines)
 
     def _cmd_help(self, args: list[str]) -> str:
         return _HELP.strip("\n")

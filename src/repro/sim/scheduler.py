@@ -66,6 +66,12 @@ class Scheduler:
         self._sequence = itertools.count()
         self._advancing = False
         self._pending_target: float | None = None
+        #: Furthest instant the caller(s) explicitly asked to advance to.
+        #: Quiet network charges may push the clock (and the sweep) past
+        #: it, but *periodic* timers never fire beyond it — otherwise a
+        #: heartbeat round that charges more transfer time than its own
+        #: period would extend the sweep forever (ROADMAP item 6).
+        self._caller_target: float | None = None
 
     # -- registration -----------------------------------------------------
 
@@ -147,8 +153,14 @@ class Scheduler:
             self.clock.set(target)
             if self._pending_target is None or target > self._pending_target:
                 self._pending_target = target
+            # An explicit nested advance (retry backoff, scripted sleep)
+            # genuinely requests that time — periodic timers may fire up
+            # to it, unlike quiet transfer charges.
+            if self._caller_target is None or target > self._caller_target:
+                self._caller_target = target
             return
         self._advancing = True
+        self._caller_target = target
         try:
             self._sweep_to(target)
             # Nested advances during callbacks may have pushed time further.
@@ -159,6 +171,7 @@ class Scheduler:
         finally:
             self._advancing = False
             self._pending_target = None
+            self._caller_target = None
 
     def advance_quiet(self, delta: float) -> None:
         """Move the clock without firing timers (network transfer charges).
@@ -181,10 +194,24 @@ class Scheduler:
             self._pending_target = target
 
     def _sweep_to(self, target: float) -> None:
+        # Periodic timers due only because quiet charges extended the
+        # sweep past what the caller asked for are *deferred*, not fired:
+        # firing them would re-arm them inside the extension and — when a
+        # round of work charges more transfer time than the period — the
+        # sweep would never drain.  One-shot timers still fire through
+        # extensions so movement continuations and drains cascade.
+        deferred: list[_Entry] = []
         while self._heap and self._heap[0].deadline <= target:
             entry = heapq.heappop(self._heap)
             timer = entry.timer
             if timer.cancelled:
+                continue
+            if (
+                timer.is_periodic
+                and self._caller_target is not None
+                and entry.deadline > self._caller_target
+            ):
+                deferred.append(entry)
                 continue
             # Observe the scheduled instant (clock may already be past it
             # if a nested advance overshot while we were mid-sweep).
@@ -195,6 +222,8 @@ class Scheduler:
                 self._push(entry.deadline + timer.period, timer)
             timer.fired_count += 1
             timer.callback(*timer.args)
+        for entry in deferred:
+            heapq.heappush(self._heap, entry)
         if target > self.clock.now():
             self.clock.set(target)
 

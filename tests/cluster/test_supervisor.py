@@ -1,0 +1,122 @@
+"""Unit tests for supervision policy plumbing (no real processes).
+
+The end-to-end kill/restart/escalate paths live in
+``tests/integration/test_supervised.py`` (tcp marker) and the chaos
+``--real`` mode; here we pin down the pure parts: restart policies,
+exit-cause decoding, backoff schedules, state reporting, and the
+``Cluster(checkpoint_store=...)`` wiring.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.cluster import Cluster, CoreProcesses, RestartPolicy, Supervisor
+from repro.cluster.supervisor import DEFAULT_BACKOFF, _ChildState, describe_exit
+from repro.errors import ConfigurationError
+from repro.recovery import CheckpointStore, FileCheckpointStore
+
+
+class TestRestartPolicy:
+    def test_defaults(self):
+        policy = RestartPolicy()
+        assert policy.max_restarts == 3
+        assert policy.window == 60.0
+        assert policy.recover is True
+        assert policy.backoff is DEFAULT_BACKOFF
+
+    def test_zero_budget_is_legal(self):
+        # max_restarts=0 means "never restart, escalate immediately".
+        assert RestartPolicy(max_restarts=0).max_restarts == 0
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RestartPolicy(max_restarts=-1)
+
+    def test_nonpositive_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RestartPolicy(window=0.0)
+
+    def test_backoff_schedule_is_exponential_and_capped(self):
+        delays = [DEFAULT_BACKOFF.backoff(n) for n in range(1, 7)]
+        assert delays[:4] == [0.1, 0.2, 0.4, 0.8]
+        assert max(delays) <= 2.0
+
+
+class TestDescribeExit:
+    def test_signals_named(self):
+        assert describe_exit(-9) == "signal SIGKILL"
+        assert describe_exit(-15) == "signal SIGTERM"
+
+    def test_unknown_signal_number_falls_back(self):
+        assert describe_exit(-250) == "signal 250"
+
+    def test_exit_codes(self):
+        assert describe_exit(0) == "exit 0"
+        assert describe_exit(3) == "exit 3"
+
+
+class TestChildState:
+    def test_to_dict_surface(self):
+        state = _ChildState()
+        as_dict = state.to_dict()
+        assert as_dict["status"] == "running"
+        assert as_dict["restarts"] == 0
+        assert as_dict["last_exit"] is None
+        assert as_dict["escalated_to"] == []
+        for key in ("streak", "last_verdict", "last_mttr", "next_backoff"):
+            assert key in as_dict
+
+
+class TestSupervisorConstruction:
+    def test_requires_started_processes(self):
+        procs = CoreProcesses(["alpha"])  # not started
+        with pytest.raises(ConfigurationError):
+            Supervisor(procs)
+
+
+class TestClusterCheckpointStoreWiring:
+    def test_memory_backend(self):
+        cluster = Cluster(["a"], checkpoint_store="memory")
+        try:
+            manager = cluster.enable_recovery()
+            assert type(manager.store) is CheckpointStore
+        finally:
+            cluster.close()
+
+    def test_file_backend_owns_a_tempdir(self):
+        cluster = Cluster(["a"], checkpoint_store="file")
+        try:
+            manager = cluster.enable_recovery()
+            assert isinstance(manager.store, FileCheckpointStore)
+            owned = cluster._owned_checkpoint_dir
+            assert owned is not None and os.path.isdir(owned)
+        finally:
+            cluster.close()
+        assert not os.path.isdir(owned)
+
+    def test_explicit_directory_left_in_place(self, tmp_path):
+        target = tmp_path / "checkpoints"
+        cluster = Cluster(["a"], checkpoint_store=str(target))
+        try:
+            manager = cluster.enable_recovery()
+            assert isinstance(manager.store, FileCheckpointStore)
+            assert manager.store.root == Path(target)
+        finally:
+            cluster.close()
+        assert target.is_dir()  # close() must not delete a caller's directory
+
+    def test_store_instance_passthrough(self):
+        store = CheckpointStore()
+        cluster = Cluster(["a"], checkpoint_store=store)
+        try:
+            assert cluster.enable_recovery().store is store
+        finally:
+            cluster.close()
+
+    def test_invalid_value_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Cluster(["a"], checkpoint_store=123)

@@ -26,15 +26,8 @@ from repro.analysis.interaction import (
 )
 from repro.cluster.cluster import Cluster
 from repro.cluster.workload import Counter
-from repro.recovery import CheckpointPolicy, DetectorConfig
+from repro.recovery import CheckpointPolicy
 from repro.script.interpreter import ScriptEngine
-
-#: No Core crashes here, so heartbeats are pure background noise — and at
-#: the default 0.5s interval, 8 Cores' worth of pings charge more virtual
-#: time per round than the interval itself, which keeps extending the
-#: sweep and turns ``advance`` into a runaway.  Park the first tick past
-#: the simulated window.
-QUIET_DETECTOR = DetectorConfig(interval=60.0, suspect_after=180.0, fail_after=360.0)
 
 CORES = ["a", "b", "c", "d", "e", "f", "g", "h"]
 #: Cores whose engines install rules (and whose arrivals trigger them).
@@ -74,7 +67,7 @@ class TestObservedSubsetOfStatic:
     )
     def test_every_observed_race_was_statically_flagged(self, rules, schedule):
         cluster = Cluster(CORES, sanitize=True)
-        cluster.enable_recovery(detector=QUIET_DETECTOR)
+        cluster.enable_recovery()
         targets = [
             Counter(0, _core=cluster["c"], _at="c"),
             Counter(0, _core=cluster["c"], _at="c"),

@@ -1,0 +1,149 @@
+"""Unit tests for the durable, cross-process checkpoint backend.
+
+:class:`FileCheckpointStore` layers per-complet generation manifests
+over the content-keyed :class:`~repro.store.store.FileStore`; these
+tests exercise the backend directly, without any Cores: round-trips,
+generation retention and blob GC, atomic-manifest torn-write tolerance,
+and the cross-handle reads that stand in for cross-process visibility.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.recovery import CheckpointRecord, CheckpointStore, FileCheckpointStore
+from repro.util.ids import CompletId
+
+
+def cid(serial: int = 1, type_name: str = "Probe") -> CompletId:
+    return CompletId(birth_core="alpha", serial=serial, type_name=type_name)
+
+
+def record(
+    serial: int = 1, data: bytes = b"snapshot-bytes", host: str = "alpha"
+) -> CheckpointRecord:
+    identity = cid(serial)
+    return CheckpointRecord(
+        complet_id=identity, data=data, taken_at=1.5, host=host, group=(identity,)
+    )
+
+
+class TestRoundTrip:
+    def test_put_get_round_trip(self, tmp_path):
+        store = FileCheckpointStore(tmp_path)
+        store.put(record(data=b"hello"))
+        got = store.get(cid())
+        assert got is not None
+        assert got.data == b"hello"
+        assert got.host == "alpha"
+        assert got.taken_at == 1.5
+        assert got.complet_id == cid()
+        assert got.group == (cid(),)
+
+    def test_missing_id_returns_none(self, tmp_path):
+        store = FileCheckpointStore(tmp_path)
+        assert store.get(cid(99)) is None
+        assert store.by_str("alpha/c99:Probe") is None
+
+    def test_latest_generation_wins(self, tmp_path):
+        store = FileCheckpointStore(tmp_path)
+        store.put(record(data=b"v1"))
+        store.put(record(data=b"v2"))
+        store.put(record(data=b"v3"))
+        assert store.get(cid()).data == b"v3"
+
+    def test_query_surface_matches_memory_backend(self, tmp_path):
+        """Both backends answer the shared CheckpointStore API alike."""
+        memory, durable = CheckpointStore(), FileCheckpointStore(tmp_path)
+        for store in (memory, durable):
+            store.put(record(1))
+            store.put(record(2, host="beta"))
+        for store in (memory, durable):
+            assert len(store) == 2
+            assert cid(1) in store
+            assert set(map(str, store.ids())) == {"alpha/c1:Probe", "alpha/c2:Probe"}
+            assert [r.complet_id for r in store.hosted_at("beta")] == [cid(2)]
+            assert store.by_str("alpha/c1:Probe").complet_id == cid(1)
+
+    def test_discard(self, tmp_path):
+        store = FileCheckpointStore(tmp_path)
+        store.put(record(1))
+        store.put(record(2))
+        store.discard(cid(1))
+        assert store.get(cid(1)) is None
+        assert cid(1) not in store
+        assert store.get(cid(2)) is not None
+        assert len(store) == 1
+
+
+class TestGenerations:
+    def test_retention_window_evicts_old_blobs(self, tmp_path):
+        store = FileCheckpointStore(tmp_path, keep_generations=2)
+        for version in (b"v1", b"v2", b"v3", b"v4"):
+            store.put(record(data=version))
+        generations = store.generations(cid())
+        assert [g["gen"] for g in generations] == [3, 4]
+        # The evicted generations' blobs are gone from the blob store.
+        assert len(store._blobs) == 2
+
+    def test_identical_snapshot_dedupes_to_one_blob(self, tmp_path):
+        """An unchanged complet re-checkpoints to the same blob."""
+        store = FileCheckpointStore(tmp_path)
+        store.put(record(data=b"same"))
+        store.put(record(data=b"same"))
+        generations = store.generations(cid())
+        assert len(generations) == 2
+        assert generations[0]["digest"] == generations[1]["digest"]
+        assert len(store._blobs) == 1
+
+    def test_keep_generations_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            FileCheckpointStore(tmp_path, keep_generations=0)
+
+
+class TestDurability:
+    def test_fresh_handle_reads_previous_writes(self, tmp_path):
+        """A second handle on the directory — the respawned-process
+        shape — sees everything the first one wrote."""
+        writer = FileCheckpointStore(tmp_path)
+        writer.put(record(1, data=b"one"))
+        writer.put(record(2, data=b"two", host="beta"))
+        reader = FileCheckpointStore(tmp_path)
+        assert reader.get(cid(1)).data == b"one"
+        assert [r.data for r in reader.hosted_at("beta")] == [b"two"]
+        assert len(reader) == 2
+
+    def test_writes_are_visible_without_reopen(self, tmp_path):
+        """Reads always consult the disk, so two live handles stay
+        coherent — the parent/child sharing pattern."""
+        left, right = FileCheckpointStore(tmp_path), FileCheckpointStore(tmp_path)
+        left.put(record(data=b"from-left"))
+        assert right.get(cid()).data == b"from-left"
+        right.put(record(data=b"from-right"))
+        assert left.get(cid()).data == b"from-right"
+
+    def test_corrupt_manifest_tolerated(self, tmp_path):
+        store = FileCheckpointStore(tmp_path)
+        store.put(record(1))
+        slot = store._slot(cid(1))
+        (slot / FileCheckpointStore.MANIFEST).write_text("{ not json")
+        assert store.get(cid(1)) is None
+        assert len(store) == 0
+        # The slot heals on the next put.
+        store.put(record(1, data=b"healed"))
+        assert store.get(cid(1)).data == b"healed"
+
+    def test_stale_tmp_file_ignored(self, tmp_path):
+        """A writer SIGKILLed mid-write leaves only a tmp file behind;
+        readers never see it."""
+        store = FileCheckpointStore(tmp_path)
+        store.put(record(1, data=b"good"))
+        slot = store._slot(cid(1))
+        torn = dict(json.loads((slot / FileCheckpointStore.MANIFEST).read_text()))
+        torn["latest"] = 999
+        (slot / f"{FileCheckpointStore.MANIFEST}.tmp.12345").write_text(
+            json.dumps(torn)
+        )
+        assert store.get(cid(1)).data == b"good"

@@ -282,3 +282,61 @@ class TestRecoveryCommands:
     def test_recovery_commands_in_help(self, shell):
         out = shell.execute("help")
         assert "snapshot" in out and "restore" in out and "failures" in out
+
+
+class TestSupervisorCommand:
+    def test_no_supervisor_attached(self, shell):
+        assert shell.execute("supervisor") == "(no supervisor attached)"
+
+    def test_renders_children_and_policy(self, cluster3, shell):
+        class FakeSupervisor:
+            def state(self):
+                return {
+                    "running": True,
+                    "children": {
+                        "beta": {
+                            "status": "running",
+                            "restarts": 2,
+                            "recent_restarts": 1,
+                            "streak": 0,
+                            "last_exit": "signal SIGKILL",
+                            "last_verdict": "alive",
+                            "last_mttr": 0.42,
+                            "next_backoff": 0.2,
+                            "escalated_to": [],
+                        },
+                        "gamma": {
+                            "status": "failed",
+                            "restarts": 3,
+                            "recent_restarts": 3,
+                            "streak": 3,
+                            "last_exit": "exit 1",
+                            "last_verdict": "dead",
+                            "last_mttr": None,
+                            "next_backoff": 0.8,
+                            "escalated_to": ["alpha/c7:Probe"],
+                        },
+                    },
+                    "policy": {
+                        "max_restarts": 3,
+                        "window": 60.0,
+                        "healthy_after": 5.0,
+                        "recover": True,
+                    },
+                }
+
+        cluster3["alpha"].supervisor = FakeSupervisor()
+        out = shell.execute("supervisor")
+        assert "supervisor at alpha" in out
+        assert "budget 3/60s" in out
+        assert "restarts 2" in out
+        assert "signal SIGKILL" in out
+        assert "mttr 0.42s" in out
+        assert "escalated to: alpha/c7:Probe" in out
+
+    def test_explicit_core_argument(self, cluster3, shell):
+        out = shell.execute("supervisor beta")
+        assert out == "(no supervisor attached)"
+
+    def test_supervisor_in_help(self, shell):
+        assert "supervisor" in shell.execute("help")

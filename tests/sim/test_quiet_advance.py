@@ -64,6 +64,66 @@ class TestQuietAdvance:
         assert ticks == [3.5, 3.5, 3.5]
 
 
+class TestChargeSaturation:
+    """ROADMAP item 6: periodic work whose quiet charge exceeds its own
+    period must not extend the sweep forever."""
+
+    def test_periodic_charging_more_than_period_converges(self, sched):
+        ticks = []
+
+        def heartbeat_round():
+            ticks.append(sched.clock.now())
+            sched.advance_quiet(1.2)  # charges more than the 0.5 period
+
+        sched.call_every(0.5, heartbeat_round)
+        sched.advance(10.0)  # would never return before the fix
+        # Only firings whose *deadline* fell inside the requested window
+        # ran — rounds due purely to quiet extensions were deferred, so
+        # the count is bounded by the window, not by the charges.
+        assert 0 < len(ticks) <= 20
+        # Deferred rounds catch up on the next explicit advance.
+        before = len(ticks)
+        sched.advance(1.0)
+        assert len(ticks) > before
+
+    def test_one_shot_cascade_still_crosses_extension(self, sched):
+        """The fix must not break drain cascades: one-shot continuations
+        scheduled past the caller target still fire when quiet charges
+        extend the sweep (movement continuations depend on this)."""
+        trace = []
+
+        def first():
+            sched.advance_quiet(4.0)
+            sched.call_after(0.0, lambda: trace.append(sched.clock.now()))
+
+        sched.call_at(1.0, first)
+        sched.advance(1.0)
+        assert trace == [5.0]
+
+    def test_eight_core_recovery_cluster_converges(self):
+        """8 Cores under enable_recovery() at the default DetectorConfig:
+        one heartbeat round charges ~1.1s of transfer time against the
+        0.5s ping interval.  advance() must converge and the detector
+        must still reach a verdict on a crashed Core."""
+        from repro.cluster.cluster import Cluster
+        from repro.cluster.failures import FailureInjector
+
+        cluster = Cluster(["a", "b", "c", "d", "e", "f", "g", "h"])
+        try:
+            cluster.enable_recovery()
+            cluster.advance(5.0)  # hung forever before the fix
+            detector = cluster["a"].detector
+            assert all(
+                entry["status"] == "alive" for entry in detector.state().values()
+            )
+            inject = FailureInjector(cluster)
+            inject.crash_core_at(cluster.scheduler.clock.now() + 0.1, "h")
+            cluster.advance(10.0)
+            assert detector.verdict("h") == "failed"
+        finally:
+            cluster.close()
+
+
 class TestClusterDrain:
     def test_drain_runs_due_continuations(self, cluster):
         from tests.anchors import Probe
